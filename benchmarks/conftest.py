@@ -1,0 +1,103 @@
+"""Shared infrastructure for the reproduction benchmarks.
+
+Every module in this tree regenerates one table or figure of the
+paper's evaluation.  Conventions:
+
+* experiments run at ``SCALE = 16`` (EPC 1,536 pages ≈ 6 MB) with the
+  paper's cycle costs; all reported quantities are *normalized*, so
+  the scaled system preserves the paper's relative shapes (DESIGN.md
+  §6);
+* each test drives its experiment inside ``benchmark.pedantic(...)``
+  (so ``pytest benchmarks/ --benchmark-only`` both runs and times it),
+  prints the paper-style rows/series, asserts the qualitative shape,
+  and appends the rendered output to ``benchmarks/reports/``;
+* baseline runs are cached per (workload, scheme, config) across the
+  session — the baselines of Figure 7 are the baselines of Figure 8.
+"""
+
+from __future__ import annotations
+
+import pathlib
+from typing import Dict, Optional, Tuple
+
+import pytest
+
+from repro.core.config import SimConfig
+from repro.core.instrumentation import SipPlan
+from repro.sim.engine import prepare_sip_plan, simulate
+from repro.sim.results import RunResult
+from repro.workloads.base import Workload
+from repro.workloads.registry import build_workload
+
+#: Scale factor for every experiment in this tree.
+SCALE = 16
+
+#: Where rendered figure/table text is written.
+REPORT_DIR = pathlib.Path(__file__).parent / "reports"
+
+_RUN_CACHE: Dict[Tuple, RunResult] = {}
+_PLAN_CACHE: Dict[Tuple, SipPlan] = {}
+_WORKLOAD_CACHE: Dict[Tuple[str, int], Workload] = {}
+
+
+def bench_config(**overrides) -> SimConfig:
+    """The standard scaled configuration, optionally overridden."""
+    config = SimConfig.scaled(SCALE)
+    if overrides:
+        config = config.replace(**overrides)
+    return config
+
+
+def get_workload(name: str, scale: int = SCALE) -> Workload:
+    key = (name, scale)
+    if key not in _WORKLOAD_CACHE:
+        _WORKLOAD_CACHE[key] = build_workload(name, scale=scale)
+    return _WORKLOAD_CACHE[key]
+
+
+def get_sip_plan(
+    name: str, config: Optional[SimConfig] = None, threshold: Optional[float] = None
+) -> SipPlan:
+    config = config or bench_config()
+    key = (name, config.epc_pages, threshold if threshold is not None else config.sip_threshold)
+    if key not in _PLAN_CACHE:
+        _PLAN_CACHE[key] = prepare_sip_plan(
+            get_workload(name), config, threshold=threshold
+        )
+    return _PLAN_CACHE[key]
+
+
+def run(
+    name: str,
+    scheme: str,
+    config: Optional[SimConfig] = None,
+    *,
+    seed: int = 0,
+    threshold: Optional[float] = None,
+) -> RunResult:
+    """Run (or fetch the cached run of) one workload under one scheme."""
+    config = config or bench_config()
+    key = (name, scheme, seed, threshold, config)
+    if key not in _RUN_CACHE:
+        plan = None
+        if scheme in ("sip", "hybrid"):
+            plan = get_sip_plan(name, config, threshold)
+        _RUN_CACHE[key] = simulate(
+            get_workload(name), config, scheme, seed=seed, sip_plan=plan
+        )
+    return _RUN_CACHE[key]
+
+
+def report(experiment: str, text: str) -> None:
+    """Print a rendered figure/table and persist it for EXPERIMENTS.md."""
+    print()
+    print(text)
+    REPORT_DIR.mkdir(exist_ok=True)
+    path = REPORT_DIR / f"{experiment}.txt"
+    path.write_text(text + "\n")
+
+
+@pytest.fixture(scope="session", autouse=True)
+def _report_dir():
+    REPORT_DIR.mkdir(exist_ok=True)
+    yield

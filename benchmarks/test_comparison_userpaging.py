@@ -1,0 +1,91 @@
+"""Related-work comparison: preloading vs user-level paging (Section 6).
+
+The paper positions DFP/SIP against Eleos/CoSMIX-style user-level
+paging: the latter avoids *all* world switches and even the hardware
+load path, but (1) cannot keep the hardware's security guarantees,
+(2) taxes every access with software translation, and (3) spends EPC
+on its own runtime.  The paper also notes the approaches compose: its
+preloading could be layered on their load path.
+
+This bench measures the quantitative halves of that argument on three
+representative workloads:
+
+* a thrashing streamer (lbm) — user paging wins big on raw time, as
+  Eleos reports, because its swap is ~4x cheaper than a fault;
+* an irregular benchmark (deepsjeng) — both help; user paging more
+  (every miss cheapens), SIP less but with hardware security intact;
+* a hit-dominated benchmark (leela, small working set) — user paging
+  is a net tax: whole-program translation checks with almost nothing
+  to convert.
+"""
+
+from repro.analysis.report import format_table
+from repro.core.userpaging import UserPagingModel, simulate_user_paging
+from repro.sim.results import improvement_pct
+
+from benchmarks.conftest import bench_config, get_workload, report, run
+
+CASES = (
+    ("lbm", "dfp-stop"),
+    ("deepsjeng", "sip"),
+    ("leela", "dfp-stop"),
+)
+
+
+def test_comparison_userpaging(benchmark):
+    config = bench_config()
+    model = UserPagingModel()
+
+    def experiment():
+        rows = {}
+        for name, paper_scheme in CASES:
+            base = run(name, "baseline")
+            ours = run(name, paper_scheme)
+            user = simulate_user_paging(get_workload(name), config, model)
+            rows[name] = (base, ours, user, paper_scheme)
+        return rows
+
+    rows = benchmark.pedantic(experiment, rounds=1, iterations=1)
+
+    table_rows = []
+    for name, (base, ours, user, paper_scheme) in rows.items():
+        table_rows.append(
+            [
+                name,
+                f"{improvement_pct(ours, base):+.1f}% ({paper_scheme})",
+                f"{improvement_pct(user, base):+.1f}%",
+                "hardware (EWB/ELDU)",
+                "software (enclave runtime)",
+            ]
+        )
+    table = format_table(
+        ["benchmark", "this paper", "user-level paging", "security: ours",
+         "security: theirs"],
+        table_rows,
+        title=(
+            "Preloading (this paper) vs Eleos/CoSMIX-style user-level\n"
+            "paging.  User paging avoids the 64k fault entirely but\n"
+            "re-implements the secure swap in software, instruments\n"
+            "every access, and spends "
+            f"{model.epc_overhead:.0%} of the EPC on its runtime."
+        ),
+    )
+    report("comparison_userpaging", table)
+
+    base, ours, user, _ = rows["lbm"]
+    # Thrashing: user paging wins on raw time (the paper concedes
+    # this), while preloading still wins a solid share with hardware
+    # security intact.
+    assert user.total_cycles < ours.total_cycles < base.total_cycles
+    # Irregular: both approaches help.
+    base, ours, user, _ = rows["deepsjeng"]
+    assert ours.total_cycles < base.total_cycles
+    assert user.total_cycles < base.total_cycles
+    # Hit-dominated: user paging's per-access tax makes it *slower*
+    # than vanilla SGX, while the paper's schemes are neutral.
+    base, ours, user, _ = rows["leela"]
+    assert user.total_cycles > base.total_cycles
+    assert abs(improvement_pct(ours, base)) < 6
+    # The tax is the per-access translation: it dominates user
+    # paging's time on the resident working set.
+    assert user.stats.time.sip_check > user.stats.time.sip_wait

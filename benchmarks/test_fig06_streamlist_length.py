@@ -1,0 +1,57 @@
+"""Figure 6: DFP execution time vs ``stream_list`` length.
+
+The paper sweeps the length of the LRU list recording fault streams
+for lbm and bwaves: the two benchmarks prefer different lengths, but
+their *combined* execution time is shortest around 30, which becomes
+the default.  This bench reruns the sweep and checks that the default
+sits in the sweet-spot region: too-short lists lose interleaved
+streams, so the short end of the sweep must be worse than the
+default; the default must be within a hair of the sweep's optimum.
+"""
+
+from repro.analysis.report import render_series
+
+from benchmarks.conftest import bench_config, report, run
+
+LENGTHS = (2, 5, 10, 20, 30, 45, 60)
+BENCHMARKS = ("lbm", "bwaves")
+
+
+def test_fig06_stream_list_length(benchmark):
+    def experiment():
+        times = {}
+        for name in BENCHMARKS:
+            for length in LENGTHS:
+                config = bench_config(stream_list_length=length)
+                times[(name, length)] = run(name, "dfp-stop", config).total_cycles
+        return times
+
+    times = benchmark.pedantic(experiment, rounds=1, iterations=1)
+
+    series = {
+        name: [
+            (length, times[(name, length)] / 1e6) for length in LENGTHS
+        ]
+        for name in BENCHMARKS
+    }
+    combined = [
+        (length, sum(times[(name, length)] for name in BENCHMARKS) / 1e6)
+        for length in LENGTHS
+    ]
+    series["combined"] = combined
+    text = render_series(
+        series,
+        title=(
+            "Figure 6: DFP execution time (Mcycles) vs stream_list length\n"
+            "paper: combined optimum around length 30 (the default)"
+        ),
+        value_format="{:.1f}",
+    )
+    report("fig06_streamlist_length", text)
+
+    combined_by_length = dict(combined)
+    best = min(combined_by_length.values())
+    # The default (30) is in the sweet spot: within 2% of the best.
+    assert combined_by_length[30] <= best * 1.02
+    # A clearly-too-short list is measurably worse than the default.
+    assert combined_by_length[2] > combined_by_length[30]

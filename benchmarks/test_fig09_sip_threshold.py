@@ -1,0 +1,82 @@
+"""Figure 9: SIP's irregular-access-ratio threshold sweep.
+
+Every instruction whose profiled Class 3 ratio clears the threshold is
+instrumented.  The paper sweeps the threshold on deepsjeng (train
+input) and finds the sweet spot around 5%:
+
+* too low (aggressive) — hit-dominated sites get instrumented and the
+  ``BIT_MAP_CHECK`` cost on their Class 1 accesses outweighs the
+  conversions;
+* too high (conservative) — profitable sites above 5% are skipped and
+  their faults stay full faults.
+
+The paper verified the same optimum on mcf; this bench sweeps both.
+"""
+
+from repro.analysis.report import render_series
+from repro.sim.engine import simulate
+
+from benchmarks.conftest import bench_config, get_sip_plan, get_workload, report
+
+THRESHOLDS = (0.0, 0.01, 0.03, 0.05, 0.10, 0.20, 0.40, 0.80)
+BENCHMARKS = ("deepsjeng", "mcf")
+
+
+def test_fig09_sip_threshold(benchmark):
+    config = bench_config()
+
+    def experiment():
+        times = {}
+        points = {}
+        for name in BENCHMARKS:
+            workload = get_workload(name)
+            for threshold in THRESHOLDS:
+                plan = get_sip_plan(name, config, threshold)
+                # Figure 9 measures on the *train* input set.
+                result = simulate(
+                    workload, config, "sip", sip_plan=plan, input_set="train"
+                )
+                times[(name, threshold)] = result.total_cycles
+                points[(name, threshold)] = plan.instrumentation_points
+        return times, points
+
+    times, points = benchmark.pedantic(experiment, rounds=1, iterations=1)
+
+    series = {}
+    for name in BENCHMARKS:
+        base = times[(name, 0.80)]  # ~no instrumentation: the baseline
+        series[name] = [
+            (f"{t:.0%}", times[(name, t)] / base) for t in THRESHOLDS
+        ]
+        series[f"{name} sites"] = [
+            (f"{t:.0%}", float(points[(name, t)])) for t in THRESHOLDS
+        ]
+    text = render_series(
+        series,
+        title=(
+            "Figure 9: execution time (train input) vs SIP instrumentation\n"
+            "threshold, normalized to the fully-conservative end;\n"
+            "paper: best performance around 5% on deepsjeng, same on mcf"
+        ),
+    )
+    report("fig09_sip_threshold", text)
+
+    for name in BENCHMARKS:
+        by_threshold = {t: times[(name, t)] for t in THRESHOLDS}
+        best = min(by_threshold.values())
+        # The paper's default threshold is at (or within 1% of) the
+        # sweep optimum.
+        assert by_threshold[0.05] <= best * 1.01, name
+        # Fully conservative loses the conversions: worse than 5%.
+        assert by_threshold[0.80] > by_threshold[0.05], name
+    # Aggressive instrumentation is worse than the sweet spot on
+    # deepsjeng: checks on the Class 1-dominated probe sites cost more
+    # than their rare conversions save.  (On mcf the same penalty is
+    # below our measurement resolution — the sites just under the
+    # threshold sit almost exactly at breakeven, which is the paper's
+    # own explanation of why mcf is a wash.)
+    assert times[("deepsjeng", 0.0)] > times[("deepsjeng", 0.05)]
+    # Lower thresholds instrument monotonically more sites.
+    for name in BENCHMARKS:
+        site_counts = [points[(name, t)] for t in THRESHOLDS]
+        assert site_counts == sorted(site_counts, reverse=True), name

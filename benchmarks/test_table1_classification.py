@@ -1,0 +1,72 @@
+"""Table 1: classification of the benchmarks.
+
+The paper profiles every benchmark's memory behaviour (running under
+Graphene-SGX with the vanilla driver) and buckets them:
+
+* small working set — cactuBSSN, imagick, leela, nab, exchange2;
+* large working set, irregular — roms, mcf, deepsjeng, omnetpp, xz;
+* large working set, regular — bwaves, lbm, wrf, microbenchmark.
+
+This bench regenerates the table from the workload models using the
+offline characterization (footprint vs EPC + stream-coverage).
+"""
+
+from repro.analysis.patterns import PatternKind, classify_benchmark
+from repro.analysis.report import format_table
+
+from benchmarks.conftest import bench_config, get_workload, report
+
+PAPER_TABLE = {
+    "cactuBSSN": PatternKind.SMALL_WORKING_SET,
+    "imagick": PatternKind.SMALL_WORKING_SET,
+    "leela": PatternKind.SMALL_WORKING_SET,
+    "nab": PatternKind.SMALL_WORKING_SET,
+    "exchange2": PatternKind.SMALL_WORKING_SET,
+    "roms": PatternKind.LARGE_IRREGULAR,
+    "mcf": PatternKind.LARGE_IRREGULAR,
+    "deepsjeng": PatternKind.LARGE_IRREGULAR,
+    "omnetpp": PatternKind.LARGE_IRREGULAR,
+    "xz": PatternKind.LARGE_IRREGULAR,
+    "bwaves": PatternKind.LARGE_REGULAR,
+    "lbm": PatternKind.LARGE_REGULAR,
+    "wrf": PatternKind.LARGE_REGULAR,
+    "microbenchmark": PatternKind.LARGE_REGULAR,
+}
+
+
+def test_table1_classification(benchmark):
+    config = bench_config()
+
+    def experiment():
+        results = {}
+        for name in PAPER_TABLE:
+            kind, summary = classify_benchmark(get_workload(name), config)
+            results[name] = (kind, summary)
+        return results
+
+    results = benchmark.pedantic(experiment, rounds=1, iterations=1)
+
+    rows = []
+    mismatches = []
+    for name, expected in PAPER_TABLE.items():
+        kind, summary = results[name]
+        footprint_ratio = get_workload(name).footprint_pages / config.epc_pages
+        rows.append(
+            [
+                name,
+                f"{footprint_ratio:.2f}x EPC",
+                f"{summary.stream_coverage:.2f}",
+                kind.value,
+                "OK" if kind is expected else f"paper: {expected.value}",
+            ]
+        )
+        if kind is not expected:
+            mismatches.append(name)
+    table = format_table(
+        ["benchmark", "footprint", "stream cov.", "classification", "vs paper"],
+        rows,
+        title="Table 1: classification of benchmarks",
+    )
+    report("table1_classification", table)
+
+    assert not mismatches, f"misclassified: {mismatches}"

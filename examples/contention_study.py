@@ -1,0 +1,65 @@
+#!/usr/bin/env python
+"""EPC contention between enclaves (paper Section 5.6, made runnable).
+
+The paper's discussion: EPC sharing keeps the total EPC fixed, each
+enclave receives a smaller effective portion, contention becomes "a
+serious issue", and fairness is future work.  This example runs a
+streaming enclave (lbm) against an irregular one (deepsjeng) on one
+shared EPC and shows all of it — including the fairness problem the
+paper defers: preloading helps its own enclave while *exporting* wait
+time to the neighbour through the exclusive page-load channel.
+
+Run:  python examples/contention_study.py
+"""
+
+from repro import SimConfig, build_workload, simulate, simulate_shared
+from repro.analysis.report import format_table
+
+SCALE = 16
+PAIR = ("lbm", "deepsjeng")
+
+
+def main() -> None:
+    config = SimConfig.scaled(SCALE)
+    workloads = [build_workload(name, scale=SCALE) for name in PAIR]
+
+    solo = {wl.name: simulate(wl, config, "baseline") for wl in workloads}
+    shared_base = simulate_shared(workloads, config, ["baseline", "baseline"])
+    lbm_dfp = simulate_shared(workloads, config, ["dfp-stop", "baseline"])
+    both = simulate_shared(workloads, config, ["dfp-stop", "sip"])
+
+    def rows_for(label, results):
+        rows = []
+        for i, name in enumerate(PAIR):
+            result = results[i]
+            rows.append(
+                [
+                    f"{name} [{result.scheme}]",
+                    label,
+                    f"{result.total_cycles / solo[name].total_cycles:.2f}x",
+                    f"{result.stats.faults:,}",
+                    f"{result.stats.time.overhead / 1e6:,.0f}M",
+                ]
+            )
+        return rows
+
+    table = format_table(
+        ["enclave", "configuration", "vs solo", "faults", "non-compute"],
+        rows_for("shared, no preloading", shared_base)
+        + rows_for("shared, lbm runs DFP", lbm_dfp)
+        + rows_for("shared, both schemes", both),
+        title=f"EPC contention study (scale {SCALE}, shared {config.epc_pages:,}-page EPC)",
+    )
+    print(table)
+    print()
+    print("Reading the table:")
+    print(" * row pair 1: frame contention alone slows both enclaves;")
+    print(" * row pair 2: DFP restores lbm almost to its solo time — but its")
+    print("   bursts monopolize the exclusive load channel and deepsjeng's")
+    print("   waits explode (the fairness problem Section 5.6 defers);")
+    print(" * row pair 3: deepsjeng's SIP removes most of its faults, yet")
+    print("   each remaining load still queues behind the streamer.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,104 @@
+#!/usr/bin/env python
+"""Bring your own workload: model, classify, tune, decide.
+
+The library is not limited to the paper's benchmarks — any page-level
+access behaviour can be assembled from the synthetic generators.  This
+example models a hypothetical key-value store inside an enclave:
+
+* a log segment written sequentially (stream),
+* a hash index probed irregularly with a hot head (Zipf),
+* periodic compaction scans.
+
+It then runs the paper's decision pipeline on it: classify the
+behaviour (Table 1 style), sweep LOADLENGTH for the DFP side
+(Figure 7 style), compile a SIP plan, and report which scheme this
+application should ship with.
+
+Run:  python examples/custom_workload.py
+"""
+
+from repro import SimConfig, improvement_pct, prepare_sip_plan, simulate
+from repro.analysis.patterns import classify_benchmark
+from repro.analysis.report import format_table, render_series
+from repro.workloads.base import SyntheticWorkload
+from repro.workloads.synthetic import (
+    interleave_phases,
+    sequential,
+    uniform_random,
+    zipf_random,
+)
+
+SCALE = 16
+EPC_FULL = 24_576
+
+
+def make_kv_store() -> SyntheticWorkload:
+    epc = EPC_FULL // SCALE
+    log_pages = int(epc * 1.2)
+    index_pages = int(epc * 0.8)
+    footprint = log_pages + index_pages
+    instructions = {
+        0: "append(): log segment write",
+        1: "get(): index probe (hot head)",
+        2: "get(): index probe (cold chain)",
+        3: "compact(): segment scan",
+    }
+    body = interleave_phases(
+        [
+            sequential(0, 0, log_pages, compute=4_000, jitter=600, passes=2, salt=1),
+            zipf_random(
+                [1], log_pages, log_pages + index_pages // 2, 24_000,
+                alpha=1.1, compute=4_000, jitter=600, salt=2,
+            ),
+            uniform_random(
+                [2], log_pages + index_pages // 2, footprint, 3_000,
+                compute=4_000, jitter=600, run_length=(1, 2),
+                multi_run_prob=0.2, salt=3,
+            ),
+        ],
+        chunk=[2, 8, 1],
+        salt=4,
+    )
+    compaction = sequential(
+        3, 0, log_pages, compute=3_000, jitter=500, passes=1, salt=5
+    )
+    return SyntheticWorkload("kv-store", footprint, instructions, [body, compaction])
+
+
+def main() -> None:
+    config = SimConfig.scaled(SCALE)
+    workload = make_kv_store()
+
+    kind, summary = classify_benchmark(workload, config)
+    print(f"workload:        {workload.name}")
+    print(f"classification:  {kind.value}")
+    print(f"stream coverage: {summary.stream_coverage:.2f}")
+
+    # Figure 7-style LOADLENGTH sweep.
+    base = simulate(workload, config, "baseline")
+    sweep = []
+    for load_length in (1, 2, 4, 8, 16):
+        result = simulate(
+            workload, config.replace(load_length=load_length), "dfp-stop"
+        )
+        sweep.append((load_length, result.total_cycles / base.total_cycles))
+    print()
+    print(render_series({"dfp-stop": sweep},
+                        title="LOADLENGTH sweep (normalized time)"))
+
+    # SIP plan and the final scheme comparison.
+    plan = prepare_sip_plan(workload, config)
+    print(f"\nSIP pass: {plan.instrumentation_points} instrumentation points")
+    rows = []
+    for scheme in ("dfp-stop", "sip", "hybrid"):
+        result = simulate(workload, config, scheme, sip_plan=plan)
+        rows.append([scheme, f"{improvement_pct(result, base):+.1f}%"])
+    print()
+    print(format_table(["scheme", "improvement"], rows,
+                       title="scheme comparison for kv-store"))
+    best = max(rows, key=lambda r: float(r[1].rstrip("%")))
+    print(f"\nrecommendation: ship with {best[0]} ({best[1]}).")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,66 @@
+#!/usr/bin/env python
+"""Quickstart: one benchmark, all five schemes.
+
+Builds the ``lbm`` workload model (a stencil code with a footprint 3x
+the usable EPC), runs it under every scheme the paper evaluates, and
+prints the normalized results — the 60-second tour of the library.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import (
+    SimConfig,
+    build_workload,
+    compare_schemes,
+    improvement_pct,
+)
+from repro.analysis.report import format_table
+
+#: Scale the 96 MB EPC (and the workload footprints) down 16x so the
+#: whole example runs in seconds; all results are normalized, so the
+#: relative behaviour matches the full-scale system.
+SCALE = 16
+
+
+def main() -> None:
+    config = SimConfig.scaled(SCALE)
+    workload = build_workload("lbm", scale=SCALE)
+
+    print(f"workload:  {workload.name}, {workload.footprint_pages:,} pages")
+    print(f"EPC:       {config.epc_pages:,} pages "
+          f"({workload.footprint_pages / config.epc_pages:.1f}x oversubscribed)")
+    print("running baseline, DFP, DFP-stop, SIP and hybrid ...\n")
+
+    results = compare_schemes(
+        workload, config, ["baseline", "dfp", "dfp-stop", "sip", "hybrid"]
+    )
+    base = results["baseline"]
+
+    rows = []
+    for name, result in results.items():
+        rows.append(
+            [
+                name,
+                f"{result.total_cycles:,}",
+                f"{result.total_cycles / base.total_cycles:.3f}",
+                f"{improvement_pct(result, base):+.1f}%",
+                f"{result.stats.faults:,}",
+                f"{result.stats.preloads_completed:,}",
+                f"{result.stats.sip_loads:,}",
+            ]
+        )
+    print(
+        format_table(
+            ["scheme", "cycles", "normalized", "improvement", "faults",
+             "preloads", "SIP loads"],
+            rows,
+        )
+    )
+    print()
+    print("lbm is stream-dominated: DFP eliminates most faults by riding")
+    print("the multi-stream predictor; SIP finds nothing to instrument")
+    print("(its one boundary-handling site is below the 5% threshold).")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,11 @@
+"""Legacy setuptools shim.
+
+Kept so ``pip install -e .`` works on environments without the
+``wheel`` package (PEP 660 editable builds need it; the legacy
+``setup.py develop`` path does not).  All metadata lives in
+``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,36 @@
+"""Analysis helpers: access-pattern characterization and reporting.
+
+* :mod:`repro.analysis.patterns` — page-access pattern detection and
+  the curve-fitting characterization used for Figure 3 and Table 1.
+* :mod:`repro.analysis.metrics` — aggregate metrics over run results.
+* :mod:`repro.analysis.report` — plain-text tables and ASCII charts in
+  the shape of the paper's figures.
+"""
+
+from repro.analysis.patterns import (
+    PatternKind,
+    PatternSummary,
+    characterize_trace,
+    characterize_workload,
+    classify_benchmark,
+)
+from repro.analysis.metrics import (
+    geomean_normalized,
+    mean_improvement,
+    summarize_results,
+)
+from repro.analysis.report import ascii_bar_chart, format_table, render_series
+
+__all__ = [
+    "PatternKind",
+    "PatternSummary",
+    "characterize_trace",
+    "characterize_workload",
+    "classify_benchmark",
+    "geomean_normalized",
+    "mean_improvement",
+    "summarize_results",
+    "ascii_bar_chart",
+    "format_table",
+    "render_series",
+]

@@ -1,0 +1,67 @@
+"""Aggregate metrics over run results.
+
+The paper reports arithmetic-mean percentage improvements over its
+benchmark groups (e.g. "on average, DFP achieves 11.4% for the
+regular benchmarks"); geometric means of normalized times are also
+provided since they are the standard for ratio summaries.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Iterable, List, Mapping, Tuple
+
+from repro.errors import SimulationError
+from repro.sim.results import RunResult, improvement_pct, normalized_time
+
+__all__ = ["mean_improvement", "geomean_normalized", "summarize_results"]
+
+
+def mean_improvement(
+    pairs: Iterable[Tuple[RunResult, RunResult]],
+) -> float:
+    """Arithmetic mean of per-benchmark improvements (paper's metric).
+
+    ``pairs`` yields ``(result, baseline)`` tuples.
+    """
+    values = [improvement_pct(result, base) for result, base in pairs]
+    if not values:
+        raise SimulationError("mean_improvement needs at least one pair")
+    return sum(values) / len(values)
+
+
+def geomean_normalized(
+    pairs: Iterable[Tuple[RunResult, RunResult]],
+) -> float:
+    """Geometric mean of normalized execution times."""
+    logs: List[float] = []
+    for result, base in pairs:
+        logs.append(math.log(normalized_time(result, base)))
+    if not logs:
+        raise SimulationError("geomean_normalized needs at least one pair")
+    return math.exp(sum(logs) / len(logs))
+
+
+def summarize_results(
+    per_workload: Mapping[str, Mapping[str, RunResult]],
+    *,
+    baseline: str = "baseline",
+) -> Dict[str, Dict[str, float]]:
+    """Normalize every scheme against the baseline, per workload.
+
+    Input: ``{workload: {scheme: result}}``.
+    Output: ``{workload: {scheme: normalized_time}}`` — exactly the
+    data behind the paper's normalized-execution-time bar charts.
+    """
+    table: Dict[str, Dict[str, float]] = {}
+    for workload, by_scheme in per_workload.items():
+        if baseline not in by_scheme:
+            raise SimulationError(
+                f"workload {workload!r} has no {baseline!r} run to normalize by"
+            )
+        base = by_scheme[baseline]
+        table[workload] = {
+            scheme: normalized_time(result, base)
+            for scheme, result in by_scheme.items()
+        }
+    return table

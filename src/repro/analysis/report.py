@@ -1,0 +1,118 @@
+"""Plain-text rendering of paper-style tables and charts.
+
+Every benchmark target prints what the corresponding paper table or
+figure shows: rows of a table, or series of (x, y) points rendered as
+an ASCII bar/line chart.  Keeping rendering here (rather than in the
+benches) makes the examples reusable and the benches short.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Mapping, Sequence, Tuple
+
+from repro.errors import SimulationError
+
+__all__ = ["format_table", "ascii_bar_chart", "render_series"]
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[object]],
+    *,
+    title: str = "",
+) -> str:
+    """Render an aligned plain-text table."""
+    str_rows: List[List[str]] = [[_cell(v) for v in row] for row in rows]
+    for row in str_rows:
+        if len(row) != len(headers):
+            raise SimulationError(
+                f"row has {len(row)} cells but table has {len(headers)} columns"
+            )
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.ljust(widths[i]) for i, h in enumerate(headers)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in str_rows:
+        lines.append("  ".join(cell.ljust(widths[i]) for i, cell in enumerate(row)))
+    return "\n".join(lines)
+
+
+def _cell(value: object) -> str:
+    if isinstance(value, float):
+        return f"{value:.3f}"
+    return str(value)
+
+
+def ascii_bar_chart(
+    entries: Mapping[str, float],
+    *,
+    title: str = "",
+    width: int = 48,
+    reference: "float | None" = None,
+) -> str:
+    """Horizontal bar chart of label → value.
+
+    With ``reference`` set (e.g. 1.0 for normalized times), a marker
+    column shows where the reference falls so above/below is readable
+    at a glance.
+    """
+    if not entries:
+        raise SimulationError("cannot chart an empty mapping")
+    if width <= 0:
+        raise SimulationError(f"width must be positive, got {width}")
+    max_value = max(max(entries.values()), reference or 0.0)
+    if max_value <= 0:
+        max_value = 1.0
+    label_w = max(len(k) for k in entries)
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    for label, value in entries.items():
+        bar = "#" * max(0, round(value / max_value * width))
+        line = f"{label.ljust(label_w)} |{bar.ljust(width)}| {value:.3f}"
+        if reference is not None:
+            mark = round(reference / max_value * width)
+            chars = list(line)
+            pos = label_w + 2 + mark
+            if 0 <= pos < len(chars) and chars[pos] not in "|":
+                chars[pos] = "+" if chars[pos] == "#" else "."
+            line = "".join(chars)
+        lines.append(line)
+    return "\n".join(lines)
+
+
+def render_series(
+    series: Mapping[str, Sequence[Tuple[object, float]]],
+    *,
+    title: str = "",
+    value_format: str = "{:.3f}",
+) -> str:
+    """Render named (x, y) series as an aligned matrix.
+
+    All series must share the same x values (the sweep labels); the
+    output is one row per x with one column per series — the exact
+    data grid behind a line plot like Figure 6 or Figure 7.
+    """
+    if not series:
+        raise SimulationError("cannot render an empty series mapping")
+    names = list(series)
+    xs = [x for x, _y in series[names[0]]]
+    for name in names[1:]:
+        other = [x for x, _y in series[name]]
+        if other != xs:
+            raise SimulationError(
+                f"series {name!r} has different x values than {names[0]!r}"
+            )
+    headers = ["x"] + names
+    rows: List[List[object]] = []
+    for i, x in enumerate(xs):
+        row: List[object] = [x]
+        for name in names:
+            row.append(value_format.format(series[name][i][1]))
+        rows.append(row)
+    return format_table(headers, rows, title=title)

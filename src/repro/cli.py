@@ -1,0 +1,287 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Thin, scriptable access to the library's main flows:
+
+* ``list`` — available workload models and their paper groupings;
+* ``run`` — one workload under one scheme, with the cycle breakdown;
+* ``compare`` — several schemes on one workload, normalized;
+* ``profile`` — the SIP profiling run and instrumentation plan;
+* ``classify`` — the Table 1 classification of the models;
+* ``sweep`` — a one-parameter sweep (e.g. LOADLENGTH, Figure 7 style).
+
+Every command accepts ``--scale`` (default 16): the EPC and workload
+footprints shrink together, preserving normalized results (DESIGN.md
+§6).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional, Sequence
+
+from repro.analysis.metrics import summarize_results
+from repro.analysis.patterns import classify_benchmark
+from repro.analysis.report import format_table, render_series
+from repro.core.config import SimConfig
+from repro.core.profiler import profile_workload
+from repro.core.instrumentation import build_sip_plan
+from repro.core.schemes import SCHEME_NAMES
+from repro.errors import ReproError
+from repro.sim.engine import simulate
+from repro.sim.sweep import compare_schemes
+from repro.workloads.registry import (
+    LARGE_IRREGULAR,
+    LARGE_REGULAR,
+    SMALL_WORKING_SET,
+    WORKLOAD_NAMES,
+    build_workload,
+)
+
+__all__ = ["main", "build_parser"]
+
+#: Config fields the sweep command may vary.
+SWEEPABLE = (
+    "load_length",
+    "stream_list_length",
+    "sip_threshold",
+    "valve_slack",
+    "valve_ratio",
+    "epc_pages",
+)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the argument parser (exposed for tests and docs)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Reproduction of 'Regaining Lost Seconds: Efficient Page "
+            "Preloading for SGX Enclaves' (Middleware '20)."
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def add_common(p: argparse.ArgumentParser, workload: bool = True) -> None:
+        if workload:
+            p.add_argument("workload", choices=WORKLOAD_NAMES)
+        p.add_argument("--scale", type=int, default=16,
+                       help="EPC/footprint scale factor (default 16)")
+        p.add_argument("--seed", type=int, default=0)
+        p.add_argument("--input-set", choices=("train", "ref"), default="ref")
+
+    sub.add_parser("list", help="list workload models")
+
+    p_run = sub.add_parser("run", help="run one workload under one scheme")
+    add_common(p_run)
+    p_run.add_argument("--scheme", choices=SCHEME_NAMES, default="baseline")
+
+    p_cmp = sub.add_parser("compare", help="compare schemes on one workload")
+    add_common(p_cmp)
+    p_cmp.add_argument(
+        "--schemes",
+        default="baseline,dfp,dfp-stop,sip,hybrid",
+        help="comma-separated scheme names",
+    )
+
+    p_prof = sub.add_parser("profile", help="SIP profile + instrumentation plan")
+    add_common(p_prof)
+    p_prof.add_argument("--threshold", type=float, default=None,
+                        help="irregular-ratio threshold (default: config's 5%%)")
+    p_prof.add_argument("--top", type=int, default=10,
+                        help="show the top N sites by irregular ratio")
+
+    p_cls = sub.add_parser("classify", help="Table 1 classification")
+    p_cls.add_argument("workloads", nargs="*", default=[],
+                       help="workloads (default: all)")
+    p_cls.add_argument("--scale", type=int, default=16)
+    p_cls.add_argument("--seed", type=int, default=0)
+
+    p_swp = sub.add_parser("sweep", help="sweep one config parameter")
+    add_common(p_swp)
+    p_swp.add_argument("--param", choices=SWEEPABLE, required=True)
+    p_swp.add_argument("--values", required=True,
+                       help="comma-separated parameter values")
+    p_swp.add_argument("--scheme", choices=SCHEME_NAMES, default="dfp-stop")
+    return parser
+
+
+def _config(args: argparse.Namespace) -> SimConfig:
+    return SimConfig.scaled(args.scale)
+
+
+def _cmd_list(_args: argparse.Namespace) -> int:
+    groups = (
+        ("large working set, regular", LARGE_REGULAR),
+        ("large working set, irregular", LARGE_IRREGULAR),
+        ("small working set", SMALL_WORKING_SET),
+        ("vision / synthesized", ("SIFT", "MSER", "mixed-blood", "mcf.2006")),
+    )
+    rows = [
+        [name, group] for group, names in groups for name in names
+    ]
+    print(format_table(["workload", "paper grouping"], rows))
+    return 0
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    config = _config(args)
+    workload = build_workload(args.workload, scale=args.scale)
+    result = simulate(
+        workload, config, args.scheme, seed=args.seed, input_set=args.input_set
+    )
+    print(result.describe())
+    tb = result.stats.time
+    rows = [
+        ["compute", tb.compute],
+        ["AEX", tb.aex],
+        ["ERESUME", tb.eresume],
+        ["fault/channel wait", tb.fault_wait],
+        ["SIP checks", tb.sip_check],
+        ["SIP waits", tb.sip_wait],
+        ["total", tb.total],
+    ]
+    print()
+    print(format_table(["bucket", "cycles"], rows, title="time breakdown"))
+    return 0
+
+
+def _cmd_compare(args: argparse.Namespace) -> int:
+    config = _config(args)
+    schemes = [s.strip() for s in args.schemes.split(",") if s.strip()]
+    workload = build_workload(args.workload, scale=args.scale)
+    results = compare_schemes(
+        workload, config, schemes, seed=args.seed, input_set=args.input_set
+    )
+    baseline_name = "baseline" if "baseline" in results else schemes[0]
+    table = summarize_results(
+        {args.workload: results}, baseline=baseline_name
+    )[args.workload]
+    rows = [
+        [name, f"{results[name].total_cycles:,}", f"{table[name]:.3f}",
+         f"{results[name].stats.faults:,}"]
+        for name in schemes
+    ]
+    print(
+        format_table(
+            ["scheme", "cycles", f"vs {baseline_name}", "faults"],
+            rows,
+            title=f"{args.workload} @ scale {args.scale}",
+        )
+    )
+    return 0
+
+
+def _cmd_profile(args: argparse.Namespace) -> int:
+    config = _config(args)
+    workload = build_workload(args.workload, scale=args.scale)
+    profile = profile_workload(
+        workload, config, input_set="train", seed=args.seed
+    )
+    threshold = args.threshold if args.threshold is not None else config.sip_threshold
+    plan = build_sip_plan(profile, threshold)
+    sites = sorted(
+        (p for p in profile.instructions.values() if p.total),
+        key=lambda p: p.irregular_ratio,
+        reverse=True,
+    )
+    rows = [
+        [
+            p.name,
+            p.total,
+            f"{p.irregular_ratio:.1%}",
+            "yes" if plan.is_instrumented(p.instruction) else "",
+        ]
+        for p in sites[: args.top]
+    ]
+    print(
+        format_table(
+            ["site", "accesses", "irregular", "instrumented"],
+            rows,
+            title=(
+                f"{args.workload}: {plan.instrumentation_points} "
+                f"instrumentation point(s) at threshold {threshold:.0%}"
+            ),
+        )
+    )
+    return 0
+
+
+def _cmd_classify(args: argparse.Namespace) -> int:
+    config = SimConfig.scaled(args.scale)
+    names = args.workloads or list(WORKLOAD_NAMES)
+    rows = []
+    for name in names:
+        workload = build_workload(name, scale=args.scale)
+        kind, summary = classify_benchmark(workload, config, seed=args.seed)
+        rows.append(
+            [
+                name,
+                f"{workload.footprint_pages / config.epc_pages:.2f}x",
+                f"{summary.stream_coverage:.2f}",
+                kind.value,
+            ]
+        )
+    print(
+        format_table(
+            ["workload", "footprint/EPC", "stream coverage", "classification"],
+            rows,
+            title="Table 1 style classification",
+        )
+    )
+    return 0
+
+
+def _parse_value(param: str, raw: str):
+    return float(raw) if param in ("sip_threshold", "valve_ratio") else int(raw)
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    config = _config(args)
+    values = [_parse_value(args.param, v) for v in args.values.split(",")]
+    workload = build_workload(args.workload, scale=args.scale)
+    base = simulate(
+        workload, config, "baseline", seed=args.seed, input_set=args.input_set
+    )
+    series = []
+    for value in values:
+        swept = config.replace(**{args.param: value})
+        result = simulate(
+            workload, swept, args.scheme, seed=args.seed, input_set=args.input_set
+        )
+        series.append((value, result.total_cycles / base.total_cycles))
+    print(
+        render_series(
+            {args.scheme: series},
+            title=(
+                f"{args.workload}: {args.param} sweep "
+                f"(normalized to baseline, lower is better)"
+            ),
+        )
+    )
+    return 0
+
+
+_COMMANDS = {
+    "list": _cmd_list,
+    "run": _cmd_run,
+    "compare": _cmd_compare,
+    "profile": _cmd_profile,
+    "classify": _cmd_classify,
+    "sweep": _cmd_sweep,
+}
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return _COMMANDS[args.command](args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

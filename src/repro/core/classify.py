@@ -1,0 +1,129 @@
+"""Class 1/2/3 access classification (Section 4.4).
+
+The SIP pass decides where to instrument by replaying the profiled
+access trace through the same stream machinery DFP uses at runtime
+(Algorithm 1) and classifying each access by the page it touches:
+
+* **Class 1** — the page is "on ``stream_list``", i.e. it was touched
+  recently enough that it is in the EPC with high probability.  These
+  accesses need no help.
+* **Class 2** — the page is not on the list but is the sequential
+  successor of some stream's tail.  DFP's runtime predictor captures
+  these more effectively than static instrumentation, so SIP leaves
+  them alone.
+* **Class 3** — neither: an irregular access, the kind that produces
+  an unpredictable EPC fault.  These are SIP's targets.
+
+"In the EPC with high probability" is operationalized with a recency
+window sized like the EPC itself: the classifier keeps an LRU set of
+the ``window`` most recently touched distinct pages.  Under CLOCK
+replacement the EPC contents approximate exactly that set, so the
+Class 1 test is the profiler's best static proxy for residency.
+"""
+
+from __future__ import annotations
+
+import enum
+from collections import OrderedDict
+from typing import Dict, List, Optional
+
+from repro.errors import ConfigError
+
+__all__ = ["AccessClass", "StreamClassifier"]
+
+
+class AccessClass(enum.Enum):
+    """The three access classes of Section 4.4."""
+
+    #: Recently touched page — resident with high probability.
+    CLASS1 = 1
+    #: Sequential continuation of a tracked stream — DFP territory.
+    CLASS2 = 2
+    #: Irregular access — SIP's instrumentation target.
+    CLASS3 = 3
+
+
+class StreamClassifier:
+    """Streaming classifier over a page-access trace.
+
+    Feed accesses one at a time with :meth:`classify`; the classifier
+    maintains its recency window and stream list incrementally, so a
+    full profiling run is one linear pass.
+    """
+
+    def __init__(
+        self,
+        *,
+        window: int,
+        stream_list_length: int = 30,
+        load_length: int = 4,
+    ) -> None:
+        if window <= 0:
+            raise ConfigError(f"recency window must be positive, got {window}")
+        if stream_list_length <= 0:
+            raise ConfigError(
+                f"stream_list_length must be positive, got {stream_list_length}"
+            )
+        if load_length <= 0:
+            raise ConfigError(f"load_length must be positive, got {load_length}")
+        self._window = window
+        self._stream_length = stream_list_length
+        self._match_window = load_length + 1
+        # LRU over recently touched pages (the EPC-residency proxy).
+        self._recent: "OrderedDict[int, None]" = OrderedDict()
+        # Stream tails, most recently used first.
+        self._tails: List[int] = []
+
+    @property
+    def window(self) -> int:
+        """Capacity of the recency window (pages)."""
+        return self._window
+
+    def _touch_recent(self, page: int) -> bool:
+        """Record ``page`` in the window; True if it was already there."""
+        recent = self._recent
+        if page in recent:
+            recent.move_to_end(page)
+            return True
+        recent[page] = None
+        if len(recent) > self._window:
+            recent.popitem(last=False)
+        return False
+
+    def _match_stream(self, page: int) -> Optional[int]:
+        """Index of the stream ``page`` sequentially extends, or None."""
+        for index, tail in enumerate(self._tails):
+            if 0 < page - tail <= self._match_window:
+                return index
+        return None
+
+    def classify(self, page: int) -> AccessClass:
+        """Classify one access and update the classifier state."""
+        if page < 0:
+            raise ConfigError(f"page number must be non-negative, got {page}")
+        was_recent = page in self._recent
+        index = self._match_stream(page)
+        if was_recent:
+            result = AccessClass.CLASS1
+        elif index is not None:
+            result = AccessClass.CLASS2
+        else:
+            result = AccessClass.CLASS3
+        # State updates mirror Algorithm 1: extensions move to the
+        # head; irregular accesses seed a new stream in the LRU slot.
+        if index is not None:
+            self._tails.insert(0, self._tails.pop(index))
+            self._tails[0] = page
+        elif not was_recent:
+            if len(self._tails) >= self._stream_length:
+                self._tails.pop()
+            self._tails.insert(0, page)
+        self._touch_recent(page)
+        return result
+
+    def classify_trace(self, pages: "list[int]") -> Dict[AccessClass, int]:
+        """Classify a whole trace; return per-class counts."""
+        counts = {cls: 0 for cls in AccessClass}
+        for page in pages:
+            counts[self.classify(page)] += 1
+        return counts

@@ -1,0 +1,154 @@
+"""DFP — dynamic page-fault-history based preloading (Section 3.1/4.1/4.2).
+
+The engine couples the multiple-stream predictor with the two abort
+mechanisms the paper describes:
+
+* the **in-stream abort** — when a demand fault arrives while a
+  predicted burst is still queued, the not-yet-started remainder of the
+  burst is dropped (implemented on the load channel; the engine is
+  notified for accounting);
+* the **safety valve** — the driver's service thread credits preloaded
+  pages that were actually accessed (``AccPreloadCounter``) against the
+  total preloaded (``PreloadCounter``), and the preload thread stops
+  itself permanently once
+  ``AccPreloadCounter + slack < PreloadCounter / 2``
+  (the paper's empirical formula, Section 4.2).  Figure 8 calls the
+  valve-enabled variant *DFP-stop*.
+
+The engine is OS-side state: it never touches enclave memory, which is
+why DFP adds nothing to the TCB.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from repro.core.config import SimConfig
+from repro.core.predictor import MultiStreamPredictor
+from repro.errors import ConfigError
+
+__all__ = ["DfpConfig", "DfpEngine"]
+
+
+@dataclass(frozen=True)
+class DfpConfig:
+    """Tunable parameters of the DFP engine (subset of SimConfig)."""
+
+    stream_list_length: int = 30
+    load_length: int = 4
+    valve_enabled: bool = True
+    valve_slack: int = 200_000
+    valve_ratio: float = 0.5
+    track_backward: bool = False
+
+    def __post_init__(self) -> None:
+        if self.stream_list_length <= 0:
+            raise ConfigError(
+                f"stream_list_length must be positive, got {self.stream_list_length}"
+            )
+        if self.load_length <= 0:
+            raise ConfigError(f"load_length must be positive, got {self.load_length}")
+        if self.valve_slack < 0:
+            raise ConfigError(f"valve_slack must be non-negative, got {self.valve_slack}")
+        if not 0.0 < self.valve_ratio <= 1.0:
+            raise ConfigError(
+                f"valve_ratio must be within (0, 1], got {self.valve_ratio}"
+            )
+
+    @classmethod
+    def from_sim_config(cls, config: SimConfig) -> "DfpConfig":
+        """Extract the DFP parameters from a full simulation config."""
+        return cls(
+            stream_list_length=config.stream_list_length,
+            load_length=config.load_length,
+            valve_enabled=config.valve_enabled,
+            valve_slack=config.valve_slack,
+            valve_ratio=config.valve_ratio,
+            track_backward=config.track_backward_streams,
+        )
+
+
+class DfpEngine:
+    """OS-side preloading engine: predictor + counters + valve.
+
+    ``predictor`` defaults to the paper's multiple-stream predictor;
+    any object with the same ``on_fault(npn) -> list[int]`` protocol
+    (e.g. :mod:`repro.core.alt_predictors`) can be substituted for
+    ablation studies.
+    """
+
+    def __init__(self, config: DfpConfig, *, predictor=None) -> None:
+        self._config = config
+        self.predictor = predictor or MultiStreamPredictor(
+            config.stream_list_length,
+            config.load_length,
+            track_backward=config.track_backward,
+        )
+        #: Total pages preloaded (the paper's ``PreloadCounter``).
+        self.preload_counter = 0
+        #: Preloaded pages later seen accessed (``AccPreloadCounter``).
+        self.acc_preload_counter = 0
+        #: Burst remainders dropped by the in-stream abort.
+        self.aborted_preloads = 0
+        self._stopped = False
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+
+    @property
+    def config(self) -> DfpConfig:
+        """The engine's immutable configuration."""
+        return self._config
+
+    @property
+    def active(self) -> bool:
+        """False once the safety valve has stopped the preload thread."""
+        return not self._stopped
+
+    # ------------------------------------------------------------------
+    # Fault-handler hook
+    # ------------------------------------------------------------------
+
+    def on_fault(self, npn: int) -> List[int]:
+        """Feed one fault to the predictor; return pages to preload.
+
+        Returns an empty list when the valve has fired: the fault
+        history keeps being *observed* (the handler runs regardless)
+        but no speculative work is scheduled any more.
+        """
+        burst = self.predictor.on_fault(npn)
+        if self._stopped:
+            return []
+        return burst
+
+    # ------------------------------------------------------------------
+    # Accounting hooks (driven by the driver)
+    # ------------------------------------------------------------------
+
+    def note_preload_completed(self) -> None:
+        """A speculative load finished occupying the channel."""
+        self.preload_counter += 1
+
+    def note_aborted(self, count: int) -> None:
+        """``count`` queued preloads were dropped by the in-stream abort."""
+        self.aborted_preloads += count
+
+    def credit_accessed(self, count: int) -> None:
+        """The scan thread found ``count`` preloaded pages accessed."""
+        self.acc_preload_counter += count
+
+    def check_valve(self) -> bool:
+        """Evaluate the stop formula; return True if it fired just now.
+
+        The stop is permanent, as in the prototype: the preload thread
+        exits once it is demonstrably doing more harm than good.
+        """
+        if self._stopped or not self._config.valve_enabled:
+            return False
+        threshold = self._config.valve_ratio * self.preload_counter
+        if self.acc_preload_counter + self._config.valve_slack < threshold:
+            self._stopped = True
+            return True
+        return False

@@ -1,0 +1,97 @@
+"""The SIP "compiler pass" (Sections 3.2 and 4.4).
+
+In the prototype this is an LLVM pass over C/C++ sources; here the
+"program" is a workload's set of named memory instructions, and the
+pass is the decision procedure the paper actually evaluates:
+
+1. profile the program with training input (:mod:`repro.core.profiler`);
+2. for each instruction, compute the irregular-access (Class 3) ratio;
+3. instrument every instruction whose ratio clears the threshold
+   (Figure 9 finds ~5% to be the sweet spot) by attaching the
+   23-line notification stub (``BIT_MAP_CHECK`` + ``page_loadin``).
+
+Class 2-dominant instructions are deliberately left to DFP, and
+Class 1-dominant instructions are not worth a check — both rules fall
+out of the single ratio test, because a ratio below the threshold
+means the instruction is dominated by Class 1 and/or Class 2 accesses.
+
+The produced :class:`SipPlan` is the compile-time artifact: the set of
+instrumented instruction ids plus the per-instruction profile evidence,
+which also feeds the TCB study of paper Table 2.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet
+
+from repro.core.profiler import InstructionProfile, WorkloadProfile
+from repro.errors import InstrumentationError
+
+__all__ = ["SipPlan", "build_sip_plan"]
+
+
+@dataclass(frozen=True)
+class SipPlan:
+    """Compile-time output of the SIP pass for one workload."""
+
+    workload: str
+    threshold: float
+    #: Ids of the instructions that received a preload notification.
+    instrumented: FrozenSet[int]
+    #: The profiles the decision was based on (for reports and tests).
+    evidence: Dict[int, InstructionProfile] = field(default_factory=dict)
+
+    @property
+    def instrumentation_points(self) -> int:
+        """Number of notification sites inserted (paper Table 2)."""
+        return len(self.instrumented)
+
+    def is_instrumented(self, instruction: int) -> bool:
+        """True if ``instruction`` carries a preload notification."""
+        return instruction in self.instrumented
+
+    def describe(self) -> str:
+        """Human-readable summary of the plan."""
+        lines = [
+            f"SIP plan for {self.workload!r}: "
+            f"{self.instrumentation_points} instrumentation point(s) "
+            f"at threshold {self.threshold:.1%}"
+        ]
+        for instr in sorted(self.instrumented):
+            prof = self.evidence.get(instr)
+            if prof is None:
+                lines.append(f"  instr {instr}")
+            else:
+                lines.append(
+                    f"  instr {instr} ({prof.name}): "
+                    f"irregular {prof.irregular_ratio:.1%} "
+                    f"of {prof.total} accesses"
+                )
+        return "\n".join(lines)
+
+
+def build_sip_plan(profile: WorkloadProfile, threshold: float) -> SipPlan:
+    """Run the instrumentation decision over a workload profile.
+
+    An instruction is instrumented when its profiled irregular-access
+    ratio is at least ``threshold``.  Instructions that never executed
+    during profiling are left untouched (there is no evidence either
+    way, and an unexecuted site costs nothing to skip — the paper's
+    conservative stance).
+    """
+    if not 0.0 <= threshold <= 1.0:
+        raise InstrumentationError(
+            f"threshold must be within [0, 1], got {threshold}"
+        )
+    instrumented = frozenset(
+        instr
+        for instr, prof in profile.instructions.items()
+        if prof.total > 0 and prof.irregular_ratio >= threshold
+    )
+    return SipPlan(
+        workload=profile.workload,
+        threshold=threshold,
+        instrumented=instrumented,
+        evidence=dict(profile.instructions),
+    )

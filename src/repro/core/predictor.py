@@ -1,0 +1,157 @@
+"""The multiple-stream predictor (paper Algorithm 1).
+
+DFP's predictor is modelled on the Linux VFS read-ahead framework: it
+maintains a fixed-length LRU list of *streams*, each summarized by its
+tail page number (``stpn`` — stream tail page number).  On every page
+fault the OS extracts the new page number (``npn``) and walks the list:
+
+* if ``npn`` is *sequential to* some stream's tail, that stream is
+  extended (``stpn`` := ``npn``), moved to the list head, and the next
+  ``LOADLENGTH`` pages of the stream are scheduled for asynchronous
+  preloading;
+* otherwise the least-recently-used entry is recycled to start a new
+  stream at ``npn`` (no preloading yet — a single fault is not a
+  pattern).
+
+"Sequential to" is a windowed test, exactly as in read-ahead: because a
+healthy stream faults only once per preloaded burst, the next fault of
+the stream lands up to ``LOADLENGTH + 1`` pages beyond the recorded
+tail, not strictly at ``stpn + 1``.  The window makes the detector
+self-sustaining across bursts.
+
+The predictor optionally tracks *descending* streams as well (Algorithm
+1 carries a ``direction`` operand); the paper's text only demonstrates
+ascending streams, so backward tracking defaults to off.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from repro.errors import ConfigError
+
+__all__ = ["MultiStreamPredictor", "StreamEntry"]
+
+
+@dataclass
+class StreamEntry:
+    """One tracked fault stream.
+
+    ``stpn`` is the page of the stream's most recent fault; ``direction``
+    is +1 for ascending streams, -1 for descending ones.  ``hits``
+    counts how many times the stream was extended (useful for tests and
+    for the ablation benches).
+    """
+
+    stpn: int
+    direction: int = 1
+    hits: int = 0
+
+
+class MultiStreamPredictor:
+    """LRU list of fault streams with windowed sequential matching."""
+
+    def __init__(
+        self,
+        length: int,
+        load_length: int,
+        *,
+        track_backward: bool = False,
+    ) -> None:
+        if length <= 0:
+            raise ConfigError(f"stream list length must be positive, got {length}")
+        if load_length <= 0:
+            raise ConfigError(f"load length must be positive, got {load_length}")
+        self._length = length
+        self._load_length = load_length
+        self._track_backward = track_backward
+        # Head of the list (index 0) is the most recently used entry.
+        self._streams: List[StreamEntry] = []
+        # Lifetime counters.
+        self.stream_hits = 0
+        self.stream_misses = 0
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+
+    @property
+    def length(self) -> int:
+        """Configured capacity of the stream list."""
+        return self._length
+
+    @property
+    def load_length(self) -> int:
+        """Pages scheduled for preload per stream extension."""
+        return self._load_length
+
+    @property
+    def streams(self) -> Tuple[StreamEntry, ...]:
+        """Snapshot of the stream list, most recently used first."""
+        return tuple(self._streams)
+
+    def _match(self, npn: int) -> Optional[int]:
+        """Return the index of the stream ``npn`` extends, or None.
+
+        A fault extends an ascending stream when it lands within the
+        window ``(stpn, stpn + LOADLENGTH + 1]`` — i.e. it is the next
+        fault a stream that had its burst preloaded would produce.
+        Descending streams mirror the window.
+        """
+        window = self._load_length + 1
+        for index, entry in enumerate(self._streams):
+            delta = (npn - entry.stpn) * entry.direction
+            if 0 < delta <= window:
+                return index
+        return None
+
+    # ------------------------------------------------------------------
+    # Algorithm 1
+    # ------------------------------------------------------------------
+
+    def on_fault(self, npn: int) -> List[int]:
+        """Process one fault; return the pages to preload (may be empty).
+
+        Implements Algorithm 1: the returned ``list_to_load`` holds
+        ``LOADLENGTH`` pages continuing the matched stream beyond
+        ``npn`` (the faulting page itself is being demand-loaded by the
+        handler and is never included).
+        """
+        if npn < 0:
+            raise ConfigError(f"page number must be non-negative, got {npn}")
+        index = self._match(npn)
+        if index is None and self._track_backward:
+            # A stream that has never been extended has an unconfirmed
+            # direction: a fault just *below* such a tail reveals a
+            # descending stream.  Flip it and match.
+            window = self._load_length + 1
+            for i, entry in enumerate(self._streams):
+                if entry.hits == 0 and 0 < entry.stpn - npn <= window:
+                    entry.direction = -1
+                    index = i
+                    break
+        if index is not None:
+            entry = self._streams.pop(index)
+            entry.stpn = npn
+            entry.hits += 1
+            self._streams.insert(0, entry)
+            self.stream_hits += 1
+            step = entry.direction
+            burst = [npn + step * k for k in range(1, self._load_length + 1)]
+            return [page for page in burst if page >= 0]
+
+        self.stream_misses += 1
+        if len(self._streams) >= self._length:
+            recycled = self._streams.pop()
+            recycled.stpn = npn
+            recycled.direction = 1
+            recycled.hits = 0
+            self._streams.insert(0, recycled)
+        else:
+            self._streams.insert(0, StreamEntry(stpn=npn))
+        return []
+
+    def reset(self) -> None:
+        """Forget all streams (used between profiling phases)."""
+        self._streams.clear()

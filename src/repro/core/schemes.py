@@ -1,0 +1,122 @@
+"""Scheme selection: baseline, DFP, DFP-stop, SIP, hybrid.
+
+The paper evaluates five execution configurations; :func:`make_scheme`
+builds each one from a :class:`~repro.core.config.SimConfig` (and, for
+the SIP-bearing ones, a compiled :class:`~repro.core.instrumentation.SipPlan`):
+
+================  ====================================================
+``baseline``      vanilla SGX paging, no preloading
+``dfp``           DFP without the safety valve (Figure 8's "DFP")
+``dfp-stop``      DFP with the safety valve (Figure 8's "DFP-stop";
+                  this is the default DFP configuration elsewhere)
+``sip``           SIP only
+``hybrid``        SIP + DFP-stop together (Section 5.4)
+================  ====================================================
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Optional, Tuple
+
+from repro.core.config import SimConfig
+from repro.core.dfp import DfpConfig, DfpEngine
+from repro.core.instrumentation import SipPlan
+from repro.core.sip import SipRuntime
+from repro.errors import ConfigError
+
+__all__ = ["Scheme", "make_scheme", "SCHEME_NAMES"]
+
+SCHEME_NAMES: Tuple[str, ...] = ("baseline", "dfp", "dfp-stop", "sip", "hybrid")
+
+
+@dataclass(frozen=True)
+class Scheme:
+    """One execution configuration.
+
+    Immutable description; the per-run mutable objects (the DFP engine
+    and SIP runtime) are built fresh by :meth:`build_dfp` /
+    :meth:`build_sip` for every simulation so runs never share state.
+    """
+
+    name: str
+    dfp_enabled: bool
+    sip_enabled: bool
+    dfp_config: Optional[DfpConfig] = None
+    sip_plan: Optional[SipPlan] = None
+    #: Optional factory for a non-default predictor (the ablation
+    #: studies swap in :mod:`repro.core.alt_predictors` here); must
+    #: return a fresh predictor per call.
+    predictor_factory: Optional[Callable[[], object]] = field(
+        default=None, compare=False
+    )
+
+    def __post_init__(self) -> None:
+        if self.dfp_enabled and self.dfp_config is None:
+            raise ConfigError(f"scheme {self.name!r} enables DFP without a config")
+        if self.sip_enabled and self.sip_plan is None:
+            raise ConfigError(f"scheme {self.name!r} enables SIP without a plan")
+
+    def build_dfp(self) -> Optional[DfpEngine]:
+        """Fresh DFP engine for one run (None when DFP is off)."""
+        if not self.dfp_enabled:
+            return None
+        assert self.dfp_config is not None
+        predictor = self.predictor_factory() if self.predictor_factory else None
+        return DfpEngine(self.dfp_config, predictor=predictor)
+
+    def build_sip(self) -> Optional[SipRuntime]:
+        """Fresh SIP runtime for one run (None when SIP is off)."""
+        if not self.sip_enabled:
+            return None
+        assert self.sip_plan is not None
+        return SipRuntime(self.sip_plan)
+
+
+def make_scheme(
+    name: str,
+    config: SimConfig,
+    *,
+    sip_plan: Optional[SipPlan] = None,
+) -> Scheme:
+    """Build one of the paper's five schemes by name.
+
+    ``sip_plan`` is required for ``sip`` and ``hybrid`` — compile one
+    with :func:`repro.core.profiler.profile_workload` followed by
+    :func:`repro.core.instrumentation.build_sip_plan`.
+    """
+    if name not in SCHEME_NAMES:
+        raise ConfigError(
+            f"unknown scheme {name!r}; expected one of {', '.join(SCHEME_NAMES)}"
+        )
+    needs_sip = name in ("sip", "hybrid")
+    if needs_sip and sip_plan is None:
+        raise ConfigError(f"scheme {name!r} requires a SIP plan")
+    dfp_config: Optional[DfpConfig] = None
+    if name in ("dfp", "dfp-stop", "hybrid"):
+        base = DfpConfig.from_sim_config(config)
+        if name == "dfp":
+            dfp_config = DfpConfig(
+                stream_list_length=base.stream_list_length,
+                load_length=base.load_length,
+                valve_enabled=False,
+                valve_slack=base.valve_slack,
+                valve_ratio=base.valve_ratio,
+                track_backward=base.track_backward,
+            )
+        else:
+            dfp_config = DfpConfig(
+                stream_list_length=base.stream_list_length,
+                load_length=base.load_length,
+                valve_enabled=True,
+                valve_slack=base.valve_slack,
+                valve_ratio=base.valve_ratio,
+                track_backward=base.track_backward,
+            )
+    return Scheme(
+        name=name,
+        dfp_enabled=dfp_config is not None,
+        sip_enabled=needs_sip,
+        dfp_config=dfp_config,
+        sip_plan=sip_plan if needs_sip else None,
+    )

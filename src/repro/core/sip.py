@@ -1,0 +1,58 @@
+"""The SIP runtime — the enclave-side half of the scheme (Section 4.3).
+
+At run time the instrumented sites execute the notification stub shown
+in paper Figure 5::
+
+    address = &array[st];
+    if (BIT_MAP_CHECK == true)
+        page_loadin_function(address);
+
+The stub's mechanics (bitmap read, synchronous kernel-thread load,
+notification round trip) are performed by
+:meth:`repro.enclave.driver.SgxDriver.sip_prefetch`; this class is the
+thin enclave-resident dispatcher that decides, per executed
+instruction, whether the stub runs at all, and keeps the per-site hit
+counters the evaluation uses.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Dict
+
+from repro.core.instrumentation import SipPlan
+
+__all__ = ["SipRuntime"]
+
+
+class SipRuntime:
+    """Per-run dispatcher for a compiled :class:`SipPlan`."""
+
+    def __init__(self, plan: SipPlan) -> None:
+        self._plan = plan
+        # A frozenset membership test is the hot-path operation; keep a
+        # direct reference so the engine's inner loop stays cheap.
+        self.instrumented = plan.instrumented
+        self._site_executions: Counter = Counter()
+
+    @property
+    def plan(self) -> SipPlan:
+        """The compile-time plan this runtime executes."""
+        return self._plan
+
+    def should_notify(self, instruction: int) -> bool:
+        """True when ``instruction`` carries a preload notification."""
+        if instruction in self.instrumented:
+            self._site_executions[instruction] += 1
+            return True
+        return False
+
+    @property
+    def site_executions(self) -> Dict[int, int]:
+        """How many times each instrumented site executed this run."""
+        return dict(self._site_executions)
+
+    @property
+    def total_notifications(self) -> int:
+        """Total stub executions this run (checks, not loads)."""
+        return sum(self._site_executions.values())

@@ -1,0 +1,42 @@
+"""SGX enclave paging substrate.
+
+This package re-implements, as a cycle-accounted simulation, the pieces
+of the SGX stack that the paper's prototype touches:
+
+* :mod:`repro.enclave.epc` — the Enclave Page Cache: a fixed pool of
+  4 KiB frames with per-page accessed/preloaded bits.
+* :mod:`repro.enclave.page_table` — the OS-visible page table view and
+  the residency bitmap SIP shares between the enclave and the OS.
+* :mod:`repro.enclave.eviction` — CLOCK (second chance) replacement, as
+  used by Intel's Linux SGX driver, plus the periodic service thread
+  that scans and clears access bits.
+* :mod:`repro.enclave.loader` — the exclusive, non-preemptible EPC page
+  load channel (one ELDU/ELDB at a time, ~44,000 cycles each).
+* :mod:`repro.enclave.enclave` — the enclave object: ELRANGE plus
+  AEX/ERESUME accounting.
+* :mod:`repro.enclave.driver` — the SGX driver: the enclave page-fault
+  handler, with hooks where DFP and SIP plug in.
+"""
+
+from repro.enclave.epc import Epc, EpcPageState
+from repro.enclave.page_table import SharedBitmap
+from repro.enclave.eviction import ClockEvictor
+from repro.enclave.loader import LoadChannel, LoadKind
+from repro.enclave.enclave import Enclave
+from repro.enclave.platform import SharedPlatform
+from repro.enclave.driver import SgxDriver
+from repro.enclave.stats import RunStats, TimeBreakdown
+
+__all__ = [
+    "Epc",
+    "EpcPageState",
+    "SharedBitmap",
+    "ClockEvictor",
+    "LoadChannel",
+    "LoadKind",
+    "Enclave",
+    "SharedPlatform",
+    "SgxDriver",
+    "RunStats",
+    "TimeBreakdown",
+]

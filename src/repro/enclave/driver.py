@@ -1,0 +1,308 @@
+"""The SGX driver: enclave page-fault handling plus preloading hooks.
+
+This is the simulation counterpart of the paper's modified Intel Linux
+SGX driver.  Physical resources (EPC, CLOCK evictor, load channel,
+service-thread schedule) live on a
+:class:`~repro.enclave.platform.SharedPlatform` — private to this
+driver in the common single-enclave case, shared between drivers in
+the Section 5.6 multi-enclave configuration.  The driver exposes the
+two entry points the engine drives:
+
+* :meth:`SgxDriver.access` — one enclave page touch.  Resident pages
+  just set their accessed bit; non-resident pages take the full demand
+  fault path (AEX → wait on the non-preemptible channel → ELDU →
+  ERESUME) with the DFP hooks of Section 4.1/4.2 applied.
+* :meth:`SgxDriver.sip_prefetch` — one SIP preloading notification
+  (``BIT_MAP_CHECK`` + ``page_loadin_function``), Section 4.3: when the
+  page is absent it is loaded synchronously *without* leaving the
+  enclave, so the AEX/ERESUME pair is saved at the cost of the
+  notification round trip.
+
+Abort semantics (Section 4.1's in-stream abort): each predicted burst
+is queued under its own tag.  A demand fault that lands on a page still
+*queued* in some burst is proof the preloader fell behind or predicted
+wrong — that burst's remainder is dropped and the page is demand
+loaded.  Faults unrelated to any queued burst leave other streams'
+bursts alone; with up to ``stream_list_length`` concurrent streams,
+one stream's miss must not cancel another stream's correct work.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.core.config import SimConfig
+from repro.core.dfp import DfpEngine
+from repro.enclave.enclave import Enclave
+from repro.enclave.events import EventKind, TimelineEvent
+from repro.enclave.loader import LoadKind
+from repro.enclave.page_table import SharedBitmap
+from repro.enclave.platform import SharedPlatform
+from repro.enclave.stats import RunStats
+from repro.errors import SimulationError
+
+__all__ = ["SgxDriver"]
+
+
+class SgxDriver:
+    """Untrusted-OS side of the simulated SGX stack, for one enclave."""
+
+    def __init__(
+        self,
+        config: SimConfig,
+        enclave: Enclave,
+        *,
+        dfp: Optional[DfpEngine] = None,
+        record_events: bool = False,
+        platform: Optional[SharedPlatform] = None,
+    ) -> None:
+        self._config = config
+        self._cost = config.cost
+        self._enclave = enclave
+        self._dfp = dfp
+        self._platform = platform if platform is not None else SharedPlatform(config)
+        self._platform.register(self)
+        self.epc = self._platform.epc
+        self.evictor = self._platform.evictor
+        self.channel = self._platform.channel
+        self.bitmap = SharedBitmap(
+            self.epc, enclave.elrange_pages, base_page=enclave.base_page
+        )
+        self.stats = RunStats()
+        self._record = record_events
+        self.events: List[TimelineEvent] = []
+        self._last_now = 0
+
+    @property
+    def enclave(self) -> Enclave:
+        """The enclave this driver serves."""
+        return self._enclave
+
+    @property
+    def platform(self) -> SharedPlatform:
+        """The (possibly shared) physical platform."""
+        return self._platform
+
+    # ------------------------------------------------------------------
+    # Internal helpers
+    # ------------------------------------------------------------------
+
+    def _emit(self, kind: EventKind, start: int, end: int, page: int = -1) -> None:
+        if self._record:
+            self.events.append(TimelineEvent(kind, start, end, page))
+
+    def _note_eviction(self, state) -> None:
+        """Account an eviction of one of *this* enclave's pages."""
+        self.stats.evictions += 1
+        if state.preloaded:
+            if state.accessed:
+                # Correct preload caught at eviction before a scan
+                # could credit it.
+                self.stats.preloads_accessed += 1
+                if self._dfp is not None:
+                    self._dfp.credit_accessed(1)
+            else:
+                self.stats.preloads_evicted_unused += 1
+
+    def _apply_load(self, page: int, kind: LoadKind, finish: int) -> bool:
+        """Land one page of this enclave in the EPC at ``finish``.
+
+        Chooses a CLOCK victim when the EPC is full — possibly another
+        enclave's page, whose owner gets the eviction bookkeeping.
+        Returns True when a victim was evicted, so the channel can
+        charge the EWB housekeeping time.
+        """
+        evicted = False
+        if self.epc.is_resident(page):
+            if kind is LoadKind.PRELOAD:
+                self.stats.preloads_redundant += 1
+            return evicted
+        if self.epc.is_full:
+            victim = self.evictor.select_victim()
+            state = self.epc.evict(victim)
+            self.evictor.note_evict(victim)
+            evicted = True
+            victim_owner = self._platform.owner_of(victim) or self
+            victim_owner._note_eviction(state)
+        self.epc.insert(page, preloaded=(kind is LoadKind.PRELOAD))
+        self.evictor.note_insert(page)
+        if kind is LoadKind.PRELOAD:
+            self.stats.preloads_completed += 1
+            if self._dfp is not None:
+                self._dfp.note_preload_completed()
+            self._emit(
+                EventKind.PRELOAD,
+                finish - self.channel.load_cycles,
+                finish,
+                page,
+            )
+        return evicted
+
+    def _after_scan(self, now: int, credited: int) -> None:
+        """Platform hook: the global service-thread scan just ran."""
+        self.stats.scans += 1
+        if credited:
+            self.stats.preloads_accessed += credited
+        if self._dfp is not None:
+            if credited:
+                self._dfp.credit_accessed(credited)
+            if self._dfp.check_valve():
+                self.stats.valve_stops += 1
+                base = self._enclave.base_page
+                limit = base + self._enclave.elrange_pages
+                dropped = self.channel.abort_pages_in_range(base, limit, now)
+                if dropped:
+                    self._dfp.note_aborted(dropped)
+
+    def poll(self, now: int) -> None:
+        """Advance background machinery (channel + scans) to ``now``."""
+        if now < self._last_now:
+            raise SimulationError(
+                f"time went backwards: {now} < {self._last_now}"
+            )
+        self._last_now = now
+        self._platform.poll(now)
+
+    def _filter_burst(self, burst: List[int]) -> List[int]:
+        """Drop burst pages that need no load: outside the ELRANGE,
+        already resident, in flight, or already queued."""
+        keep = []
+        channel = self.channel
+        enclave = self._enclave
+        for page in burst:
+            if not enclave.contains_page(page):
+                continue
+            if self.epc.is_resident(page):
+                continue
+            if channel.current_page == page or channel.is_queued(page):
+                continue
+            keep.append(page)
+        return keep
+
+    def _touch(self, page: int, *, hit: bool) -> None:
+        """Set the accessed bit; account preload hits on first touch."""
+        state = self.epc.state_of(page)
+        if state.preloaded and not state.accessed:
+            self.stats.preload_hits += 1
+        state.accessed = True
+        if hit:
+            self.stats.epc_hits += 1
+
+    # ------------------------------------------------------------------
+    # Application-visible entry points
+    # ------------------------------------------------------------------
+
+    def access(self, page: int, now: int) -> int:
+        """Simulate one enclave page touch at ``now``; return end time."""
+        if not self._enclave.contains_page(page):
+            raise SimulationError(
+                f"access to page {page} outside ELRANGE "
+                f"[{self._enclave.base_page}, "
+                f"{self._enclave.base_page + self._enclave.elrange_pages})"
+            )
+        self.poll(now)
+        self.stats.accesses += 1
+        if self.epc.is_resident(page):
+            self._touch(page, hit=True)
+            return now
+
+        # Demand fault: AEX out of the enclave.
+        cost = self._cost
+        stats = self.stats
+        stats.faults += 1
+        t = now + cost.aex_cycles
+        stats.time.aex += cost.aex_cycles
+        self._emit(EventKind.AEX, now, t)
+        self.channel.advance_to(t)
+
+        if self.epc.is_resident(page):
+            # A preload landed during the AEX itself.
+            stats.faults_absorbed_by_inflight += 1
+        elif self.channel.current_page == page:
+            # The page is mid-load on the non-preemptible channel:
+            # ride the in-flight preload to completion.
+            finish = self.channel.wait_for_current(t)
+            stats.faults_absorbed_by_inflight += 1
+            stats.time.fault_wait += finish - t
+            self._emit(EventKind.FAULT_WAIT, t, finish, page)
+            t = finish
+        else:
+            burst_tag = self.channel.queued_tag(page)
+            if burst_tag is not None:
+                # Fault inside a queued burst: the preloader fell
+                # behind — abort that burst's remainder (in-stream
+                # abort, Section 4.1).
+                dropped = self.channel.abort_tag(burst_tag, t)
+                if self._dfp is not None and dropped:
+                    self._dfp.note_aborted(dropped)
+                self._emit(EventKind.ABORT, t, t, page)
+            finish = self.channel.load_sync(page, LoadKind.DEMAND, t)
+            stats.time.fault_wait += finish - t
+            self._emit(EventKind.DEMAND_LOAD, finish - self.channel.load_cycles, finish, page)
+            t = finish
+
+        # The OS observed the fault: feed the predictor and schedule
+        # the predicted burst (it starts loading during the ERESUME).
+        if self._dfp is not None:
+            burst = self._dfp.on_fault(page)
+            if burst:
+                pages = self._filter_burst(burst)
+                if pages:
+                    self.channel.enqueue_preloads(pages, t)
+
+        end = t + cost.eresume_cycles
+        stats.time.eresume += cost.eresume_cycles
+        self._emit(EventKind.ERESUME, t, end)
+        self._touch(page, hit=False)
+        return end
+
+    def sip_prefetch(self, page: int, now: int) -> int:
+        """Simulate one SIP preloading notification at ``now``.
+
+        The instrumented code checks the shared residency bitmap; when
+        the page is absent it sends a load request to the kernel thread
+        and waits inside the enclave for completion.  Returns the time
+        at which the application continues (the following real access
+        will then hit).
+        """
+        if not self._enclave.contains_page(page):
+            raise SimulationError(
+                f"SIP notification for page {page} outside ELRANGE"
+            )
+        self.poll(now)
+        cost = self._cost
+        stats = self.stats
+        stats.sip_checks += 1
+        t = now + cost.bitmap_check_cycles
+        stats.time.sip_check += cost.bitmap_check_cycles
+        self._emit(EventKind.SIP_CHECK, now, t, page)
+        self.channel.advance_to(t)
+        if self.bitmap.check(page):
+            stats.sip_check_hits += 1
+            return t
+        if self.channel.current_page == page:
+            finish = self.channel.wait_for_current(t)
+            stats.time.sip_wait += finish - t
+            self._emit(EventKind.SIP_LOAD, t, finish, page)
+            return finish
+        stats.sip_loads += 1
+        finish = self.channel.load_sync(page, LoadKind.SIP, t)
+        finish += cost.notification_cycles
+        stats.time.sip_wait += finish - t
+        self._emit(EventKind.SIP_LOAD, t, finish, page)
+        return finish
+
+    def finish(self, now: int) -> None:
+        """Drain background work at the end of a run."""
+        self.poll(now)
+        # Propagate channel counters into the run stats.  On a shared
+        # platform the channel counters are global; per-driver counts
+        # are kept in the DFP engine instead.
+        if self._dfp is not None and len(self._platform.drivers) > 1:
+            self.stats.preloads_enqueued = (
+                self._dfp.preload_counter + self._dfp.aborted_preloads
+            )
+            self.stats.preloads_aborted = self._dfp.aborted_preloads
+        else:
+            self.stats.preloads_enqueued = self.channel.preloads_enqueued
+            self.stats.preloads_aborted = self.channel.preloads_aborted

@@ -1,0 +1,75 @@
+"""The enclave: ELRANGE and trust-boundary bookkeeping.
+
+An SGX application creates an enclave whose *virtual* span — the
+enclave linear address range (ELRANGE) — may be arbitrarily larger than
+the physical EPC; the EPC paging mechanism in the untrusted OS makes up
+the difference (paper Figure 1).  The enclave object here carries the
+ELRANGE geometry, the identity used by per-process fault-history
+tracking, and the TCB accounting that Section 5.5 evaluates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro import units
+from repro.errors import ConfigError
+
+__all__ = ["Enclave"]
+
+#: Lines of C in the prototype's preloading-notification function
+#: (Section 5.5): the only enclave-resident code SIP adds.
+NOTIFICATION_STUB_LOC = 23
+
+
+@dataclass
+class Enclave:
+    """One enclave instance.
+
+    ``elrange_pages`` bounds every page number a workload may touch;
+    the driver validates faults against it.  ``instrumentation_points``
+    is filled in when a SIP plan is attached, and feeds the TCB-size
+    study (paper Table 2).
+    """
+
+    name: str
+    elrange_pages: int
+    #: Process id used as the key for per-process fault streams.
+    pid: int = 0
+    #: Number of SIP notification sites compiled into the enclave.
+    instrumentation_points: int = field(default=0)
+    #: First global page number of this enclave's ELRANGE.  Zero for a
+    #: lone enclave; multi-enclave simulations give each enclave a
+    #: disjoint range of the global page space (Section 5.6).
+    base_page: int = 0
+
+    def __post_init__(self) -> None:
+        if self.elrange_pages <= 0:
+            raise ConfigError(
+                f"ELRANGE must span at least one page, got {self.elrange_pages}"
+            )
+        if self.pid < 0:
+            raise ConfigError(f"pid must be non-negative, got {self.pid}")
+        if self.base_page < 0:
+            raise ConfigError(f"base_page must be non-negative, got {self.base_page}")
+
+    @property
+    def elrange_bytes(self) -> int:
+        """Virtual span of the enclave in bytes."""
+        return units.bytes_of(self.elrange_pages)
+
+    @property
+    def added_tcb_loc(self) -> int:
+        """Lines of code SIP adds to the TCB (0 when uninstrumented).
+
+        The notification stub is linked in once; each instrumentation
+        point is a check+call site.  DFP adds nothing — it lives
+        entirely in the untrusted OS.
+        """
+        if self.instrumentation_points == 0:
+            return 0
+        return NOTIFICATION_STUB_LOC + self.instrumentation_points
+
+    def contains_page(self, page: int) -> bool:
+        """True if global ``page`` lies inside this enclave's ELRANGE."""
+        return self.base_page <= page < self.base_page + self.elrange_pages

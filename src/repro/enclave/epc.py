@@ -1,0 +1,146 @@
+"""The Enclave Page Cache (EPC).
+
+The EPC is the contiguous physical memory region SGX reserves for
+enclave pages.  It is managed by the (untrusted) OS at 4 KiB page
+granularity; on the paper's platform 128 MB are reserved of which
+~96 MB are usable by applications.
+
+This module models the EPC as a fixed pool of frames plus, for every
+*resident* virtual page, the two bits the paper's mechanisms rely on:
+
+* the **accessed** bit — set by the "hardware" on every touch, cleared
+  periodically by the driver's CLOCK service thread; CLOCK replacement
+  and the DFP preload accounting both read it;
+* the **preloaded** bit — set when a page is brought in by the DFP
+  preload thread rather than by a demand fault, cleared when the
+  service-thread scan credits the page as a correct preload.  This is
+  the per-page state behind the paper's ``PreloadedPageList``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterator
+
+from repro.errors import EpcError
+
+__all__ = ["Epc", "EpcPageState"]
+
+
+@dataclass
+class EpcPageState:
+    """Per-resident-page metadata.
+
+    ``accessed`` mirrors the page-table A bit; ``preloaded`` marks pages
+    brought in speculatively and not yet credited by the scan thread.
+    """
+
+    accessed: bool = False
+    preloaded: bool = False
+
+
+class Epc:
+    """A fixed pool of EPC frames with residency tracking.
+
+    The class enforces the physical constraint the whole paper is
+    about: at most :attr:`capacity` pages can be resident at once, and
+    making room for a new page requires an explicit eviction (the OS's
+    EWB path), which this class *checks* but does not *choose* — victim
+    selection lives in :class:`repro.enclave.eviction.ClockEvictor`.
+    """
+
+    def __init__(self, capacity: int) -> None:
+        if capacity <= 0:
+            raise EpcError(f"EPC capacity must be positive, got {capacity}")
+        self._capacity = capacity
+        self._resident: Dict[int, EpcPageState] = {}
+        # Lifetime counters, exposed for stats and invariant tests.
+        self.total_inserts = 0
+        self.total_evictions = 0
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+
+    @property
+    def capacity(self) -> int:
+        """Number of frames in the pool."""
+        return self._capacity
+
+    @property
+    def resident_count(self) -> int:
+        """Number of pages currently resident."""
+        return len(self._resident)
+
+    @property
+    def free_frames(self) -> int:
+        """Number of frames currently unoccupied."""
+        return self._capacity - len(self._resident)
+
+    @property
+    def is_full(self) -> bool:
+        """True when an insert would require an eviction first."""
+        return len(self._resident) >= self._capacity
+
+    def is_resident(self, page: int) -> bool:
+        """True if virtual ``page`` currently occupies an EPC frame."""
+        return page in self._resident
+
+    def state_of(self, page: int) -> EpcPageState:
+        """Return the metadata of a resident page.
+
+        Raises :class:`EpcError` for non-resident pages: callers must
+        check residency first, mirroring the driver's own flow.
+        """
+        try:
+            return self._resident[page]
+        except KeyError:
+            raise EpcError(f"page {page} is not resident") from None
+
+    def resident_pages(self) -> Iterator[int]:
+        """Iterate over the resident page numbers (scan-thread view)."""
+        return iter(self._resident)
+
+    # ------------------------------------------------------------------
+    # Mutations
+    # ------------------------------------------------------------------
+
+    def insert(self, page: int, *, preloaded: bool = False) -> EpcPageState:
+        """Load ``page`` into a free frame (the ELDU/ELDB effect).
+
+        Raises :class:`EpcError` if the EPC is full (the driver must
+        evict first) or the page is already resident (a demand load and
+        a preload racing on the same page must be resolved by the
+        caller — the channel model never double-loads).
+        """
+        if page in self._resident:
+            raise EpcError(f"page {page} is already resident")
+        if self.is_full:
+            raise EpcError("EPC is full; evict a page before inserting")
+        state = EpcPageState(accessed=False, preloaded=preloaded)
+        self._resident[page] = state
+        self.total_inserts += 1
+        return state
+
+    def evict(self, page: int) -> EpcPageState:
+        """Evict ``page`` to untrusted memory (the EWB effect).
+
+        Returns the final metadata of the evicted page so the caller
+        can account for evicted-before-use preloads.
+        """
+        try:
+            state = self._resident.pop(page)
+        except KeyError:
+            raise EpcError(f"cannot evict non-resident page {page}") from None
+        self.total_evictions += 1
+        return state
+
+    def mark_accessed(self, page: int) -> EpcPageState:
+        """Set the accessed bit of a resident page (hardware A-bit)."""
+        state = self.state_of(page)
+        state.accessed = True
+        return state
+
+    def clear_accessed(self, page: int) -> None:
+        """Clear the accessed bit (CLOCK aging, done by the scan)."""
+        self.state_of(page).accessed = False

@@ -1,0 +1,56 @@
+"""Timeline event records, for the Figure 2 / Figure 4 reproductions.
+
+The paper's didactic figures plot the exact sequence of AEX, page-load,
+ERESUME and notification intervals on a time axis.  When a driver is
+constructed with ``record_events=True`` it appends one
+:class:`TimelineEvent` per interval, which the Figure 2 bench renders
+as an ASCII time chart.
+
+Recording is off by default: large runs produce millions of events and
+the recorder would dominate both memory and time.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+__all__ = ["EventKind", "TimelineEvent"]
+
+
+class EventKind(enum.Enum):
+    """What happened during a recorded interval."""
+
+    COMPUTE = "compute"
+    AEX = "aex"
+    ERESUME = "eresume"
+    DEMAND_LOAD = "demand_load"
+    PRELOAD = "preload"
+    SIP_CHECK = "sip_check"
+    SIP_LOAD = "sip_load"
+    FAULT_WAIT = "fault_wait"
+    ABORT = "abort"
+    EPC_HIT = "epc_hit"
+
+
+@dataclass(frozen=True)
+class TimelineEvent:
+    """One interval on the virtual-cycle timeline.
+
+    ``start`` and ``end`` are virtual cycle stamps; ``page`` is -1 for
+    events not tied to a page (a pure compute interval, an AEX).
+    """
+
+    kind: EventKind
+    start: int
+    end: int
+    page: int = -1
+
+    @property
+    def duration(self) -> int:
+        """Length of the interval in cycles."""
+        return self.end - self.start
+
+    def __str__(self) -> str:
+        page = f" page={self.page}" if self.page >= 0 else ""
+        return f"[{self.start:>10}..{self.end:>10}] {self.kind.value}{page}"

@@ -1,0 +1,136 @@
+"""Shared SGX hardware: one EPC serving multiple enclaves.
+
+Section 5.6 of the paper: the EPC can be shared among multiple
+processes (or VMs), the total EPC size stays the same, each enclave
+effectively receives a smaller portion, and "EPC contention becomes a
+serious issue"; the preloading schemes still work because "each
+enclave can handle its preloading independently" (per-process fault
+streams, Algorithm 1's ``find_stream_list(ID)``).
+
+:class:`SharedPlatform` owns the physical resources every enclave
+contends for — the EPC frame pool, the CLOCK evictor, the exclusive
+load channel, and the service-thread schedule — and routes hardware
+events back to the owning enclave's driver:
+
+* completed loads are applied by the *loading* enclave's driver;
+* eviction bookkeeping (preload credits, evicted-unused counts) goes
+  to the *victim page's* owner — under contention the CLOCK victim is
+  frequently another enclave's page;
+* the periodic scan runs once globally (it is one kernel thread), and
+  credits/valve checks are routed per enclave.
+
+A single-enclave driver constructs a private platform transparently,
+so the common case is unchanged.  Page numbering is global: each
+registered enclave occupies the disjoint range
+``[base_page, base_page + elrange_pages)``.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, List, Optional, Tuple
+
+from repro.core.config import SimConfig
+from repro.enclave.epc import Epc
+from repro.enclave.eviction import ClockEvictor
+from repro.enclave.loader import LoadChannel, LoadKind
+from repro.errors import SimulationError
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.enclave.driver import SgxDriver
+
+__all__ = ["SharedPlatform"]
+
+
+class SharedPlatform:
+    """The physical SGX resources shared by one or more enclaves."""
+
+    def __init__(self, config: SimConfig) -> None:
+        self._config = config
+        self.epc = Epc(config.epc_pages)
+        self.evictor = ClockEvictor(self.epc)
+        self.channel = LoadChannel(
+            config.cost.page_load_cycles,
+            self._on_load,
+            evict_cycles=config.cost.ewb_cycles,
+        )
+        # (base, limit, driver), sorted by base.
+        self._owners: List[Tuple[int, int, "SgxDriver"]] = []
+        self._next_scan = config.scan_period_cycles
+        self._last_now = 0
+
+    # ------------------------------------------------------------------
+    # Registration and routing
+    # ------------------------------------------------------------------
+
+    def register(self, driver: "SgxDriver") -> None:
+        """Attach a driver; its enclave's page range must be disjoint."""
+        enclave = driver.enclave
+        base = enclave.base_page
+        limit = base + enclave.elrange_pages
+        for lo, hi, _d in self._owners:
+            if base < hi and lo < limit:
+                raise SimulationError(
+                    f"enclave {enclave.name!r} pages [{base}, {limit}) overlap "
+                    f"an already-registered enclave's [{lo}, {hi})"
+                )
+        self._owners.append((base, limit, driver))
+        self._owners.sort(key=lambda item: item[0])
+
+    def owner_of(self, page: int) -> Optional["SgxDriver"]:
+        """The driver whose enclave owns ``page`` (None if unowned)."""
+        for lo, hi, driver in self._owners:
+            if lo <= page < hi:
+                return driver
+        return None
+
+    @property
+    def drivers(self) -> Tuple["SgxDriver", ...]:
+        """Registered drivers, in page-range order."""
+        return tuple(driver for _lo, _hi, driver in self._owners)
+
+    # ------------------------------------------------------------------
+    # Hardware callbacks
+    # ------------------------------------------------------------------
+
+    def _on_load(self, page: int, kind: LoadKind, finish: int) -> bool:
+        """Channel callback: route the landing to the owning driver."""
+        owner = self.owner_of(page)
+        if owner is None:
+            raise SimulationError(f"load completed for unowned page {page}")
+        return owner._apply_load(page, kind, finish)
+
+    # ------------------------------------------------------------------
+    # The service thread (one kernel thread, global schedule)
+    # ------------------------------------------------------------------
+
+    def poll(self, now: int) -> None:
+        """Advance scans and the channel to ``now`` (global time)."""
+        if now < self._last_now:
+            # Multi-enclave simulation processes apps by event start
+            # time; an app can observe the platform slightly behind
+            # another app's completion.  The platform itself only ever
+            # moves forward.
+            now = self._last_now
+        self._last_now = now
+        while self._next_scan <= now:
+            scan_time = self._next_scan
+            self.channel.advance_to(scan_time)
+            self._scan(scan_time)
+            self._next_scan += self._config.scan_period_cycles
+        self.channel.advance_to(now)
+
+    def _scan(self, now: int) -> None:
+        """One global scan: age access bits, credit preloads per owner,
+        then let each enclave's valve react."""
+        credited = {}
+        for page in self.epc.resident_pages():
+            state = self.epc.state_of(page)
+            if state.accessed:
+                if state.preloaded:
+                    owner = self.owner_of(page)
+                    if owner is not None:
+                        credited[owner] = credited.get(owner, 0) + 1
+                    state.preloaded = False
+                state.accessed = False
+        for _lo, _hi, driver in self._owners:
+            driver._after_scan(now, credited.get(driver, 0))

@@ -1,0 +1,117 @@
+"""Run statistics: event counters and the cycle-time breakdown.
+
+Every experiment in the paper is a comparison of execution times, and
+the analysis sections attribute differences to specific events (faults
+avoided, AEX/ERESUME pairs removed, channel time wasted on
+mispredicted preloads).  :class:`RunStats` collects exactly those
+counters; :class:`TimeBreakdown` attributes every simulated cycle to
+one bucket, and the two must reconcile — the engine asserts that the
+buckets sum to the total run time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["RunStats", "TimeBreakdown"]
+
+
+@dataclass
+class TimeBreakdown:
+    """Where the application thread's cycles went.
+
+    The buckets partition total execution time:
+
+    * ``compute`` — useful in-enclave work between page touches;
+    * ``aex`` / ``eresume`` — world-switch halves of demand faults;
+    * ``fault_wait`` — time the faulting thread waited on the load
+      channel (the 44k-cycle loads plus any in-flight load it had to
+      let finish first);
+    * ``sip_check`` — BIT_MAP_CHECK executions;
+    * ``sip_wait`` — synchronous SIP page_loadin waits, including the
+      notification round trip.
+    """
+
+    compute: int = 0
+    aex: int = 0
+    eresume: int = 0
+    fault_wait: int = 0
+    sip_check: int = 0
+    sip_wait: int = 0
+
+    @property
+    def total(self) -> int:
+        """Sum of all buckets; equals the run's total cycles."""
+        return (
+            self.compute
+            + self.aex
+            + self.eresume
+            + self.fault_wait
+            + self.sip_check
+            + self.sip_wait
+        )
+
+    @property
+    def overhead(self) -> int:
+        """Every non-compute cycle: what preloading tries to shrink."""
+        return self.total - self.compute
+
+
+@dataclass
+class RunStats:
+    """Counters accumulated over one simulated run."""
+
+    #: Page touches issued by the workload.
+    accesses: int = 0
+    #: Touches that found the page resident.
+    epc_hits: int = 0
+    #: Demand page faults taken (AEX + load + ERESUME path).
+    faults: int = 0
+    #: Faults that found their page already in flight on the channel
+    #: (they waited for the preload instead of issuing a load).
+    faults_absorbed_by_inflight: int = 0
+    #: Faults whose page had been preloaded before the touch — these
+    #: became plain EPC hits and are also counted in ``epc_hits``.
+    preload_hits: int = 0
+    #: Preloads enqueued / completed / aborted on the channel.
+    preloads_enqueued: int = 0
+    preloads_completed: int = 0
+    preloads_aborted: int = 0
+    #: Preloaded pages credited as accessed by the scan thread
+    #: (the paper's AccPreloadCounter).
+    preloads_accessed: int = 0
+    #: Preloaded pages evicted without ever being accessed.
+    preloads_evicted_unused: int = 0
+    #: Completed preloads that found the page already resident.
+    preloads_redundant: int = 0
+    #: EPC evictions performed.
+    evictions: int = 0
+    #: SIP BIT_MAP_CHECK executions.
+    sip_checks: int = 0
+    #: SIP page_loadin requests actually issued (page was absent).
+    sip_loads: int = 0
+    #: SIP checks that found the page resident (only check cost paid).
+    sip_check_hits: int = 0
+    #: Times the DFP safety valve stopped the preload thread.
+    valve_stops: int = 0
+    #: Service-thread scan passes performed.
+    scans: int = 0
+    #: Attribution of all application cycles.
+    time: TimeBreakdown = field(default_factory=TimeBreakdown)
+
+    @property
+    def total_cycles(self) -> int:
+        """Total simulated execution time of the run."""
+        return self.time.total
+
+    @property
+    def fault_rate(self) -> float:
+        """Demand faults per page touch."""
+        return self.faults / self.accesses if self.accesses else 0.0
+
+    @property
+    def preload_accuracy(self) -> float:
+        """Fraction of completed preloads later credited as accessed."""
+        if not self.preloads_completed:
+            return 0.0
+        return self.preloads_accessed / self.preloads_completed

@@ -1,0 +1,42 @@
+"""Exception hierarchy for the SGX preloading reproduction.
+
+All library-specific failures derive from :class:`ReproError` so callers
+can catch one base class.  Errors are raised eagerly — a misconfigured
+simulation should fail at construction, not produce silently wrong
+numbers at the end of a long run.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every error raised by this library."""
+
+
+class ConfigError(ReproError):
+    """A simulation or cost-model parameter is out of its valid range."""
+
+
+class EpcError(ReproError):
+    """Invalid EPC operation (double insert, evicting a non-resident page,
+    inserting into a full EPC without a victim, ...)."""
+
+
+class ChannelError(ReproError):
+    """Invalid load-channel operation (issuing a load while one is in
+    flight, completing a load that was never started, ...)."""
+
+
+class WorkloadError(ReproError):
+    """A workload is malformed (unknown name, empty trace, page outside
+    the declared footprint, unknown input set, ...)."""
+
+
+class InstrumentationError(ReproError):
+    """The SIP compiler pass was asked to instrument an instruction it
+    has no profile for, or was given an invalid threshold."""
+
+
+class SimulationError(ReproError):
+    """The simulation engine detected an internal inconsistency (time
+    moving backwards, more resident pages than EPC frames, ...)."""

@@ -1,0 +1,25 @@
+"""Simulation engine and experiment drivers.
+
+* :mod:`repro.sim.engine` — runs one workload under one scheme on the
+  enclave substrate, producing a :class:`~repro.sim.results.RunResult`.
+* :mod:`repro.sim.results` — run results and comparisons.
+* :mod:`repro.sim.sweep` — parameter sweeps and scheme comparisons,
+  the building blocks of every figure in the evaluation.
+"""
+
+from repro.sim.engine import simulate, simulate_native, prepare_sip_plan
+from repro.sim.multi import simulate_shared
+from repro.sim.results import RunResult, improvement_pct, normalized_time
+from repro.sim.sweep import compare_schemes, sweep_config
+
+__all__ = [
+    "simulate",
+    "simulate_native",
+    "simulate_shared",
+    "prepare_sip_plan",
+    "RunResult",
+    "improvement_pct",
+    "normalized_time",
+    "compare_schemes",
+    "sweep_config",
+]

@@ -1,0 +1,172 @@
+"""The simulation engine.
+
+``simulate`` executes one workload trace against the enclave substrate
+under one scheme, on a single virtual-cycle clock:
+
+* compute cycles advance the clock;
+* SIP-instrumented instructions run the notification stub first
+  (:meth:`~repro.enclave.driver.SgxDriver.sip_prefetch`);
+* every page touch goes through the driver
+  (:meth:`~repro.enclave.driver.SgxDriver.access`), which services
+  faults, runs the DFP machinery and the periodic service thread, and
+  drains the background preload channel in correct time order.
+
+The engine asserts the accounting invariant that the per-bucket time
+breakdown reconstructs the total run time exactly — a cheap end-to-end
+check that no simulated cycle is double-counted or lost.
+
+``simulate_native`` runs the same trace *outside* any enclave (first
+touch of each page costs a regular ~2k-cycle fault) and exists for the
+motivation experiment: the paper's observed ~46× slowdown of the
+sequential microbenchmark inside SGX.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.core.config import SimConfig
+from repro.core.instrumentation import SipPlan, build_sip_plan
+from repro.core.profiler import profile_workload
+from repro.core.schemes import Scheme, make_scheme
+from repro.enclave.driver import SgxDriver
+from repro.enclave.enclave import Enclave
+from repro.errors import SimulationError
+from repro.sim.results import RunResult
+from repro.workloads.base import Workload
+
+__all__ = ["simulate", "simulate_native", "prepare_sip_plan"]
+
+
+def prepare_sip_plan(
+    workload: Workload,
+    config: SimConfig,
+    *,
+    threshold: Optional[float] = None,
+    seed: int = 0,
+) -> SipPlan:
+    """Profile ``workload`` on its training input and compile a SIP plan.
+
+    This is the full PGO pipeline of Section 3.2: profiling run on the
+    *train* input set, per-instruction classification, threshold
+    decision.  Performance runs then use the *ref* input set, exactly
+    like the paper's methodology (Section 5.2).
+    """
+    profile = profile_workload(workload, config, input_set="train", seed=seed)
+    return build_sip_plan(
+        profile, config.sip_threshold if threshold is None else threshold
+    )
+
+
+def simulate(
+    workload: Workload,
+    config: SimConfig,
+    scheme: "Scheme | str" = "baseline",
+    *,
+    seed: int = 0,
+    input_set: str = "ref",
+    sip_plan: Optional[SipPlan] = None,
+    record_events: bool = False,
+    max_accesses: Optional[int] = None,
+) -> RunResult:
+    """Run one workload under one scheme; return its result.
+
+    ``scheme`` may be a prebuilt :class:`~repro.core.schemes.Scheme`
+    or a scheme name; names needing SIP use ``sip_plan`` when given
+    and otherwise compile one on the fly via :func:`prepare_sip_plan`.
+    ``max_accesses`` truncates the trace (useful for tests).
+    """
+    if isinstance(scheme, str):
+        if scheme in ("sip", "hybrid") and sip_plan is None:
+            sip_plan = prepare_sip_plan(workload, config, seed=seed)
+        scheme = make_scheme(scheme, config, sip_plan=sip_plan)
+
+    dfp = scheme.build_dfp()
+    sip = scheme.build_sip()
+    points = scheme.sip_plan.instrumentation_points if scheme.sip_plan else 0
+    enclave = Enclave(
+        name=workload.name,
+        elrange_pages=workload.elrange_pages,
+        instrumentation_points=points,
+    )
+    driver = SgxDriver(config, enclave, dfp=dfp, record_events=record_events)
+    breakdown = driver.stats.time
+    instrumented = sip.instrumented if sip is not None else None
+
+    now = 0
+    count = 0
+    sip_prefetch = driver.sip_prefetch
+    access = driver.access
+    for instr, page, cycles in workload.trace(seed=seed, input_set=input_set):
+        now += cycles
+        breakdown.compute += cycles
+        if instrumented is not None and instr in instrumented:
+            now = sip_prefetch(page, now)
+        now = access(page, now)
+        count += 1
+        if max_accesses is not None and count >= max_accesses:
+            break
+    driver.finish(now)
+
+    if breakdown.total != now:
+        raise SimulationError(
+            f"time accounting mismatch: buckets sum to {breakdown.total}, "
+            f"clock reads {now}"
+        )
+    return RunResult(
+        workload=workload.name,
+        scheme=scheme.name,
+        input_set=input_set,
+        seed=seed,
+        total_cycles=now,
+        stats=driver.stats,
+        config=config,
+        sip_points=points,
+        events=driver.events if record_events else None,
+    )
+
+
+def simulate_native(
+    workload: Workload,
+    config: SimConfig,
+    *,
+    seed: int = 0,
+    input_set: str = "ref",
+    max_accesses: Optional[int] = None,
+) -> RunResult:
+    """Run the workload outside SGX: regular minor faults only.
+
+    First touch of each page costs ``regular_fault_cycles`` (~2k); all
+    other touches are free beyond their compute.  Used to reproduce
+    the motivation numbers of Sections 1–2.
+    """
+    from repro.enclave.stats import RunStats
+
+    stats = RunStats()
+    touched = set()
+    fault_cost = config.cost.regular_fault_cycles
+    now = 0
+    count = 0
+    for _instr, page, cycles in workload.trace(seed=seed, input_set=input_set):
+        now += cycles
+        stats.time.compute += cycles
+        stats.accesses += 1
+        if page not in touched:
+            touched.add(page)
+            stats.faults += 1
+            now += fault_cost
+            stats.time.fault_wait += fault_cost
+        else:
+            stats.epc_hits += 1
+        count += 1
+        if max_accesses is not None and count >= max_accesses:
+            break
+    return RunResult(
+        workload=workload.name,
+        scheme="native",
+        input_set=input_set,
+        seed=seed,
+        total_cycles=now,
+        stats=stats,
+        config=config,
+    )

@@ -1,0 +1,97 @@
+"""Parameter sweeps and scheme comparisons.
+
+These are the experiment drivers: every figure of the evaluation is
+either a scheme comparison over workloads (Figures 8, 10–13) or a
+sweep of one configuration parameter (Figure 6: ``stream_list``
+length; Figure 7: ``LOADLENGTH``; Figure 9: the SIP threshold).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Iterable, List, Optional, Sequence
+
+from repro.core.config import SimConfig
+from repro.core.instrumentation import SipPlan
+from repro.errors import ConfigError
+from repro.sim.engine import prepare_sip_plan, simulate
+from repro.sim.results import RunResult
+from repro.workloads.base import Workload
+
+__all__ = ["compare_schemes", "sweep_config", "SweepPoint"]
+
+
+class SweepPoint:
+    """One point of a parameter sweep: the value and its runs."""
+
+    def __init__(self, value: object, results: Dict[str, RunResult]) -> None:
+        self.value = value
+        self.results = results
+
+    def __repr__(self) -> str:
+        names = ", ".join(self.results)
+        return f"SweepPoint(value={self.value!r}, runs=[{names}])"
+
+
+def compare_schemes(
+    workload: Workload,
+    config: SimConfig,
+    schemes: Sequence[str],
+    *,
+    seed: int = 0,
+    input_set: str = "ref",
+    sip_plan: Optional[SipPlan] = None,
+) -> Dict[str, RunResult]:
+    """Run ``workload`` under each scheme; return results by name.
+
+    A single SIP plan is compiled once (from the train input) and
+    shared across the SIP-bearing schemes, exactly as one compiled
+    binary serves all the paper's runs.
+    """
+    needs_sip = any(name in ("sip", "hybrid") for name in schemes)
+    if needs_sip and sip_plan is None:
+        sip_plan = prepare_sip_plan(workload, config, seed=seed)
+    results: Dict[str, RunResult] = {}
+    for name in schemes:
+        results[name] = simulate(
+            workload,
+            config,
+            name,
+            seed=seed,
+            input_set=input_set,
+            sip_plan=sip_plan if name in ("sip", "hybrid") else None,
+        )
+    return results
+
+
+def sweep_config(
+    workload_factory: Callable[[], Workload],
+    configs: Iterable[SimConfig],
+    schemes: Sequence[str],
+    *,
+    values: Optional[Sequence[object]] = None,
+    seed: int = 0,
+    input_set: str = "ref",
+) -> List[SweepPoint]:
+    """Run a scheme comparison at each configuration.
+
+    ``values`` labels the sweep points (defaults to their index).  The
+    workload is rebuilt per point via ``workload_factory`` so traces
+    never share generator state.
+    """
+    config_list = list(configs)
+    if values is None:
+        labels: List[object] = list(range(len(config_list)))
+    else:
+        labels = list(values)
+    if len(labels) != len(config_list):
+        raise ConfigError(
+            f"{len(config_list)} configs but {len(labels)} labels"
+        )
+    points: List[SweepPoint] = []
+    for label, config in zip(labels, config_list):
+        workload = workload_factory()
+        results = compare_schemes(
+            workload, config, schemes, seed=seed, input_set=input_set
+        )
+        points.append(SweepPoint(label, results))
+    return points

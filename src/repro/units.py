@@ -1,0 +1,80 @@
+"""Memory-size and cycle-count unit helpers.
+
+Everything in the simulator is denominated in two base units:
+
+* **pages** — 4 KiB enclave pages, the granularity at which the SGX EPC
+  (Enclave Page Cache) is managed and the granularity at which page-fault
+  addresses are exposed to the untrusted OS (SGX clears the bottom 12 bits
+  of a faulting address before reporting it).
+* **cycles** — CPU clock cycles, the unit in which the paper reports every
+  cost (AEX ~10,000; ELDU/ELDB ~44,000; ERESUME ~10,000; regular page
+  fault ~2,000).
+
+This module provides the constants and conversions used across the
+library so that call sites never multiply raw byte counts inline.
+"""
+
+from __future__ import annotations
+
+#: Size of one enclave page in bytes.  SGX manages the EPC at 4 KiB
+#: granularity; this is fixed by the architecture, not configurable.
+PAGE_SIZE = 4096
+
+#: Number of low address bits cleared by SGX when reporting a fault.
+PAGE_SHIFT = 12
+
+KIB = 1024
+MIB = 1024 * KIB
+GIB = 1024 * MIB
+
+#: Total physical EPC reserved by BIOS on the paper's platform.
+EPC_TOTAL_BYTES = 128 * MIB
+
+#: EPC usable by applications after enclave metadata (~96 MB, Section 1).
+EPC_USABLE_BYTES = 96 * MIB
+
+
+def pages_of(nbytes: int) -> int:
+    """Return the number of 4 KiB pages needed to hold ``nbytes`` bytes.
+
+    Rounds up, so any non-zero byte count occupies at least one page.
+
+    >>> pages_of(1)
+    1
+    >>> pages_of(PAGE_SIZE)
+    1
+    >>> pages_of(PAGE_SIZE + 1)
+    2
+    """
+    if nbytes < 0:
+        raise ValueError(f"byte count must be non-negative, got {nbytes}")
+    return (nbytes + PAGE_SIZE - 1) >> PAGE_SHIFT
+
+
+def bytes_of(npages: int) -> int:
+    """Return the byte size of ``npages`` 4 KiB pages."""
+    if npages < 0:
+        raise ValueError(f"page count must be non-negative, got {npages}")
+    return npages << PAGE_SHIFT
+
+
+def page_number(address: int) -> int:
+    """Return the page number containing byte ``address``.
+
+    This mirrors what the SGX hardware exposes to the OS on a fault:
+    the bottom :data:`PAGE_SHIFT` bits are discarded.
+    """
+    if address < 0:
+        raise ValueError(f"address must be non-negative, got {address}")
+    return address >> PAGE_SHIFT
+
+
+def cycles_to_seconds(cycles: int, ghz: float = 3.5) -> float:
+    """Convert a cycle count to wall seconds at ``ghz`` GHz.
+
+    The paper's platform is a Xeon E3-1240 v5 at 3.5 GHz; that is the
+    default so reports can quote human-readable times.
+    """
+    if ghz <= 0:
+        raise ValueError(f"clock frequency must be positive, got {ghz}")
+    return cycles / (ghz * 1e9)

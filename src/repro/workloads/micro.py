@@ -1,0 +1,31 @@
+"""The sequential-access microbenchmark (Sections 1 and 5).
+
+The paper's microbenchmark walks a 1 GB buffer sequentially in a loop;
+it is the program whose enclave port showed the motivating ~46×
+slowdown, and the best case for DFP (+18.6% in Figure 8).  One memory
+instruction, purely sequential — the SIP pass correctly finds nothing
+to instrument (Table 2: 0 points).
+"""
+
+from __future__ import annotations
+
+from repro import units
+from repro.workloads.base import SyntheticWorkload
+from repro.workloads.spec import InstructionTable, _fp
+from repro.workloads.synthetic import sequential
+
+__all__ = ["make_microbenchmark", "MICRO_BUFFER_BYTES"]
+
+#: Buffer size the paper's microbenchmark touches.
+MICRO_BUFFER_BYTES = units.GIB
+
+
+def make_microbenchmark(scale: int = 1) -> SyntheticWorkload:
+    """1 GB sequential walk (scaled), two passes, light compute."""
+    full_pages = units.pages_of(MICRO_BUFFER_BYTES)
+    ratio = full_pages / 24_576  # ≈ 10.67 × the usable EPC
+    fp = _fp(ratio, scale)
+    table = InstructionTable()
+    instr = table.add("main(): buf[i] sequential read")
+    body = sequential(instr, 0, fp, compute=3_000, jitter=400, passes=2, salt=50)
+    return SyntheticWorkload("microbenchmark", fp, table.names, [body])

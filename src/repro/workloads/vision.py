@@ -1,0 +1,138 @@
+"""SD-VBS vision application models: SIFT, MSER, and ``mixed-blood``.
+
+Section 5.3 evaluates two real image-processing applications on
+MIT-Adobe FiveK images:
+
+* **SIFT** — scale-invariant feature transform.  Dominated by
+  sequential passes over the image and its Gaussian pyramid levels;
+  the paper profiles it as sequential-heavy (a DFP candidate, +9.5%)
+  and the SIP pass finds no instrumentation points (Table 2: 0).
+* **MSER** — maximally stable extremal regions.  A union-find over
+  pixel intensity order: irregular touches across the component
+  forest; a SIP candidate (+3.0%) with 54 instrumentation points.
+
+Section 5.4 synthesizes **mixed-blood**: a sequential image scan
+followed by MSER blob detection, giving comparable Class 2 and Class 3
+populations — the one workload where the hybrid scheme (SIP + DFP)
+beats both parts (Figure 13: SIP 1.6%, DFP 6.0%, hybrid 7.1%).
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.workloads.base import PhaseFactory, SyntheticWorkload
+from repro.workloads.spec import InstructionTable, _fp
+from repro.workloads.synthetic import (
+    hot_loop,
+    interleave_phases,
+    sequential,
+    uniform_random,
+    zipf_random,
+)
+
+__all__ = ["make_sift", "make_mser", "make_mixed_blood"]
+
+
+def make_sift(scale: int = 1) -> SyntheticWorkload:
+    """SIFT: pyramid of sequential passes plus a hot descriptor loop."""
+    fp = _fp(2.4, scale)
+    table = InstructionTable()
+    phases: List[PhaseFactory] = []
+    # Gaussian pyramid: full image, then halved levels.  Each level is
+    # a fresh sequential stream — the multi-stream predictor's bread
+    # and butter.
+    level_pages = fp
+    level = 0
+    while level_pages >= 128 and level < 5:
+        instr = table.add(f"gaussian_blur(): level {level} row sweep")
+        phases.append(
+            sequential(
+                instr,
+                0,
+                level_pages,
+                compute=2_500,
+                jitter=600,
+                passes=2 if level == 0 else 1,
+                salt=60 + level,
+            )
+        )
+        level_pages //= 2
+        level += 1
+    descriptors = table.add("keypoint_descriptor(): histogram bin")
+    phases.append(
+        hot_loop(
+            descriptors,
+            list(range(0, 64)),
+            max(2_000, (24_000 * 16) // scale),
+            compute=26_000,
+            jitter=3_000,
+            salt=66,
+        )
+    )
+    body: List[PhaseFactory] = phases
+    return SyntheticWorkload("SIFT", fp, table.names, body)
+
+
+def _mser_irregular(
+    table: InstructionTable, fp: int, accesses: int, *, salt: int
+) -> PhaseFactory:
+    """MSER's union-find phase: 54 sites, moderately cold probes."""
+    pool = table.pool("union_find(): parent pointer", 54)
+    hot_hi = max(64, fp // 3)
+    hot_count = max(1, int(accesses * 0.925))
+    cold_count = max(1, accesses - hot_count)
+    hot = zipf_random(
+        pool,
+        0,
+        hot_hi,
+        hot_count,
+        alpha=0.8,
+        compute=4_000,
+        jitter=800,
+        salt=salt + 1,
+    )
+    cold = uniform_random(
+        pool,
+        hot_hi,
+        fp,
+        cold_count,
+        compute=4_000,
+        jitter=800,
+        run_length=(2, 3),
+        multi_run_prob=0.2,
+        salt=salt + 2,
+    )
+    hot_chunk = max(1, round(hot_count / cold_count))
+    return interleave_phases([hot, cold], chunk=[hot_chunk, 1], salt=salt)
+
+
+def make_mser(scale: int = 1) -> SyntheticWorkload:
+    """MSER: intensity sort (one scan) then irregular union-find."""
+    fp = _fp(1.8, scale)
+    table = InstructionTable()
+    sort_instr = table.add("intensity_sort(): pixel sweep")
+    phases: List[PhaseFactory] = [
+        sequential(sort_instr, 0, fp, compute=4_000, jitter=800, passes=1, salt=70),
+        _mser_irregular(table, fp, max(4_000, (26_000 * 16) // scale), salt=72),
+    ]
+    return SyntheticWorkload("MSER", fp, table.names, phases)
+
+
+def make_mixed_blood(scale: int = 1) -> SyntheticWorkload:
+    """``mixed-blood``: sequential image scan + MSER detection.
+
+    Built exactly as Section 5.4 describes: scan an image region
+    sequentially (Class 2 work for DFP), then run MSER-style blob
+    detection over it (Class 3 work for SIP), with comparable volumes
+    of each.
+    """
+    fp = _fp(2.0, scale)
+    table = InstructionTable()
+    scan_instr = table.add("image_scan(): pixel sweep")
+    irregular_accesses = max(4_000, (18_000 * 16) // scale)
+    phases: List[PhaseFactory] = [
+        sequential(scan_instr, 0, fp, compute=2_000, jitter=500, passes=2, salt=80),
+        _mser_irregular(table, fp, irregular_accesses, salt=82),
+    ]
+    return SyntheticWorkload("mixed-blood", fp, table.names, phases)

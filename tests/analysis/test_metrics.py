@@ -1,0 +1,62 @@
+"""Aggregate metric helpers."""
+
+import pytest
+
+from repro.analysis.metrics import (
+    geomean_normalized,
+    mean_improvement,
+    summarize_results,
+)
+from repro.errors import SimulationError
+
+from tests.sim.test_results import result
+
+
+class TestMeanImprovement:
+    def test_single_pair(self):
+        assert mean_improvement([(result(900), result(1000))]) == pytest.approx(10.0)
+
+    def test_average_over_pairs(self):
+        pairs = [
+            (result(900), result(1000)),
+            (result(700), result(1000)),
+        ]
+        assert mean_improvement(pairs) == pytest.approx(20.0)
+
+    def test_empty_rejected(self):
+        with pytest.raises(SimulationError):
+            mean_improvement([])
+
+
+class TestGeomean:
+    def test_identity(self):
+        assert geomean_normalized([(result(1000), result(1000))]) == pytest.approx(1.0)
+
+    def test_mixed(self):
+        pairs = [
+            (result(500), result(1000)),  # 0.5
+            (result(2000), result(1000)),  # 2.0
+        ]
+        assert geomean_normalized(pairs) == pytest.approx(1.0)
+
+    def test_empty_rejected(self):
+        with pytest.raises(SimulationError):
+            geomean_normalized([])
+
+
+class TestSummarize:
+    def test_normalizes_per_workload(self):
+        table = summarize_results(
+            {
+                "w": {
+                    "baseline": result(1000),
+                    "dfp": result(850, scheme="dfp"),
+                }
+            }
+        )
+        assert table["w"]["baseline"] == pytest.approx(1.0)
+        assert table["w"]["dfp"] == pytest.approx(0.85)
+
+    def test_missing_baseline_rejected(self):
+        with pytest.raises(SimulationError):
+            summarize_results({"w": {"dfp": result(1)}})

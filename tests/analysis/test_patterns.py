@@ -1,0 +1,88 @@
+"""Pattern characterization tests (Figure 3 / Table 1 machinery)."""
+
+import random
+
+import pytest
+
+from repro.analysis.patterns import (
+    PatternKind,
+    characterize_trace,
+    classify_benchmark,
+)
+from repro.core.config import SimConfig
+from repro.errors import WorkloadError
+from repro.workloads.registry import build_workload
+
+
+class TestCharacterizeTrace:
+    def test_pure_sequence_is_fully_sequential(self):
+        summary = characterize_trace(list(range(1000)))
+        assert summary.sequential_coverage == pytest.approx(1.0)
+        assert summary.linearity > 0.95
+        assert summary.looks_sequential
+        assert summary.max_run_length == 1000
+
+    def test_random_trace_is_irregular(self):
+        rng = random.Random(1)
+        pages = [rng.randrange(100_000) for _ in range(2000)]
+        summary = characterize_trace(pages)
+        assert summary.sequential_coverage < 0.1
+        assert not summary.looks_sequential
+
+    def test_descending_runs_count(self):
+        summary = characterize_trace(list(range(500, 0, -1)))
+        assert summary.sequential_coverage == pytest.approx(1.0)
+
+    def test_interleaved_streams_detected_via_stream_table(self):
+        """Two alternating streams have no raw monotone runs, but the
+        stream-tail table (the paper's 'table to track recently
+        accessed pages') sees both — lbm's signature."""
+        pages = [x for pair in zip(range(1000), range(5000, 6000)) for x in pair]
+        summary = characterize_trace(pages)
+        assert summary.sequential_coverage < 0.1  # raw runs blind
+        assert summary.stream_coverage > 0.9  # stream table sees it
+        assert summary.looks_sequential
+
+    def test_random_noise_has_no_stream_coverage(self):
+        rng = random.Random(2)
+        noise = [rng.randrange(100_000) for _ in range(2000)]
+        assert characterize_trace(noise).stream_coverage < 0.05
+
+    def test_constant_trace_is_predictable(self):
+        summary = characterize_trace([7] * 100)
+        assert summary.linearity == pytest.approx(1.0)
+        assert summary.distinct_pages == 1
+
+    def test_empty_trace_rejected(self):
+        with pytest.raises(WorkloadError):
+            characterize_trace([])
+
+    def test_mean_run_length(self):
+        # 0,1,2 | 10 | 20,21 -> runs of 3, 1, 2
+        summary = characterize_trace([0, 1, 2, 10, 20, 21])
+        assert summary.mean_run_length == pytest.approx(2.0)
+
+
+class TestClassifyBenchmark:
+    CONFIG = SimConfig.scaled(32)
+
+    @pytest.mark.parametrize("name", ["lbm", "bwaves", "microbenchmark"])
+    def test_regular_benchmarks(self, name):
+        kind, _ = classify_benchmark(
+            build_workload(name, scale=32), self.CONFIG
+        )
+        assert kind is PatternKind.LARGE_REGULAR
+
+    @pytest.mark.parametrize("name", ["deepsjeng", "mcf", "roms", "omnetpp"])
+    def test_irregular_benchmarks(self, name):
+        kind, _ = classify_benchmark(
+            build_workload(name, scale=32), self.CONFIG
+        )
+        assert kind is PatternKind.LARGE_IRREGULAR
+
+    @pytest.mark.parametrize("name", ["leela", "imagick", "exchange2"])
+    def test_small_benchmarks(self, name):
+        kind, _ = classify_benchmark(
+            build_workload(name, scale=32), self.CONFIG
+        )
+        assert kind is PatternKind.SMALL_WORKING_SET

@@ -1,0 +1,65 @@
+"""Plain-text report rendering."""
+
+import pytest
+
+from repro.analysis.report import ascii_bar_chart, format_table, render_series
+from repro.errors import SimulationError
+
+
+class TestFormatTable:
+    def test_alignment_and_headers(self):
+        text = format_table(
+            ["name", "value"], [["lbm", 1.5], ["mcf", 0.25]], title="T"
+        )
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert "name" in lines[1] and "value" in lines[1]
+        assert "lbm" in lines[3]
+        # Columns align: the separator row matches header width.
+        assert len(lines[2]) >= len("name  value")
+
+    def test_floats_formatted(self):
+        text = format_table(["x"], [[0.123456]])
+        assert "0.123" in text
+
+    def test_ragged_row_rejected(self):
+        with pytest.raises(SimulationError):
+            format_table(["a", "b"], [["only-one"]])
+
+
+class TestAsciiBarChart:
+    def test_bars_scale_with_values(self):
+        text = ascii_bar_chart({"a": 1.0, "b": 0.5}, width=10)
+        a_line, b_line = text.splitlines()
+        assert a_line.count("#") == 10
+        assert b_line.count("#") == 5
+
+    def test_reference_marker_drawn(self):
+        text = ascii_bar_chart({"a": 0.5}, width=10, reference=1.0)
+        assert "." in text or "+" in text
+
+    def test_empty_rejected(self):
+        with pytest.raises(SimulationError):
+            ascii_bar_chart({})
+
+    def test_title_included(self):
+        assert ascii_bar_chart({"a": 1.0}, title="Fig").startswith("Fig")
+
+
+class TestRenderSeries:
+    def test_grid_layout(self):
+        text = render_series(
+            {"dfp": [(1, 0.9), (2, 0.8)], "sip": [(1, 1.0), (2, 0.95)]},
+            title="sweep",
+        )
+        lines = text.splitlines()
+        assert "dfp" in lines[1] and "sip" in lines[1]
+        assert "0.900" in text and "0.950" in text
+
+    def test_mismatched_x_rejected(self):
+        with pytest.raises(SimulationError):
+            render_series({"a": [(1, 0.5)], "b": [(2, 0.5)]})
+
+    def test_empty_rejected(self):
+        with pytest.raises(SimulationError):
+            render_series({})

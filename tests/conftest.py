@@ -1,0 +1,91 @@
+"""Shared fixtures for the test suite.
+
+Tests run against deliberately tiny configurations: a 64-frame EPC and
+short traces keep each test in the low milliseconds while exercising
+the same code paths (faults, eviction, preload bursts, valve, SIP) the
+full-scale experiments use.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Mapping
+
+import pytest
+
+from repro.core.config import CostModel, SimConfig
+from repro.workloads.base import SyntheticWorkload, TraceEvent, Workload
+
+
+@pytest.fixture
+def tiny_config() -> SimConfig:
+    """A 64-frame EPC with fast scans, paper cost constants."""
+    return SimConfig(
+        epc_pages=64,
+        stream_list_length=8,
+        load_length=4,
+        scan_period_cycles=200_000,
+        valve_slack=16,
+        valve_ratio=0.8,
+    )
+
+
+@pytest.fixture
+def bench_config() -> SimConfig:
+    """The scaled config the benches use (factor 16)."""
+    return SimConfig.scaled(16)
+
+
+class ScriptedWorkload(Workload):
+    """A workload that replays an explicit list of events (tests only)."""
+
+    def __init__(
+        self,
+        events: List[TraceEvent],
+        *,
+        name: str = "scripted",
+        footprint_pages: int | None = None,
+        instructions: Mapping[int, str] | None = None,
+    ) -> None:
+        pages = [page for _i, page, _c in events]
+        footprint = footprint_pages or (max(pages) + 1 if pages else 1)
+        super().__init__(name, footprint)
+        self._events = list(events)
+        if instructions is None:
+            instructions = {i: f"instr{i}" for i, _p, _c in events}
+        self._instructions = dict(instructions)
+
+    @property
+    def instructions(self) -> Mapping[int, str]:
+        return self._instructions
+
+    def trace(self, *, seed: int = 0, input_set: str = "ref") -> Iterator[TraceEvent]:
+        self._check_input_set(input_set)
+        return iter(self._events)
+
+
+@pytest.fixture
+def scripted_workload_factory():
+    """Factory building :class:`ScriptedWorkload` from event lists."""
+    return ScriptedWorkload
+
+
+def make_sequential_events(
+    npages: int, *, instr: int = 0, compute: int = 5_000, passes: int = 1
+) -> List[TraceEvent]:
+    """Events for a simple sequential scan (helper for tests)."""
+    return [
+        (instr, page, compute) for _ in range(passes) for page in range(npages)
+    ]
+
+
+@pytest.fixture
+def tiny_seq_workload() -> SyntheticWorkload:
+    """A 128-page sequential scan over a 64-frame EPC (always faults)."""
+    from repro.workloads.synthetic import sequential
+
+    return SyntheticWorkload(
+        "tiny-seq",
+        128,
+        {0: "scan"},
+        [sequential(0, 0, 128, compute=5_000, passes=2, salt=1)],
+    )

@@ -1,0 +1,93 @@
+"""Unit tests for the SIP compiler pass (Section 4.4)."""
+
+import pytest
+
+from repro.core.config import SimConfig
+from repro.core.instrumentation import build_sip_plan
+from repro.core.profiler import InstructionProfile, WorkloadProfile
+from repro.errors import InstrumentationError
+
+
+def profile_with(ratios):
+    """Build a synthetic profile: {instr: (class1, class2, class3)}."""
+    profile = WorkloadProfile(
+        workload="synthetic", input_set="train", footprint_pages=100, epc_pages=50
+    )
+    for instr, (c1, c2, c3) in ratios.items():
+        profile.instructions[instr] = InstructionProfile(
+            instr, f"site{instr}", class1=c1, class2=c2, class3=c3
+        )
+        profile.total_accesses += c1 + c2 + c3
+    return profile
+
+
+class TestThresholdDecision:
+    def test_above_threshold_instrumented(self):
+        plan = build_sip_plan(profile_with({0: (90, 0, 10)}), threshold=0.05)
+        assert plan.is_instrumented(0)
+
+    def test_below_threshold_skipped(self):
+        plan = build_sip_plan(profile_with({0: (97, 0, 3)}), threshold=0.05)
+        assert not plan.is_instrumented(0)
+
+    def test_exactly_at_threshold_instrumented(self):
+        plan = build_sip_plan(profile_with({0: (95, 0, 5)}), threshold=0.05)
+        assert plan.is_instrumented(0)
+
+    def test_class2_counts_against_ratio(self):
+        """Class 2 accesses are left to DFP: a stream-heavy site stays
+        uninstrumented even with some Class 3."""
+        plan = build_sip_plan(profile_with({0: (0, 96, 4)}), threshold=0.05)
+        assert not plan.is_instrumented(0)
+
+    def test_unexecuted_site_never_instrumented(self):
+        plan = build_sip_plan(profile_with({0: (0, 0, 0)}), threshold=0.0)
+        assert not plan.is_instrumented(0)
+
+    def test_mixed_population(self):
+        plan = build_sip_plan(
+            profile_with({0: (99, 0, 1), 1: (50, 0, 50), 2: (0, 100, 0)}),
+            threshold=0.05,
+        )
+        assert plan.instrumented == frozenset({1})
+        assert plan.instrumentation_points == 1
+
+    @pytest.mark.parametrize("threshold", [-0.1, 1.5])
+    def test_invalid_threshold_rejected(self, threshold):
+        with pytest.raises(InstrumentationError):
+            build_sip_plan(profile_with({0: (1, 0, 0)}), threshold=threshold)
+
+    def test_zero_threshold_instruments_everything_executed(self):
+        plan = build_sip_plan(
+            profile_with({0: (100, 0, 0), 1: (0, 0, 1)}), threshold=0.0
+        )
+        assert plan.instrumented == frozenset({0, 1})
+
+
+class TestPlanArtifacts:
+    def test_evidence_retained(self):
+        plan = build_sip_plan(profile_with({0: (90, 0, 10)}), threshold=0.05)
+        assert plan.evidence[0].class3 == 10
+
+    def test_describe_mentions_sites(self):
+        plan = build_sip_plan(profile_with({3: (50, 0, 50)}), threshold=0.05)
+        text = plan.describe()
+        assert "1 instrumentation point" in text
+        assert "site3" in text
+
+    def test_threshold_recorded(self):
+        plan = build_sip_plan(profile_with({0: (1, 0, 0)}), threshold=0.07)
+        assert plan.threshold == pytest.approx(0.07)
+
+
+class TestLbmTable2Scenario:
+    """Integration: the lbm model must yield 0 points (Table 2)."""
+
+    def test_lbm_zero_points(self):
+        from repro.sim.engine import prepare_sip_plan
+        from repro.workloads.registry import build_workload
+
+        config = SimConfig.scaled(32)
+        lbm = build_workload("lbm", scale=32)
+        plan = prepare_sip_plan(lbm, config)
+        assert plan.instrumentation_points == 0

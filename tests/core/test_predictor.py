@@ -1,0 +1,150 @@
+"""Unit tests for the multiple-stream predictor (Algorithm 1)."""
+
+import pytest
+
+from repro.core.predictor import MultiStreamPredictor, StreamEntry
+from repro.errors import ConfigError
+
+
+def make(length=4, load_length=4, backward=False):
+    return MultiStreamPredictor(length, load_length, track_backward=backward)
+
+
+class TestConstruction:
+    def test_invalid_length_rejected(self):
+        with pytest.raises(ConfigError):
+            make(length=0)
+
+    def test_invalid_load_length_rejected(self):
+        with pytest.raises(ConfigError):
+            make(load_length=0)
+
+    def test_negative_page_rejected(self):
+        with pytest.raises(ConfigError):
+            make().on_fault(-1)
+
+
+class TestStreamDetection:
+    def test_first_fault_never_preloads(self):
+        """One fault is not a pattern."""
+        assert make().on_fault(100) == []
+
+    def test_sequential_fault_returns_burst(self):
+        p = make(load_length=4)
+        p.on_fault(100)
+        burst = p.on_fault(101)
+        assert burst == [102, 103, 104, 105]
+
+    def test_burst_length_is_load_length(self):
+        p = make(load_length=8)
+        p.on_fault(10)
+        assert len(p.on_fault(11)) == 8
+
+    def test_burst_excludes_faulting_page(self):
+        """The handler demand-loads npn itself; the burst is strictly
+        ahead of it."""
+        p = make()
+        p.on_fault(10)
+        assert 11 not in [10, *[]]  # trivially
+        burst = p.on_fault(11)
+        assert 11 not in burst
+
+    def test_windowed_match_across_burst(self):
+        """After preloading LOADLENGTH pages, the stream's next fault
+        lands LOADLENGTH+1 ahead and must still extend the stream."""
+        p = make(load_length=4)
+        p.on_fault(10)
+        p.on_fault(11)  # tail = 11, burst 12..15
+        burst = p.on_fault(16)  # 5 ahead: still the same stream
+        assert burst == [17, 18, 19, 20]
+
+    def test_beyond_window_starts_new_stream(self):
+        p = make(load_length=4)
+        p.on_fault(10)
+        p.on_fault(11)
+        assert p.on_fault(17) == []  # 6 ahead: new stream
+
+    def test_same_page_is_not_sequential(self):
+        p = make()
+        p.on_fault(10)
+        assert p.on_fault(10) == []
+
+    def test_burst_never_contains_negative_pages(self):
+        p = make(backward=True)
+        p.on_fault(3)
+        p.on_fault(2)  # descending stream near zero
+        burst = p.on_fault(1)
+        assert all(page >= 0 for page in burst)
+
+
+class TestMultipleStreams:
+    def test_interleaved_streams_tracked_independently(self):
+        """The whole point of the *multiple*-stream predictor."""
+        p = make(length=4)
+        p.on_fault(100)
+        p.on_fault(500)
+        assert p.on_fault(101) != []
+        assert p.on_fault(501) != []
+
+    def test_lru_recycles_oldest_stream(self):
+        p = make(length=2)
+        p.on_fault(100)  # stream A
+        p.on_fault(200)  # stream B
+        p.on_fault(300)  # stream C recycles A (LRU)
+        assert p.on_fault(201) != []  # B survived
+        assert p.on_fault(101) == []  # A forgotten
+
+    def test_extension_moves_stream_to_head(self):
+        p = make(length=2)
+        p.on_fault(100)  # A
+        p.on_fault(200)  # B (A is now LRU)
+        p.on_fault(101)  # extend A: A moves to head, B becomes LRU
+        p.on_fault(300)  # C recycles B
+        assert p.on_fault(102) != []  # A still tracked
+        assert p.on_fault(201) == []  # B forgotten
+
+    def test_stream_list_never_exceeds_capacity(self):
+        p = make(length=3)
+        for page in range(0, 1000, 10):
+            p.on_fault(page)
+        assert len(p.streams) == 3
+
+
+class TestBackwardStreams:
+    def test_forward_only_ignores_descending(self):
+        p = make(backward=False)
+        p.on_fault(100)
+        assert p.on_fault(99) == []
+
+    def test_backward_tracking_detects_descending(self):
+        p = make(backward=True)
+        p.on_fault(100)
+        burst = p.on_fault(99)
+        assert burst == [98, 97, 96, 95]
+
+
+class TestCountersAndReset:
+    def test_hit_miss_counters(self):
+        p = make()
+        p.on_fault(10)
+        p.on_fault(11)
+        p.on_fault(500)
+        assert p.stream_hits == 1
+        assert p.stream_misses == 2
+
+    def test_reset_forgets_streams(self):
+        p = make()
+        p.on_fault(10)
+        p.reset()
+        assert p.streams == ()
+        assert p.on_fault(11) == []
+
+    def test_entry_hit_counter(self):
+        p = make()
+        p.on_fault(10)
+        p.on_fault(11)
+        p.on_fault(12)
+        entry = p.streams[0]
+        assert isinstance(entry, StreamEntry)
+        assert entry.hits == 2
+        assert entry.stpn == 12

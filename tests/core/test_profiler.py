@@ -1,0 +1,115 @@
+"""Unit tests for the PGO profiler (Sections 3.2 / 4.4)."""
+
+import pytest
+
+from repro.core.classify import AccessClass
+from repro.core.config import SimConfig
+from repro.core.profiler import InstructionProfile, profile_workload
+from repro.errors import WorkloadError
+from repro.workloads.base import SyntheticWorkload
+from repro.workloads.synthetic import sequential, uniform_random
+
+from tests.conftest import ScriptedWorkload
+
+
+@pytest.fixture
+def config():
+    return SimConfig(epc_pages=32, scan_period_cycles=10**9)
+
+
+class TestInstructionProfile:
+    def test_ratio(self):
+        prof = InstructionProfile(0, "x", class1=60, class2=20, class3=20)
+        assert prof.total == 100
+        assert prof.irregular_ratio == pytest.approx(0.2)
+
+    def test_empty_profile_ratio_zero(self):
+        assert InstructionProfile(0, "x").irregular_ratio == 0.0
+
+    def test_add_dispatches(self):
+        prof = InstructionProfile(0, "x")
+        prof.add(AccessClass.CLASS1)
+        prof.add(AccessClass.CLASS2)
+        prof.add(AccessClass.CLASS3)
+        assert (prof.class1, prof.class2, prof.class3) == (1, 1, 1)
+
+
+class TestProfileWorkload:
+    def test_sequential_instruction_profiles_regular(self, config):
+        wl = SyntheticWorkload(
+            "seq", 256, {0: "scan"}, [sequential(0, 0, 256, compute=100)]
+        )
+        profile = profile_workload(wl, config)
+        prof = profile.instructions[0]
+        assert prof.irregular_ratio < 0.05
+        assert profile.sequential_ratio > 0.9
+
+    def test_random_instruction_profiles_irregular(self, config):
+        wl = SyntheticWorkload(
+            "rand",
+            4096,
+            {0: "probe"},
+            [uniform_random([0], 0, 4096, 2000, compute=100)],
+        )
+        profile = profile_workload(wl, config)
+        assert profile.instructions[0].irregular_ratio > 0.5
+
+    def test_per_instruction_separation(self, config):
+        """One regular and one irregular site in the same workload must
+        profile differently — the basis of selective instrumentation."""
+        from repro.workloads.synthetic import interleave_phases
+
+        phases = [
+            interleave_phases(
+                [
+                    sequential(0, 0, 256, compute=100),
+                    uniform_random([1], 256, 4096, 256, compute=100),
+                ],
+                chunk=[1, 1],
+            )
+        ]
+        wl = SyntheticWorkload("mix", 4096, {0: "scan", 1: "probe"}, phases)
+        profile = profile_workload(wl, config)
+        assert profile.instructions[0].irregular_ratio < 0.10
+        assert profile.instructions[1].irregular_ratio > 0.40
+
+    def test_total_accesses_counted(self, config):
+        wl = ScriptedWorkload([(0, 0, 10), (0, 1, 10), (0, 2, 10)])
+        profile = profile_workload(wl, config)
+        assert profile.total_accesses == 3
+
+    def test_unknown_instruction_rejected(self, config):
+        wl = ScriptedWorkload([(0, 0, 10)], instructions={5: "other"})
+        with pytest.raises(WorkloadError):
+            profile_workload(wl, config)
+
+    def test_exceeds_epc_flag(self, config):
+        big = ScriptedWorkload([(0, 0, 10)], footprint_pages=1000)
+        small = ScriptedWorkload([(0, 0, 10)], footprint_pages=10)
+        assert profile_workload(big, config).exceeds_epc
+        assert not profile_workload(small, config).exceeds_epc
+
+    def test_pattern_samples_collected_when_requested(self, config):
+        wl = SyntheticWorkload(
+            "seq", 256, {0: "scan"}, [sequential(0, 0, 256, compute=100)]
+        )
+        profile = profile_workload(wl, config, sample_patterns=True)
+        assert profile.pattern_samples
+        indices = [i for i, _p in profile.pattern_samples]
+        assert indices == sorted(indices)
+
+    def test_pattern_samples_bounded(self, config):
+        wl = SyntheticWorkload(
+            "seq", 512, {0: "scan"}, [sequential(0, 0, 512, compute=1, passes=8)]
+        )
+        profile = profile_workload(
+            wl, config, sample_patterns=True, max_pattern_samples=100
+        )
+        assert len(profile.pattern_samples) <= 101
+
+    def test_class_totals_sum_to_accesses(self, config):
+        wl = SyntheticWorkload(
+            "seq", 256, {0: "scan"}, [sequential(0, 0, 256, compute=100)]
+        )
+        profile = profile_workload(wl, config)
+        assert sum(profile.class_totals.values()) == profile.total_accesses

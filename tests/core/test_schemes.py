@@ -1,0 +1,81 @@
+"""Unit tests for scheme construction."""
+
+import pytest
+
+from repro.core.config import SimConfig
+from repro.core.instrumentation import SipPlan
+from repro.core.schemes import SCHEME_NAMES, Scheme, make_scheme
+from repro.errors import ConfigError
+
+
+@pytest.fixture
+def config():
+    return SimConfig(epc_pages=64)
+
+
+@pytest.fixture
+def plan():
+    return SipPlan(workload="t", threshold=0.05, instrumented=frozenset({1}))
+
+
+class TestMakeScheme:
+    def test_all_names_buildable(self, config, plan):
+        for name in SCHEME_NAMES:
+            scheme = make_scheme(name, config, sip_plan=plan)
+            assert scheme.name == name
+
+    def test_unknown_name_rejected(self, config):
+        with pytest.raises(ConfigError):
+            make_scheme("turbo", config)
+
+    def test_baseline_has_no_engines(self, config):
+        scheme = make_scheme("baseline", config)
+        assert scheme.build_dfp() is None
+        assert scheme.build_sip() is None
+
+    def test_dfp_has_valve_disabled(self, config):
+        scheme = make_scheme("dfp", config)
+        assert scheme.dfp_config is not None
+        assert not scheme.dfp_config.valve_enabled
+
+    def test_dfp_stop_has_valve_enabled(self, config):
+        scheme = make_scheme("dfp-stop", config)
+        assert scheme.dfp_config.valve_enabled
+
+    def test_sip_requires_plan(self, config):
+        with pytest.raises(ConfigError):
+            make_scheme("sip", config)
+
+    def test_hybrid_enables_both(self, config, plan):
+        scheme = make_scheme("hybrid", config, sip_plan=plan)
+        assert scheme.dfp_enabled and scheme.sip_enabled
+        assert scheme.build_dfp() is not None
+        assert scheme.build_sip() is not None
+
+    def test_sip_scheme_has_no_dfp(self, config, plan):
+        scheme = make_scheme("sip", config, sip_plan=plan)
+        assert not scheme.dfp_enabled
+        assert scheme.build_dfp() is None
+
+    def test_config_parameters_propagate(self, plan):
+        config = SimConfig(epc_pages=64, stream_list_length=11, load_length=7)
+        scheme = make_scheme("hybrid", config, sip_plan=plan)
+        assert scheme.dfp_config.stream_list_length == 11
+        assert scheme.dfp_config.load_length == 7
+
+
+class TestSchemeInvariants:
+    def test_enabling_dfp_without_config_rejected(self):
+        with pytest.raises(ConfigError):
+            Scheme(name="x", dfp_enabled=True, sip_enabled=False)
+
+    def test_enabling_sip_without_plan_rejected(self):
+        with pytest.raises(ConfigError):
+            Scheme(name="x", dfp_enabled=False, sip_enabled=True)
+
+    def test_engines_are_fresh_per_build(self, config):
+        scheme = make_scheme("dfp-stop", config)
+        a, b = scheme.build_dfp(), scheme.build_dfp()
+        assert a is not b
+        a.preload_counter = 99
+        assert b.preload_counter == 0

@@ -1,0 +1,33 @@
+"""Unit tests for the SIP runtime dispatcher."""
+
+from repro.core.instrumentation import SipPlan
+from repro.core.sip import SipRuntime
+
+
+def make_plan(instrumented):
+    return SipPlan(
+        workload="t", threshold=0.05, instrumented=frozenset(instrumented)
+    )
+
+
+class TestDispatch:
+    def test_instrumented_site_notifies(self):
+        rt = SipRuntime(make_plan({1, 2}))
+        assert rt.should_notify(1)
+        assert not rt.should_notify(3)
+
+    def test_site_execution_counts(self):
+        rt = SipRuntime(make_plan({1}))
+        for _ in range(3):
+            rt.should_notify(1)
+        rt.should_notify(2)  # uninstrumented: not counted
+        assert rt.site_executions == {1: 3}
+        assert rt.total_notifications == 3
+
+    def test_plan_accessible(self):
+        plan = make_plan({1})
+        assert SipRuntime(plan).plan is plan
+
+    def test_instrumented_attribute_matches_plan(self):
+        plan = make_plan({4, 5})
+        assert SipRuntime(plan).instrumented == frozenset({4, 5})

@@ -1,0 +1,121 @@
+"""Unit tests for the user-level paging comparator."""
+
+import pytest
+
+from repro.core.config import SimConfig
+from repro.core.userpaging import UserPagingModel, simulate_user_paging
+from repro.errors import ConfigError
+from repro.sim.engine import simulate
+from repro.workloads.base import SyntheticWorkload
+from repro.workloads.synthetic import sequential, uniform_random
+
+from tests.conftest import ScriptedWorkload
+
+
+@pytest.fixture
+def config():
+    return SimConfig(epc_pages=100, scan_period_cycles=10**9)
+
+
+class TestModel:
+    def test_usable_pages_reduced_by_overhead(self):
+        model = UserPagingModel(epc_overhead=0.10)
+        assert model.usable_pages(100) == 90
+
+    def test_zero_overhead_keeps_all(self):
+        assert UserPagingModel(epc_overhead=0.0).usable_pages(100) == 100
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"spt_check_cycles": -1},
+            {"soft_load_cycles": -1},
+            {"epc_overhead": 1.0},
+            {"epc_overhead": -0.1},
+        ],
+    )
+    def test_invalid_model_rejected(self, kwargs):
+        with pytest.raises(ConfigError):
+            UserPagingModel(**kwargs)
+
+
+class TestExecution:
+    def test_exact_cost_accounting(self, config):
+        model = UserPagingModel(
+            spt_check_cycles=100, soft_load_cycles=10_000, soft_evict_cycles=0
+        )
+        wl = ScriptedWorkload([(0, 0, 1_000), (0, 0, 1_000), (0, 1, 1_000)])
+        result = simulate_user_paging(wl, config, model)
+        # 3 accesses * (compute + check) + 2 misses * load
+        assert result.total_cycles == 3 * 1_100 + 2 * 10_000
+        assert result.stats.faults == 2
+        assert result.stats.epc_hits == 1
+
+    def test_no_world_switches_ever(self, config):
+        wl = SyntheticWorkload(
+            "seq", 400, {0: "scan"}, [sequential(0, 0, 400, compute=3_000)]
+        )
+        result = simulate_user_paging(wl, config)
+        assert result.stats.time.aex == 0
+        assert result.stats.time.eresume == 0
+        assert result.scheme == "user-paging"
+
+    def test_time_buckets_reconcile(self, config):
+        wl = SyntheticWorkload(
+            "rand", 500, {0: "p"}, [uniform_random([0], 0, 500, 1_000, compute=2_000)]
+        )
+        result = simulate_user_paging(wl, config)
+        assert result.stats.time.total == result.total_cycles
+
+    def test_eviction_when_reduced_pool_full(self, config):
+        model = UserPagingModel(epc_overhead=0.5)  # only 50 frames
+        wl = SyntheticWorkload(
+            "seq", 200, {0: "scan"}, [sequential(0, 0, 200, compute=1_000)]
+        )
+        result = simulate_user_paging(wl, config, model)
+        assert result.stats.evictions == 200 - 50
+
+    def test_runtime_overhead_costs_capacity(self, config):
+        """The same workload misses more under user paging than under
+        the kernel's full EPC, because the runtime eats frames."""
+        wl = SyntheticWorkload(
+            "loop",
+            100,
+            {0: "scan"},
+            [sequential(0, 0, 100, compute=1_000, passes=4)],
+        )
+        hardware = simulate(wl, config, "baseline")
+        user = simulate_user_paging(wl, config, UserPagingModel(epc_overhead=0.2))
+        assert user.stats.faults > hardware.stats.faults
+
+    def test_thrashing_workload_beats_hardware_paging(self, config):
+        """Eleos's headline: software swaps (~15k) beat 64k faults."""
+        wl = SyntheticWorkload(
+            "thrash", 400, {0: "scan"}, [sequential(0, 0, 400, compute=2_000, passes=2)]
+        )
+        hardware = simulate(wl, config, "baseline")
+        user = simulate_user_paging(wl, config)
+        assert user.total_cycles < hardware.total_cycles
+
+    def test_hit_dominated_workload_pays_check_tax(self, config):
+        """A resident working set: hardware paging is free after
+        warm-up, user paging pays translation on every access.  Enough
+        passes amortize the warm-up (where user paging's cheap swap
+        wins) below the accumulated translation tax."""
+        wl = SyntheticWorkload(
+            "hot", 50, {0: "scan"}, [sequential(0, 0, 50, compute=1_000, passes=100)]
+        )
+        hardware = simulate(wl, config, "baseline")
+        user = simulate_user_paging(wl, config)
+        assert user.total_cycles > hardware.total_cycles
+        # The tax is exactly the per-access check.
+        model_check = user.stats.time.sip_check / user.stats.accesses
+        assert model_check == UserPagingModel().spt_check_cycles
+
+    def test_deterministic(self, config):
+        wl = SyntheticWorkload(
+            "rand", 500, {0: "p"}, [uniform_random([0], 0, 500, 500, compute=2_000)]
+        )
+        a = simulate_user_paging(wl, config, seed=3)
+        b = simulate_user_paging(wl, config, seed=3)
+        assert a.total_cycles == b.total_cycles

@@ -1,0 +1,94 @@
+"""Driver SIP-notification path tests (Sections 3.2/4.3, Figure 4)."""
+
+import pytest
+
+from repro.core.config import CostModel, SimConfig
+from repro.enclave.driver import SgxDriver
+from repro.enclave.enclave import Enclave
+
+
+def make(epc_pages=16, **cost_overrides):
+    cost = CostModel(**cost_overrides)
+    config = SimConfig(epc_pages=epc_pages, cost=cost, scan_period_cycles=10**9)
+    driver = SgxDriver(config, Enclave("t", elrange_pages=1024))
+    return driver, cost
+
+
+class TestCheckOnly:
+    def test_resident_page_costs_only_the_check(self):
+        driver, cost = make()
+        t = driver.access(5, 0)
+        end = driver.sip_prefetch(5, t)
+        assert end - t == cost.bitmap_check_cycles
+        assert driver.stats.sip_checks == 1
+        assert driver.stats.sip_check_hits == 1
+        assert driver.stats.sip_loads == 0
+
+    def test_bitmap_read_counted(self):
+        driver, _ = make()
+        t = driver.access(5, 0)
+        driver.sip_prefetch(5, t)
+        assert driver.bitmap.reads == 1
+
+
+class TestLoadPath:
+    def test_absent_page_loaded_without_world_switch(self):
+        """Figure 4: SIP converts AEX+load+ERESUME into
+        check+load+notification."""
+        driver, cost = make()
+        end = driver.sip_prefetch(7, 0)
+        expected = (
+            cost.bitmap_check_cycles
+            + cost.page_load_cycles
+            + cost.notification_cycles
+        )
+        assert end == expected
+        assert driver.epc.is_resident(7)
+        assert driver.stats.sip_loads == 1
+        # No fault, no AEX, no ERESUME happened.
+        assert driver.stats.faults == 0
+        assert driver.stats.time.aex == 0
+        assert driver.stats.time.eresume == 0
+
+    def test_sip_cheaper_than_fault(self):
+        """The scheme's raison d'etre: the notification path must beat
+        the fault path by about AEX + ERESUME - notification."""
+        driver, cost = make()
+        sip_cost = driver.sip_prefetch(7, 0)
+        fault_cost = cost.fault_cycles + cost.bitmap_check_cycles
+        saving = fault_cost - sip_cost
+        expected = cost.world_switch_cycles - cost.notification_cycles
+        assert saving == expected
+        assert saving > 0
+
+    def test_following_access_hits(self):
+        driver, _ = make()
+        t = driver.sip_prefetch(7, 0)
+        end = driver.access(7, t)
+        assert end == t
+        assert driver.stats.epc_hits == 1
+
+    def test_sip_load_evicts_when_full(self):
+        driver, _ = make(epc_pages=2)
+        t = driver.access(0, 0)
+        t = driver.access(1, t)
+        t = driver.sip_prefetch(2, t)
+        assert driver.epc.is_resident(2)
+        assert driver.stats.evictions == 1
+
+    def test_out_of_elrange_rejected(self):
+        from repro.errors import SimulationError
+
+        driver, _ = make()
+        with pytest.raises(SimulationError):
+            driver.sip_prefetch(5000, 0)
+
+
+class TestTimeAttribution:
+    def test_sip_buckets(self):
+        driver, cost = make()
+        end = driver.sip_prefetch(7, 0)
+        tb = driver.stats.time
+        assert tb.sip_check == cost.bitmap_check_cycles
+        assert tb.sip_wait == end - cost.bitmap_check_cycles
+        assert tb.total == end

@@ -1,0 +1,41 @@
+"""Unit tests for the enclave object and TCB accounting."""
+
+import pytest
+
+from repro import units
+from repro.enclave.enclave import NOTIFICATION_STUB_LOC, Enclave
+from repro.errors import ConfigError
+
+
+class TestGeometry:
+    def test_elrange_bytes(self):
+        enclave = Enclave("app", elrange_pages=1024)
+        assert enclave.elrange_bytes == 1024 * units.PAGE_SIZE
+
+    def test_contains_page(self):
+        enclave = Enclave("app", elrange_pages=10)
+        assert enclave.contains_page(0)
+        assert enclave.contains_page(9)
+        assert not enclave.contains_page(10)
+        assert not enclave.contains_page(-1)
+
+    def test_empty_elrange_rejected(self):
+        with pytest.raises(ConfigError):
+            Enclave("app", elrange_pages=0)
+
+    def test_negative_pid_rejected(self):
+        with pytest.raises(ConfigError):
+            Enclave("app", elrange_pages=1, pid=-1)
+
+
+class TestTcbAccounting:
+    def test_uninstrumented_enclave_adds_nothing(self):
+        """DFP / baseline: zero TCB increase (Section 5.5)."""
+        assert Enclave("app", elrange_pages=10).added_tcb_loc == 0
+
+    def test_sip_adds_stub_plus_sites(self):
+        """Section 5.5: the notification function is 23 lines of C,
+        plus one site per instrumentation point."""
+        enclave = Enclave("app", elrange_pages=10, instrumentation_points=35)
+        assert enclave.added_tcb_loc == NOTIFICATION_STUB_LOC + 35
+        assert NOTIFICATION_STUB_LOC == 23

@@ -1,0 +1,107 @@
+"""Unit tests for the EPC frame pool."""
+
+import pytest
+
+from repro.enclave.epc import Epc
+from repro.errors import EpcError
+
+
+class TestConstruction:
+    def test_capacity_required_positive(self):
+        with pytest.raises(EpcError):
+            Epc(0)
+
+    def test_starts_empty(self):
+        epc = Epc(8)
+        assert epc.resident_count == 0
+        assert epc.free_frames == 8
+        assert not epc.is_full
+
+
+class TestInsertEvict:
+    def test_insert_makes_resident(self):
+        epc = Epc(4)
+        epc.insert(7)
+        assert epc.is_resident(7)
+        assert epc.resident_count == 1
+
+    def test_insert_duplicate_rejected(self):
+        epc = Epc(4)
+        epc.insert(7)
+        with pytest.raises(EpcError):
+            epc.insert(7)
+
+    def test_insert_into_full_epc_rejected(self):
+        """The physical constraint: no frame, no load."""
+        epc = Epc(2)
+        epc.insert(0)
+        epc.insert(1)
+        assert epc.is_full
+        with pytest.raises(EpcError):
+            epc.insert(2)
+
+    def test_evict_frees_frame(self):
+        epc = Epc(2)
+        epc.insert(0)
+        epc.insert(1)
+        epc.evict(0)
+        assert not epc.is_resident(0)
+        assert epc.free_frames == 1
+        epc.insert(2)  # frame reusable
+        assert epc.is_resident(2)
+
+    def test_evict_non_resident_rejected(self):
+        with pytest.raises(EpcError):
+            Epc(2).evict(5)
+
+    def test_lifetime_counters(self):
+        epc = Epc(2)
+        epc.insert(0)
+        epc.insert(1)
+        epc.evict(0)
+        epc.insert(2)
+        assert epc.total_inserts == 3
+        assert epc.total_evictions == 1
+
+    def test_evict_returns_final_state(self):
+        epc = Epc(2)
+        epc.insert(0, preloaded=True)
+        epc.mark_accessed(0)
+        state = epc.evict(0)
+        assert state.preloaded and state.accessed
+
+
+class TestFlags:
+    def test_insert_clears_accessed(self):
+        epc = Epc(2)
+        state = epc.insert(3)
+        assert not state.accessed
+
+    def test_preloaded_flag_set_on_preload_insert(self):
+        epc = Epc(2)
+        assert epc.insert(3, preloaded=True).preloaded
+        assert not epc.insert(4).preloaded
+
+    def test_mark_and_clear_accessed(self):
+        epc = Epc(2)
+        epc.insert(3)
+        epc.mark_accessed(3)
+        assert epc.state_of(3).accessed
+        epc.clear_accessed(3)
+        assert not epc.state_of(3).accessed
+
+    def test_mark_accessed_non_resident_rejected(self):
+        with pytest.raises(EpcError):
+            Epc(2).mark_accessed(9)
+
+    def test_state_of_non_resident_rejected(self):
+        with pytest.raises(EpcError):
+            Epc(2).state_of(9)
+
+
+class TestIteration:
+    def test_resident_pages_iterates_all(self):
+        epc = Epc(8)
+        for page in (3, 5, 7):
+            epc.insert(page)
+        assert sorted(epc.resident_pages()) == [3, 5, 7]

@@ -1,0 +1,64 @@
+"""Timeline event recording (the Figure 2 / Figure 4 data source)."""
+
+from repro.core.config import SimConfig
+from repro.core.dfp import DfpConfig, DfpEngine
+from repro.enclave.driver import SgxDriver
+from repro.enclave.enclave import Enclave
+from repro.enclave.events import EventKind, TimelineEvent
+
+
+def make(record=True, dfp=False):
+    config = SimConfig(epc_pages=16, scan_period_cycles=10**9)
+    engine = (
+        DfpEngine(DfpConfig(stream_list_length=4, load_length=4, valve_enabled=False))
+        if dfp
+        else None
+    )
+    return SgxDriver(
+        config, Enclave("t", elrange_pages=256), dfp=engine, record_events=record
+    )
+
+
+class TestRecording:
+    def test_fault_produces_aex_load_eresume(self):
+        driver = make()
+        driver.access(5, 0)
+        kinds = [e.kind for e in driver.events]
+        assert kinds == [EventKind.AEX, EventKind.DEMAND_LOAD, EventKind.ERESUME]
+
+    def test_events_are_time_ordered_and_contiguous(self):
+        driver = make()
+        driver.access(5, 0)
+        events = driver.events
+        for prev, cur in zip(events, events[1:]):
+            assert cur.start >= prev.start
+
+    def test_preload_events_recorded(self):
+        driver = make(dfp=True)
+        t = driver.access(10, 0)
+        t = driver.access(11, t)
+        driver.finish(t + 1_000_000)
+        preloads = [e for e in driver.events if e.kind is EventKind.PRELOAD]
+        assert [e.page for e in preloads] == [12, 13, 14, 15]
+
+    def test_sip_events_recorded(self):
+        driver = make()
+        driver.sip_prefetch(5, 0)
+        kinds = [e.kind for e in driver.events]
+        assert kinds == [EventKind.SIP_CHECK, EventKind.SIP_LOAD]
+
+    def test_recording_off_by_default(self):
+        driver = make(record=False)
+        driver.access(5, 0)
+        assert driver.events == []
+
+
+class TestTimelineEvent:
+    def test_duration(self):
+        event = TimelineEvent(EventKind.AEX, 100, 350)
+        assert event.duration == 250
+
+    def test_str_includes_page_when_present(self):
+        event = TimelineEvent(EventKind.PRELOAD, 0, 10, page=7)
+        assert "page=7" in str(event)
+        assert "page" not in str(TimelineEvent(EventKind.AEX, 0, 10))

@@ -1,0 +1,43 @@
+"""Unit tests for the shared residency bitmap (Section 4.3)."""
+
+import pytest
+
+from repro.enclave.epc import Epc
+from repro.enclave.page_table import SharedBitmap
+from repro.errors import EpcError
+
+
+class TestSharedBitmap:
+    def test_reflects_residency(self):
+        epc = Epc(4)
+        bitmap = SharedBitmap(epc, elrange_pages=100)
+        assert not bitmap.check(5)
+        epc.insert(5)
+        assert bitmap.check(5)
+        epc.evict(5)
+        assert not bitmap.check(5)
+
+    def test_out_of_elrange_rejected(self):
+        bitmap = SharedBitmap(Epc(4), elrange_pages=10)
+        with pytest.raises(EpcError):
+            bitmap.check(10)
+        with pytest.raises(EpcError):
+            bitmap.check(-1)
+
+    def test_read_counter(self):
+        bitmap = SharedBitmap(Epc(4), elrange_pages=10)
+        for page in range(5):
+            bitmap.check(page)
+        assert bitmap.reads == 5
+
+    def test_size_is_one_bit_per_page(self):
+        """The prototype's bitmap array: one bit per ELRANGE page."""
+        bitmap = SharedBitmap(Epc(4), elrange_pages=24_576)
+        assert bitmap.size_bytes == 3_072  # 24576 / 8
+
+    def test_size_rounds_up(self):
+        assert SharedBitmap(Epc(4), elrange_pages=9).size_bytes == 2
+
+    def test_empty_elrange_rejected(self):
+        with pytest.raises(EpcError):
+            SharedBitmap(Epc(4), elrange_pages=0)

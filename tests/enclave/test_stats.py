@@ -1,0 +1,41 @@
+"""RunStats / TimeBreakdown accounting."""
+
+import pytest
+
+from repro.enclave.stats import RunStats, TimeBreakdown
+
+
+class TestTimeBreakdown:
+    def test_total_sums_buckets(self):
+        tb = TimeBreakdown(
+            compute=100, aex=10, eresume=10, fault_wait=44, sip_check=1, sip_wait=5
+        )
+        assert tb.total == 170
+
+    def test_overhead_excludes_compute(self):
+        tb = TimeBreakdown(compute=100, aex=10, fault_wait=44)
+        assert tb.overhead == 54
+
+    def test_empty_is_zero(self):
+        assert TimeBreakdown().total == 0
+
+
+class TestRunStats:
+    def test_fault_rate(self):
+        stats = RunStats(accesses=10, faults=3)
+        assert stats.fault_rate == pytest.approx(0.3)
+
+    def test_fault_rate_empty_run(self):
+        assert RunStats().fault_rate == 0.0
+
+    def test_preload_accuracy(self):
+        stats = RunStats(preloads_completed=8, preloads_accessed=6)
+        assert stats.preload_accuracy == pytest.approx(0.75)
+
+    def test_preload_accuracy_without_preloads(self):
+        assert RunStats().preload_accuracy == 0.0
+
+    def test_total_cycles_delegates_to_breakdown(self):
+        stats = RunStats()
+        stats.time.compute = 123
+        assert stats.total_cycles == 123

@@ -1,0 +1,184 @@
+"""End-to-end scheme behaviour on miniature workloads.
+
+Fast integration checks of the qualitative claims (the quantitative
+reproduction lives in ``benchmarks/``): DFP wins on streams, hurts on
+noise without the valve, the valve rescues it, SIP wins on profiled
+irregular sites, and the hybrid composes.
+"""
+
+import pytest
+
+from repro.core.config import SimConfig
+from repro.sim.engine import prepare_sip_plan, simulate
+from repro.sim.results import improvement_pct
+from repro.workloads.base import SyntheticWorkload
+from repro.workloads.synthetic import (
+    interleave_phases,
+    sequential,
+    uniform_random,
+    zipf_random,
+)
+
+
+@pytest.fixture
+def config():
+    return SimConfig(
+        epc_pages=96,
+        stream_list_length=8,
+        load_length=4,
+        scan_period_cycles=400_000,
+        valve_slack=24,
+        valve_ratio=0.8,
+    )
+
+
+def seq_workload(compute=5_000):
+    return SyntheticWorkload(
+        "mini-seq",
+        384,
+        {0: "scan"},
+        [sequential(0, 0, 384, compute=compute, passes=3)],
+    )
+
+
+def noisy_workload():
+    """Sparse short runs over a large region: DFP's nightmare."""
+    return SyntheticWorkload(
+        "mini-noise",
+        768,
+        {0: "probe"},
+        [
+            uniform_random(
+                [0],
+                0,
+                768,
+                4_000,
+                compute=4_000,
+                run_length=(2, 3),
+                multi_run_prob=0.5,
+            )
+        ],
+    )
+
+
+def sip_friendly_workload():
+    """A hot resident loop (one site) plus cold scatter (other site).
+
+    The hot region is well inside the EPC/recency window even with the
+    cold traffic churning it, so the hot site profiles Class 1."""
+    phases = [
+        interleave_phases(
+            [
+                zipf_random([0], 0, 32, 6_000, alpha=1.3, compute=4_000),
+                uniform_random([1], 64, 768, 1_500, compute=4_000),
+            ],
+            chunk=[4, 1],
+        )
+    ]
+    return SyntheticWorkload(
+        "mini-sip", 768, {0: "hot", 1: "cold"}, phases
+    )
+
+
+class TestDfp:
+    def test_dfp_improves_streams(self, config):
+        wl = seq_workload()
+        base = simulate(wl, config, "baseline")
+        dfp = simulate(wl, config, "dfp-stop")
+        assert improvement_pct(dfp, base) > 5
+
+    def test_dfp_reduces_full_faults_on_streams(self, config):
+        wl = seq_workload(compute=60_000)
+        base = simulate(wl, config, "baseline")
+        dfp = simulate(wl, config, "dfp-stop")
+        # With compute-rich pages the burst lands in time: roughly one
+        # fault per LOADLENGTH+1 pages instead of one per page.
+        assert dfp.stats.faults < base.stats.faults / 3
+
+    def test_dfp_hurts_noise_without_valve(self, config):
+        wl = noisy_workload()
+        base = simulate(wl, config, "baseline")
+        dfp = simulate(wl, config, "dfp")
+        assert improvement_pct(dfp, base) < -3
+
+    def test_valve_rescues_noise(self, config):
+        wl = noisy_workload()
+        base = simulate(wl, config, "baseline")
+        dfp = simulate(wl, config, "dfp")
+        stop = simulate(wl, config, "dfp-stop")
+        assert stop.total_cycles < dfp.total_cycles
+        assert stop.stats.valve_stops == 1
+        assert improvement_pct(stop, base) > -5
+
+    def test_dfp_neutral_on_resident_working_set(self, config):
+        """Once a small working set is warm, there are no faults for
+        DFP to act on (the small-WS rows of Table 1).  Enough passes
+        make the warm-up share negligible."""
+        wl = SyntheticWorkload(
+            "mini-hot", 64, {0: "x"}, [sequential(0, 0, 64, compute=20_000, passes=64)]
+        )
+        base = simulate(wl, config, "baseline")
+        dfp = simulate(wl, config, "dfp-stop")
+        assert abs(improvement_pct(dfp, base)) < 3
+        # Identical steady state: the only faults either way are the
+        # 64 warm-up loads.
+        assert base.stats.faults == 64
+        assert dfp.stats.epc_hits == dfp.stats.accesses - dfp.stats.faults
+
+
+class TestSip:
+    def test_sip_instruments_only_the_cold_site(self, config):
+        wl = sip_friendly_workload()
+        plan = prepare_sip_plan(wl, config)
+        assert plan.is_instrumented(1)
+        assert not plan.is_instrumented(0)
+
+    def test_sip_improves_the_irregular_workload(self, config):
+        wl = sip_friendly_workload()
+        base = simulate(wl, config, "baseline")
+        sip = simulate(wl, config, "sip")
+        assert improvement_pct(sip, base) > 3
+        assert sip.stats.faults < base.stats.faults
+
+    def test_sip_neutral_on_pure_streams(self, config):
+        """Table 2 lbm/SIFT/micro: nothing to instrument, zero cost."""
+        wl = seq_workload()
+        plan = prepare_sip_plan(wl, config)
+        assert plan.instrumentation_points == 0
+        base = simulate(wl, config, "baseline")
+        sip = simulate(wl, config, "sip", sip_plan=plan)
+        assert sip.total_cycles == base.total_cycles
+
+    def test_sip_loads_have_no_world_switch(self, config):
+        wl = sip_friendly_workload()
+        sip = simulate(wl, config, "sip")
+        base = simulate(wl, config, "baseline")
+        # Converted faults: SIP pays check+load+notify, never AEX.
+        assert sip.stats.time.aex < base.stats.time.aex
+
+
+class TestHybrid:
+    def test_hybrid_beats_or_matches_both_on_mixed(self, config):
+        """Section 5.4: a scan phase plus an irregular phase — the
+        hybrid collects both benefits."""
+        phases = [
+            sequential(0, 0, 384, compute=4_000, passes=2),
+            interleave_phases(
+                [
+                    zipf_random([1], 0, 64, 4_000, alpha=1.2, compute=4_000),
+                    uniform_random([2], 64, 768, 1_200, compute=4_000),
+                ],
+                chunk=[4, 1],
+            ),
+        ]
+        wl = SyntheticWorkload(
+            "mini-mixed", 768, {0: "scan", 1: "hot", 2: "cold"}, phases
+        )
+        plan = prepare_sip_plan(wl, config)
+        base = simulate(wl, config, "baseline")
+        dfp = simulate(wl, config, "dfp-stop")
+        sip = simulate(wl, config, "sip", sip_plan=plan)
+        hybrid = simulate(wl, config, "hybrid", sip_plan=plan)
+        best = min(dfp.total_cycles, sip.total_cycles)
+        assert hybrid.total_cycles <= best * 1.02
+        assert hybrid.total_cycles < base.total_cycles

@@ -1,0 +1,87 @@
+"""Every shipped example must actually run.
+
+The examples are the library's front door; these tests import each
+script and drive its ``main()`` at a reduced scale so the whole batch
+stays fast.  Output is captured and spot-checked for the content each
+example promises.
+"""
+
+import importlib.util
+import pathlib
+import sys
+
+import pytest
+
+EXAMPLES_DIR = pathlib.Path(__file__).resolve().parents[2] / "examples"
+
+#: Scale used when running examples under test (they default to 16).
+TEST_SCALE = 48
+
+
+def load_example(name: str):
+    path = EXAMPLES_DIR / f"{name}.py"
+    spec = importlib.util.spec_from_file_location(f"example_{name}", path)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+class TestExamplesRun:
+    def test_quickstart(self, capsys, monkeypatch):
+        module = load_example("quickstart")
+        monkeypatch.setattr(module, "SCALE", TEST_SCALE)
+        module.main()
+        out = capsys.readouterr().out
+        assert "baseline" in out and "hybrid" in out
+        assert "improvement" in out
+
+    def test_spec_campaign(self, capsys, monkeypatch):
+        module = load_example("spec_campaign")
+        monkeypatch.setattr(sys, "argv", ["spec_campaign.py", str(TEST_SCALE)])
+        module.main()
+        out = capsys.readouterr().out
+        assert "SPEC campaign" in out
+        assert "lbm" in out and "deepsjeng" in out
+        assert "n/a" in out  # Fortran exclusions
+
+    def test_vision_pipeline(self, capsys, monkeypatch):
+        module = load_example("vision_pipeline")
+        monkeypatch.setattr(module, "SCALE", TEST_SCALE)
+        module.main()
+        out = capsys.readouterr().out
+        assert "MSER" in out and "SIFT" in out
+        assert "instrumentation point" in out
+        assert "union_find" in out
+
+    def test_custom_workload(self, capsys, monkeypatch):
+        module = load_example("custom_workload")
+        monkeypatch.setattr(module, "SCALE", TEST_SCALE)
+        module.main()
+        out = capsys.readouterr().out
+        assert "kv-store" in out
+        assert "recommendation" in out
+
+    def test_contention_study(self, capsys, monkeypatch):
+        module = load_example("contention_study")
+        monkeypatch.setattr(module, "SCALE", TEST_SCALE)
+        module.main()
+        out = capsys.readouterr().out
+        assert "EPC contention study" in out
+        assert "vs solo" in out
+
+
+class TestExampleHygiene:
+    @pytest.mark.parametrize(
+        "name",
+        [
+            "quickstart",
+            "spec_campaign",
+            "vision_pipeline",
+            "custom_workload",
+            "contention_study",
+        ],
+    )
+    def test_example_has_docstring_and_main(self, name):
+        module = load_example(name)
+        assert module.__doc__, f"{name} lacks a module docstring"
+        assert callable(getattr(module, "main", None))

@@ -1,0 +1,71 @@
+"""Full-scale configuration smoke tests.
+
+The benches run scaled 16x; these verify the *unscaled* platform (the
+paper's 24,576-page EPC and original valve constants) works end to end
+on short traces, so nothing in the library silently assumes a small
+EPC.
+"""
+
+import pytest
+
+from repro.core.config import SimConfig
+from repro.sim.engine import prepare_sip_plan, simulate
+from repro.workloads.base import SyntheticWorkload
+from repro.workloads.registry import build_workload
+from repro.workloads.synthetic import sequential, uniform_random
+
+FULL = SimConfig()  # scale 1
+
+
+class TestFullScaleConstants:
+    def test_epc_is_96mb(self):
+        assert FULL.epc_pages == 24_576
+
+    def test_paper_valve_constants(self):
+        assert FULL.valve_slack == 200_000
+        assert FULL.valve_ratio == pytest.approx(0.5)
+
+
+class TestFullScaleRuns:
+    def test_baseline_against_full_epc(self):
+        wl = SyntheticWorkload(
+            "big-seq",
+            30_000,
+            {0: "scan"},
+            [sequential(0, 0, 30_000, compute=3_000)],
+        )
+        result = simulate(wl, FULL, "baseline", max_accesses=30_000)
+        # 30,000 pages > 24,576 frames: the tail of the scan evicts.
+        assert result.stats.evictions == 30_000 - 24_576
+        assert result.stats.faults == 30_000
+
+    def test_dfp_on_full_scale_stream(self):
+        wl = SyntheticWorkload(
+            "big-seq",
+            30_000,
+            {0: "scan"},
+            [sequential(0, 0, 30_000, compute=3_000)],
+        )
+        base = simulate(wl, FULL, "baseline")
+        dfp = simulate(wl, FULL, "dfp-stop")
+        assert dfp.total_cycles < base.total_cycles
+        assert dfp.stats.valve_stops == 0
+
+    def test_full_scale_workload_factories(self):
+        """scale=1 models build with the paper's true footprints."""
+        micro = build_workload("microbenchmark", scale=1)
+        assert micro.footprint_pages == 262_144  # 1 GB of 4 KiB pages
+        lbm = build_workload("lbm", scale=1)
+        assert lbm.footprint_pages == pytest.approx(3 * 24_576, rel=0.01)
+
+    def test_sip_pipeline_at_full_scale(self):
+        wl = SyntheticWorkload(
+            "big-rand",
+            60_000,
+            {0: "probe"},
+            [uniform_random([0], 0, 60_000, 8_000, compute=3_000)],
+        )
+        plan = prepare_sip_plan(wl, FULL)
+        assert plan.instrumentation_points == 1
+        result = simulate(wl, FULL, "sip", sip_plan=plan)
+        assert result.stats.sip_loads > 0

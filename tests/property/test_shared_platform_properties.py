@@ -1,0 +1,84 @@
+"""Property-based tests: shared-platform invariants with two enclaves."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.config import SimConfig
+from repro.sim.multi import simulate_shared
+
+from tests.conftest import ScriptedWorkload
+
+EPC = 24
+
+events = st.lists(
+    st.tuples(
+        st.integers(min_value=0, max_value=1),
+        st.integers(min_value=0, max_value=60),
+        st.integers(min_value=1, max_value=80_000),
+    ),
+    min_size=1,
+    max_size=60,
+)
+
+scheme_pairs = st.tuples(
+    st.sampled_from(["baseline", "dfp-stop"]),
+    st.sampled_from(["baseline", "dfp-stop"]),
+)
+
+
+def make_pair(events_a, events_b):
+    instructions = {0: "i0", 1: "i1"}
+    a = ScriptedWorkload(
+        [tuple(e) for e in events_a],
+        name="a",
+        footprint_pages=61,
+        instructions=instructions,
+    )
+    b = ScriptedWorkload(
+        [tuple(e) for e in events_b],
+        name="b",
+        footprint_pages=61,
+        instructions=instructions,
+    )
+    return a, b
+
+
+def config():
+    return SimConfig(epc_pages=EPC, scan_period_cycles=400_000, valve_slack=8)
+
+
+@given(events, events, scheme_pairs)
+@settings(max_examples=80, deadline=None)
+def test_per_enclave_accounting_exact(events_a, events_b, schemes):
+    a, b = make_pair(events_a, events_b)
+    results = simulate_shared([a, b], config(), list(schemes))
+    for result in results:
+        assert result.stats.time.total == result.total_cycles
+        assert (
+            result.stats.epc_hits + result.stats.faults
+            == result.stats.accesses
+        )
+
+
+@given(events, events, scheme_pairs)
+@settings(max_examples=80, deadline=None)
+def test_shared_runs_deterministic(events_a, events_b, schemes):
+    a, b = make_pair(events_a, events_b)
+    first = simulate_shared([a, b], config(), list(schemes))
+    a2, b2 = make_pair(events_a, events_b)
+    second = simulate_shared([a2, b2], config(), list(schemes))
+    assert [r.total_cycles for r in first] == [r.total_cycles for r in second]
+
+
+@given(events, events)
+@settings(max_examples=60, deadline=None)
+def test_contention_never_speeds_anyone_up(events_a, events_b):
+    """Sharing the EPC with a competitor can never make a baseline
+    run *faster* than running alone."""
+    from repro.sim.engine import simulate
+
+    a, b = make_pair(events_a, events_b)
+    solo_a = simulate(a, config(), "baseline")
+    a2, b2 = make_pair(events_a, events_b)
+    shared = simulate_shared([a2, b2], config(), ["baseline", "baseline"])
+    assert shared[0].total_cycles >= solo_a.total_cycles

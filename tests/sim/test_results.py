@@ -1,0 +1,70 @@
+"""RunResult comparison helpers."""
+
+import pytest
+
+from repro.core.config import SimConfig
+from repro.enclave.stats import RunStats, TimeBreakdown
+from repro.errors import SimulationError
+from repro.sim.results import RunResult, improvement_pct, normalized_time
+
+
+def result(cycles, workload="w", input_set="ref", scheme="baseline"):
+    stats = RunStats(time=TimeBreakdown(compute=cycles))
+    return RunResult(
+        workload=workload,
+        scheme=scheme,
+        input_set=input_set,
+        seed=0,
+        total_cycles=cycles,
+        stats=stats,
+        config=SimConfig(epc_pages=16),
+    )
+
+
+class TestNormalizedTime:
+    def test_identity(self):
+        base = result(1000)
+        assert normalized_time(base, base) == pytest.approx(1.0)
+
+    def test_faster_run_below_one(self):
+        assert normalized_time(result(800), result(1000)) == pytest.approx(0.8)
+
+    def test_improvement_pct(self):
+        assert improvement_pct(result(800), result(1000)) == pytest.approx(20.0)
+
+    def test_slower_run_negative_improvement(self):
+        assert improvement_pct(result(1300), result(1000)) == pytest.approx(-30.0)
+
+    def test_cross_workload_comparison_rejected(self):
+        with pytest.raises(SimulationError):
+            normalized_time(result(1, workload="a"), result(1, workload="b"))
+
+    def test_cross_input_set_comparison_rejected(self):
+        with pytest.raises(SimulationError):
+            normalized_time(result(1, input_set="ref"), result(1, input_set="train"))
+
+    def test_empty_baseline_rejected(self):
+        with pytest.raises(SimulationError):
+            normalized_time(result(1), result(0))
+
+
+class TestResultProperties:
+    def test_seconds_at_platform_clock(self):
+        assert result(3_500_000_000).seconds == pytest.approx(1.0)
+
+    def test_overhead_fraction(self):
+        stats = RunStats(time=TimeBreakdown(compute=60, fault_wait=40))
+        r = RunResult(
+            workload="w",
+            scheme="baseline",
+            input_set="ref",
+            seed=0,
+            total_cycles=100,
+            stats=stats,
+            config=SimConfig(epc_pages=16),
+        )
+        assert r.fault_overhead_fraction == pytest.approx(0.4)
+
+    def test_describe_is_readable(self):
+        text = result(1000).describe()
+        assert "w" in text and "baseline" in text and "cycles" in text

@@ -1,0 +1,75 @@
+"""Sweep and scheme-comparison drivers."""
+
+import pytest
+
+from repro.core.config import SimConfig
+from repro.errors import ConfigError
+from repro.sim.sweep import compare_schemes, sweep_config
+from repro.workloads.base import SyntheticWorkload
+from repro.workloads.synthetic import sequential
+
+
+def make_workload():
+    # Compute above the channel rate (load + EWB = 56k): pages land
+    # before their touch, so faults occur once per LOADLENGTH+1 pages
+    # and the sweep genuinely varies with the parameter.
+    return SyntheticWorkload(
+        "seq", 128, {0: "scan"}, [sequential(0, 0, 128, compute=60_000)]
+    )
+
+
+@pytest.fixture
+def config():
+    return SimConfig(epc_pages=32, scan_period_cycles=500_000, valve_slack=16)
+
+
+class TestCompareSchemes:
+    def test_runs_every_scheme(self, config):
+        results = compare_schemes(
+            make_workload(), config, ["baseline", "dfp", "dfp-stop"]
+        )
+        assert set(results) == {"baseline", "dfp", "dfp-stop"}
+        for name, result in results.items():
+            assert result.scheme == name
+
+    def test_sip_plan_compiled_once_and_shared(self, config):
+        results = compare_schemes(make_workload(), config, ["sip", "hybrid"])
+        assert results["sip"].sip_points == results["hybrid"].sip_points
+
+    def test_baseline_not_affected_by_sip_plan(self, config):
+        a = compare_schemes(make_workload(), config, ["baseline"])["baseline"]
+        b = compare_schemes(make_workload(), config, ["baseline", "sip"])["baseline"]
+        assert a.total_cycles == b.total_cycles
+
+
+class TestSweepConfig:
+    def test_labels_attach_to_points(self, config):
+        configs = [config.replace(load_length=n) for n in (2, 4)]
+        points = sweep_config(
+            make_workload, configs, ["baseline"], values=[2, 4]
+        )
+        assert [p.value for p in points] == [2, 4]
+
+    def test_default_labels_are_indices(self, config):
+        points = sweep_config(make_workload, [config], ["baseline"])
+        assert points[0].value == 0
+
+    def test_label_count_mismatch_rejected(self, config):
+        with pytest.raises(ConfigError):
+            sweep_config(make_workload, [config], ["baseline"], values=[1, 2])
+
+    def test_sweep_varies_results(self, config):
+        """LOADLENGTH genuinely changes DFP behaviour on a stream: a
+        longer burst means fewer burst-boundary faults."""
+        configs = [config.replace(load_length=n) for n in (1, 8)]
+        points = sweep_config(
+            make_workload, configs, ["dfp-stop"], values=[1, 8]
+        )
+        short = points[0].results["dfp-stop"]
+        long = points[1].results["dfp-stop"]
+        assert long.stats.faults < short.stats.faults
+        assert long.total_cycles < short.total_cycles
+
+    def test_repr_mentions_value(self, config):
+        points = sweep_config(make_workload, [config], ["baseline"], values=["x"])
+        assert "x" in repr(points[0])

@@ -1,0 +1,93 @@
+"""CLI smoke/behaviour tests (fast: tiny scale, short workloads)."""
+
+import pytest
+
+from repro.cli import main
+
+SCALE = ["--scale", "64"]
+
+
+class TestList:
+    def test_lists_all_workloads(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        for name in ("lbm", "deepsjeng", "SIFT", "microbenchmark"):
+            assert name in out
+
+
+class TestRun:
+    def test_run_baseline(self, capsys):
+        assert main(["run", "leela", *SCALE]) == 0
+        out = capsys.readouterr().out
+        assert "leela" in out and "baseline" in out
+        assert "time breakdown" in out
+
+    def test_run_dfp(self, capsys):
+        assert main(["run", "lbm", "--scheme", "dfp-stop", *SCALE]) == 0
+        out = capsys.readouterr().out
+        assert "dfp-stop" in out
+
+    def test_unknown_workload_rejected(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["run", "doom", *SCALE])
+
+
+class TestCompare:
+    def test_compare_normalizes_to_baseline(self, capsys):
+        assert main(
+            ["compare", "lbm", "--schemes", "baseline,dfp-stop", *SCALE]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "vs baseline" in out
+        assert "1.000" in out  # baseline row
+
+
+class TestProfile:
+    def test_profile_prints_plan(self, capsys):
+        assert main(["profile", "MSER", *SCALE]) == 0
+        out = capsys.readouterr().out
+        assert "instrumentation point" in out
+        assert "union_find" in out
+
+    def test_profile_custom_threshold(self, capsys):
+        assert main(["profile", "MSER", "--threshold", "0.9", *SCALE]) == 0
+        out = capsys.readouterr().out
+        assert "0 instrumentation point(s)" in out
+
+
+class TestClassify:
+    def test_classify_selected(self, capsys):
+        assert main(["classify", "lbm", "leela", *SCALE]) == 0
+        out = capsys.readouterr().out
+        assert "regular" in out
+        assert "small working set" in out
+
+
+class TestSweep:
+    def test_sweep_load_length(self, capsys):
+        assert main(
+            [
+                "sweep",
+                "leela",
+                "--param",
+                "load_length",
+                "--values",
+                "1,4",
+                *SCALE,
+            ]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "load_length sweep" in out
+
+    def test_sweep_float_param(self, capsys):
+        assert main(
+            [
+                "sweep",
+                "leela",
+                "--param",
+                "valve_ratio",
+                "--values",
+                "0.5,0.8",
+                *SCALE,
+            ]
+        ) == 0

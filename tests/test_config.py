@@ -1,0 +1,106 @@
+"""Unit tests for the cost model and simulation configuration."""
+
+import pytest
+
+from repro.core.config import DEFAULT_EPC_PAGES, CostModel, SimConfig
+from repro.errors import ConfigError
+
+
+class TestCostModel:
+    def test_paper_fault_total(self):
+        """Section 2: AEX + load + ERESUME lands in the 60k-64k band."""
+        cost = CostModel()
+        assert 60_000 <= cost.fault_cycles <= 64_000
+
+    def test_world_switch_is_aex_plus_eresume(self):
+        cost = CostModel()
+        assert cost.world_switch_cycles == cost.aex_cycles + cost.eresume_cycles
+
+    def test_defaults_match_paper_constants(self):
+        cost = CostModel()
+        assert cost.aex_cycles == 10_000
+        assert cost.page_load_cycles == 44_000
+        assert cost.eresume_cycles == 10_000
+        assert cost.regular_fault_cycles == 2_000
+
+    def test_enclave_fault_much_slower_than_regular(self):
+        """The 30x gap that motivates the whole paper."""
+        cost = CostModel()
+        assert cost.fault_cycles >= 30 * cost.regular_fault_cycles
+
+    def test_negative_cost_rejected(self):
+        with pytest.raises(ConfigError):
+            CostModel(aex_cycles=-1)
+
+    def test_zero_load_rejected(self):
+        with pytest.raises(ConfigError):
+            CostModel(page_load_cycles=0)
+
+
+class TestSimConfig:
+    def test_default_epc_is_full_scale(self):
+        assert SimConfig().epc_pages == DEFAULT_EPC_PAGES == 24_576
+
+    def test_paper_default_parameters(self):
+        """Section 5.1: stream list length 30, LOADLENGTH 4; Section
+        5.2: SIP threshold 5%; Section 4.2: valve ratio 1/2."""
+        config = SimConfig()
+        assert config.stream_list_length == 30
+        assert config.load_length == 4
+        assert config.sip_threshold == pytest.approx(0.05)
+        assert config.valve_ratio == pytest.approx(0.5)
+        assert config.valve_slack == 200_000
+
+    def test_replace_returns_modified_copy(self):
+        config = SimConfig()
+        other = config.replace(load_length=8)
+        assert other.load_length == 8
+        assert config.load_length == 4
+
+    @pytest.mark.parametrize(
+        "field,value",
+        [
+            ("epc_pages", 0),
+            ("stream_list_length", 0),
+            ("load_length", -1),
+            ("scan_period_cycles", 0),
+            ("valve_slack", -5),
+            ("sip_threshold", 1.5),
+            ("valve_ratio", 0.0),
+            ("valve_ratio", 1.5),
+        ],
+    )
+    def test_invalid_values_rejected(self, field, value):
+        with pytest.raises(ConfigError):
+            SimConfig(**{field: value})
+
+
+class TestScaledConfig:
+    def test_scale_one_keeps_paper_valve_ratio(self):
+        assert SimConfig.scaled(1).valve_ratio == pytest.approx(0.5)
+
+    def test_scaled_epc_shrinks_linearly(self):
+        assert SimConfig.scaled(16).epc_pages == DEFAULT_EPC_PAGES // 16
+
+    def test_scaled_costs_unchanged(self):
+        """Cycle costs are architectural; scaling must not touch them."""
+        assert SimConfig.scaled(16).cost == SimConfig().cost
+
+    def test_scaled_predictor_parameters_unchanged(self):
+        scaled = SimConfig.scaled(16)
+        assert scaled.stream_list_length == 30
+        assert scaled.load_length == 4
+
+    def test_scaled_accepts_overrides(self):
+        scaled = SimConfig.scaled(16, load_length=8)
+        assert scaled.load_length == 8
+
+    def test_invalid_factor_rejected(self):
+        with pytest.raises(ConfigError):
+            SimConfig.scaled(0)
+
+    def test_valve_slack_shrinks_superlinearly(self):
+        """Scaled runs are shorter in events, so the absolute preload
+        slack must shrink faster than the linear footprint factor."""
+        s4, s16 = SimConfig.scaled(4), SimConfig.scaled(16)
+        assert s16.valve_slack < s4.valve_slack < SimConfig().valve_slack

@@ -1,0 +1,26 @@
+"""The exception hierarchy: everything derives from ReproError."""
+
+import pytest
+
+from repro import errors
+
+
+@pytest.mark.parametrize(
+    "exc",
+    [
+        errors.ConfigError,
+        errors.EpcError,
+        errors.ChannelError,
+        errors.WorkloadError,
+        errors.InstrumentationError,
+        errors.SimulationError,
+    ],
+)
+def test_all_errors_derive_from_base(exc):
+    assert issubclass(exc, errors.ReproError)
+    assert issubclass(exc, Exception)
+
+
+def test_catching_base_catches_specific():
+    with pytest.raises(errors.ReproError):
+        raise errors.EpcError("boom")

@@ -1,0 +1,74 @@
+"""Unit tests for :mod:`repro.units`."""
+
+import pytest
+
+from repro import units
+from repro.errors import ReproError
+
+
+class TestPagesOf:
+    def test_zero_bytes_is_zero_pages(self):
+        assert units.pages_of(0) == 0
+
+    def test_one_byte_needs_one_page(self):
+        assert units.pages_of(1) == 1
+
+    def test_exact_page(self):
+        assert units.pages_of(units.PAGE_SIZE) == 1
+
+    def test_one_over_page_rounds_up(self):
+        assert units.pages_of(units.PAGE_SIZE + 1) == 2
+
+    def test_one_gib(self):
+        assert units.pages_of(units.GIB) == 262_144
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            units.pages_of(-1)
+
+
+class TestBytesOf:
+    def test_round_trip(self):
+        assert units.bytes_of(units.pages_of(units.MIB)) == units.MIB
+
+    def test_zero(self):
+        assert units.bytes_of(0) == 0
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            units.bytes_of(-3)
+
+
+class TestPageNumber:
+    def test_bottom_bits_cleared(self):
+        assert units.page_number(0xABC) == 0
+        assert units.page_number(units.PAGE_SIZE) == 1
+        assert units.page_number(units.PAGE_SIZE * 7 + 123) == 7
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            units.page_number(-1)
+
+
+class TestEpcConstants:
+    def test_usable_epc_is_96_mb(self):
+        """Section 1: ~96 MB usable of the 128 MB reserved."""
+        assert units.EPC_USABLE_BYTES == 96 * units.MIB
+        assert units.pages_of(units.EPC_USABLE_BYTES) == 24_576
+
+    def test_reserved_epc_is_128_mb(self):
+        assert units.EPC_TOTAL_BYTES == 128 * units.MIB
+
+
+class TestCyclesToSeconds:
+    def test_platform_frequency(self):
+        """3.5 GHz: 3.5e9 cycles is one second."""
+        assert units.cycles_to_seconds(3_500_000_000) == pytest.approx(1.0)
+
+    def test_fault_cost_in_microseconds(self):
+        """An enclave fault (~64k cycles) is ~18 microseconds."""
+        assert units.cycles_to_seconds(64_000) == pytest.approx(18.3e-6, rel=0.01)
+
+    def test_invalid_frequency_rejected(self):
+        with pytest.raises(ValueError):
+            units.cycles_to_seconds(1000, ghz=0)

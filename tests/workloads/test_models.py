@@ -1,0 +1,116 @@
+"""Tests of the benchmark models: geometry, determinism, pattern class.
+
+These validate the *structural* claims each model makes (footprint
+ratio, Table 1 category, instruction population); the behavioural
+reproduction numbers live in the benchmarks tree.
+"""
+
+import pytest
+
+from repro.core.config import SimConfig
+from repro.workloads.registry import (
+    CPP_BENCHMARKS,
+    LARGE_IRREGULAR,
+    LARGE_REGULAR,
+    SMALL_WORKING_SET,
+    WORKLOAD_NAMES,
+    build_workload,
+)
+from repro.errors import WorkloadError
+
+SCALE = 64  # tiny models: fast structural checks
+CONFIG = SimConfig.scaled(SCALE)
+
+
+class TestRegistry:
+    def test_all_names_buildable(self):
+        for name in WORKLOAD_NAMES:
+            wl = build_workload(name, scale=SCALE)
+            assert wl.name == name
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(WorkloadError):
+            build_workload("quake3", scale=SCALE)
+
+    def test_groups_are_disjoint_and_known(self):
+        groups = set(LARGE_REGULAR) | set(LARGE_IRREGULAR) | set(SMALL_WORKING_SET)
+        assert groups <= set(WORKLOAD_NAMES)
+        assert not set(LARGE_REGULAR) & set(LARGE_IRREGULAR)
+        assert not set(LARGE_REGULAR) & set(SMALL_WORKING_SET)
+
+    def test_cpp_benchmarks_exclude_fortran(self):
+        """Section 5.2: bwaves, roms, wrf (Fortran) and omnetpp are
+        unsupported by the SIP toolchain."""
+        for name in ("bwaves", "roms", "wrf", "omnetpp"):
+            assert name not in CPP_BENCHMARKS
+
+
+class TestFootprints:
+    @pytest.mark.parametrize("name", LARGE_REGULAR + LARGE_IRREGULAR)
+    def test_large_working_sets_exceed_epc(self, name):
+        wl = build_workload(name, scale=SCALE)
+        assert wl.footprint_pages > CONFIG.epc_pages
+
+    @pytest.mark.parametrize("name", SMALL_WORKING_SET)
+    def test_small_working_sets_fit_epc(self, name):
+        wl = build_workload(name, scale=SCALE)
+        assert wl.footprint_pages <= CONFIG.epc_pages
+
+    def test_microbenchmark_is_gigabyte_scaled(self):
+        """1 GB over a 96 MB EPC: >10x the EPC at any scale."""
+        wl = build_workload("microbenchmark", scale=SCALE)
+        assert wl.footprint_pages >= 10 * CONFIG.epc_pages
+
+    def test_scale_shrinks_footprints(self):
+        small = build_workload("lbm", scale=64).footprint_pages
+        large = build_workload("lbm", scale=16).footprint_pages
+        assert large == pytest.approx(4 * small, rel=0.05)
+
+
+class TestTraces:
+    @pytest.mark.parametrize("name", WORKLOAD_NAMES)
+    def test_trace_valid_and_deterministic(self, name):
+        wl = build_workload(name, scale=SCALE)
+        first = list(wl.trace(seed=3))
+        second = list(wl.trace(seed=3))
+        assert first, f"{name} produced an empty trace"
+        assert first == second
+
+    @pytest.mark.parametrize("name", WORKLOAD_NAMES)
+    def test_train_differs_from_ref(self, name):
+        wl = build_workload(name, scale=SCALE)
+        train = list(wl.trace(input_set="train"))
+        ref = list(wl.trace(input_set="ref"))
+        assert len(train) < len(ref)
+
+    @pytest.mark.parametrize("name", WORKLOAD_NAMES)
+    def test_compute_cycles_positive(self, name):
+        wl = build_workload(name, scale=SCALE)
+        for _i, _p, cycles in wl.trace():
+            assert cycles > 0
+
+    def test_seed_changes_random_workloads(self):
+        wl = build_workload("deepsjeng", scale=SCALE)
+        assert list(wl.trace(seed=0)) != list(wl.trace(seed=1))
+
+
+class TestInstructionPopulations:
+    def test_mcf_declares_paper_site_count(self):
+        """Table 2: mcf has ~99 candidate sites; the pool must exist
+        regardless of what the pass selects."""
+        wl = build_workload("mcf", scale=SCALE)
+        sites = [n for n in wl.instructions.values() if "arc_cost" in n]
+        assert len(sites) == 99
+
+    def test_mser_declares_54_sites(self):
+        wl = build_workload("MSER", scale=SCALE)
+        sites = [n for n in wl.instructions.values() if "union_find" in n]
+        assert len(sites) == 54
+
+    def test_microbenchmark_single_instruction(self):
+        wl = build_workload("microbenchmark", scale=SCALE)
+        assert len(wl.instructions) == 1
+
+    def test_instruction_names_are_descriptive(self):
+        wl = build_workload("lbm", scale=SCALE)
+        assert all(name for name in wl.instructions.values())

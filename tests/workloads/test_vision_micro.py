@@ -1,0 +1,95 @@
+"""Structural tests of the vision and microbenchmark models."""
+
+import pytest
+
+from repro import units
+from repro.workloads.micro import MICRO_BUFFER_BYTES, make_microbenchmark
+from repro.workloads.vision import make_mixed_blood, make_mser, make_sift
+
+
+class TestMicrobenchmark:
+    def test_buffer_is_one_gigabyte(self):
+        assert MICRO_BUFFER_BYTES == units.GIB
+
+    def test_full_scale_footprint(self):
+        assert make_microbenchmark(1).footprint_pages == 262_144
+
+    def test_purely_sequential_trace(self):
+        wl = make_microbenchmark(64)
+        pages = [p for _i, p, _c in wl.trace()]
+        passes = len(pages) // wl.footprint_pages
+        assert passes == 2
+        # Each pass is strictly ascending.
+        fp = wl.footprint_pages
+        for k in range(passes):
+            segment = pages[k * fp : (k + 1) * fp]
+            assert segment == list(range(fp))
+
+
+class TestSift:
+    def test_pyramid_levels_shrink(self):
+        wl = make_sift(32)
+        level_names = [n for n in wl.instructions.values() if "level" in n]
+        assert len(level_names) >= 3  # a real pyramid
+
+    def test_pyramid_pages_nest(self):
+        """Level k+1 touches a subset of level k's pages (the image
+        pyramid shrinks in place)."""
+        wl = make_sift(32)
+        by_level = {}
+        for instr, page, _c in wl.trace():
+            name = wl.instructions[instr]
+            if "level" in name:
+                by_level.setdefault(name, set()).add(page)
+        levels = sorted(by_level)
+        for a, b in zip(levels, levels[1:]):
+            assert by_level[b] <= by_level[a]
+
+    def test_descriptor_phase_is_resident_hot(self):
+        wl = make_sift(32)
+        descriptor_pages = {
+            page
+            for instr, page, _c in wl.trace()
+            if "descriptor" in wl.instructions[instr]
+        }
+        assert len(descriptor_pages) <= 64
+
+
+class TestMser:
+    def test_has_sort_then_union_find(self):
+        wl = make_mser(32)
+        instrs = [wl.instructions[i] for i, _p, _c in wl.trace()]
+        first_union = instrs.index(
+            next(n for n in instrs if "union_find" in n)
+        )
+        # The sort sweep strictly precedes the union-find phase.
+        assert all("sort" in n for n in instrs[:first_union])
+
+    def test_union_find_pool_size_matches_table2(self):
+        wl = make_mser(32)
+        pool = {n for n in wl.instructions.values() if "union_find" in n}
+        assert len(pool) == 54
+
+
+class TestMixedBlood:
+    def test_scan_phase_precedes_detection(self):
+        """Section 5.4: 'we sequentially scan an image and then invoke
+        MSER' — the phases must be ordered, not interleaved."""
+        wl = make_mixed_blood(32)
+        kinds = [
+            "scan" if "scan" in wl.instructions[i] else "mser"
+            for i, _p, _c in wl.trace()
+        ]
+        last_scan = max(i for i, k in enumerate(kinds) if k == "scan")
+        first_mser = min(i for i, k in enumerate(kinds) if k == "mser")
+        assert last_scan < first_mser
+
+    def test_comparable_phase_volumes(self):
+        """The phases are 'similar' in volume (Section 5.4)."""
+        wl = make_mixed_blood(32)
+        counts = {"scan": 0, "mser": 0}
+        for i, _p, _c in wl.trace():
+            key = "scan" if "scan" in wl.instructions[i] else "mser"
+            counts[key] += 1
+        ratio = counts["scan"] / counts["mser"]
+        assert 0.3 < ratio < 3.0
