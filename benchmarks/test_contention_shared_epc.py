@@ -45,7 +45,7 @@ def test_contention_shared_epc(benchmark):
         slowdown = result.total_cycles / reference.total_cycles
         return [
             f"{name} [{result.scheme}]",
-            f"{result.total_cycles / 1e6:,.0f}M",
+            f"{result.total_cycles / 1e6:,.0f}M",  # repro-lint: disable=RL004 display-only scaling to millions
             f"{slowdown:.2f}x",
             f"{result.stats.faults:,}",
             f"{result.stats.time.overhead / 1e6:,.0f}M",

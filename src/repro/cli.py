@@ -7,11 +7,15 @@ Thin, scriptable access to the library's main flows:
 * ``compare`` — several schemes on one workload, normalized;
 * ``profile`` — the SIP profiling run and instrumentation plan;
 * ``classify`` — the Table 1 classification of the models;
-* ``sweep`` — a one-parameter sweep (e.g. LOADLENGTH, Figure 7 style).
+* ``sweep`` — a one-parameter sweep (e.g. LOADLENGTH, Figure 7 style);
+* ``lint`` — the repo-specific static-analysis pass (rules RL001–RL005,
+  see :mod:`repro.lint`).
 
-Every command accepts ``--scale`` (default 16): the EPC and workload
-footprints shrink together, preserving normalized results (DESIGN.md
-§6).
+Every simulation command accepts ``--scale`` (default 16): the EPC and
+workload footprints shrink together, preserving normalized results
+(DESIGN.md §6) — and ``--sanitize``, which runs the same simulation
+under the runtime invariant sanitizer
+(:mod:`repro.enclave.sanitizer`).
 """
 
 from __future__ import annotations
@@ -69,6 +73,9 @@ def build_parser() -> argparse.ArgumentParser:
                        help="EPC/footprint scale factor (default 16)")
         p.add_argument("--seed", type=int, default=0)
         p.add_argument("--input-set", choices=("train", "ref"), default="ref")
+        p.add_argument("--sanitize", action="store_true",
+                       help="run under the runtime invariant sanitizer "
+                            "(same results, per-event checking)")
 
     sub.add_parser("list", help="list workload models")
 
@@ -103,11 +110,28 @@ def build_parser() -> argparse.ArgumentParser:
     p_swp.add_argument("--values", required=True,
                        help="comma-separated parameter values")
     p_swp.add_argument("--scheme", choices=SCHEME_NAMES, default="dfp-stop")
+
+    p_lint = sub.add_parser(
+        "lint", help="repo-specific static analysis (rules RL001-RL005)"
+    )
+    p_lint.add_argument(
+        "paths", nargs="*", default=["src"],
+        help="files or directories to check (default: src)",
+    )
+    p_lint.add_argument("--format", choices=("text", "json"), default="text",
+                        dest="output_format")
+    p_lint.add_argument("--select", default=None,
+                        help="comma-separated rule codes to run (default: all)")
+    p_lint.add_argument("--list-rules", action="store_true",
+                        help="list the rule catalogue and exit")
     return parser
 
 
 def _config(args: argparse.Namespace) -> SimConfig:
-    return SimConfig.scaled(args.scale)
+    config = SimConfig.scaled(args.scale)
+    if getattr(args, "sanitize", False):
+        config = config.replace(sanitize=True)
+    return config
 
 
 def _cmd_list(_args: argparse.Namespace) -> int:
@@ -262,6 +286,28 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_lint(args: argparse.Namespace) -> int:
+    from repro.lint import lint_paths, render_json, render_text, rule_catalog
+
+    if args.list_rules:
+        rows = [[r["code"], r["name"], r["description"]] for r in rule_catalog()]
+        print(format_table(["code", "name", "checks for"], rows))
+        return 0
+    select = (
+        [c.strip() for c in args.select.split(",") if c.strip()]
+        if args.select
+        else None
+    )
+    findings = lint_paths(args.paths, select=select)
+    if args.output_format == "json":
+        print(render_json(findings))
+    elif findings:
+        print(render_text(findings))
+    else:
+        print("0 findings")
+    return 1 if findings else 0
+
+
 _COMMANDS = {
     "list": _cmd_list,
     "run": _cmd_run,
@@ -269,6 +315,7 @@ _COMMANDS = {
     "profile": _cmd_profile,
     "classify": _cmd_classify,
     "sweep": _cmd_sweep,
+    "lint": _cmd_lint,
 }
 
 

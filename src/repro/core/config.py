@@ -147,6 +147,14 @@ class SimConfig:
     #: Algorithm 1 carries a ``direction`` field; forward-only matches
     #: the paper's description most conservatively.
     track_backward_streams: bool = False
+    #: Enable the runtime invariant sanitizer
+    #: (:class:`repro.enclave.sanitizer.SimSanitizer`): every structural
+    #: event is cross-checked against the EPC/channel/counter invariants
+    #: and a violation raises :class:`~repro.errors.SanitizerError` with
+    #: the offending event tail.  Read-only — results are bit-identical
+    #: with it on or off — but adds per-event checking cost, so it is
+    #: off by default and enabled via the CLI's ``--sanitize``.
+    sanitize: bool = False
     #: Cycle costs of architectural events.
     cost: CostModel = field(default_factory=CostModel)
 

@@ -38,6 +38,7 @@ from repro.enclave.events import EventKind, TimelineEvent
 from repro.enclave.loader import LoadKind
 from repro.enclave.page_table import SharedBitmap
 from repro.enclave.platform import SharedPlatform
+from repro.enclave.sanitizer import SimSanitizer
 from repro.enclave.stats import RunStats
 from repro.errors import SimulationError
 
@@ -72,6 +73,19 @@ class SgxDriver:
         self._record = record_events
         self.events: List[TimelineEvent] = []
         self._last_now = 0
+        # Application-clock high-water mark, updated only at the entry
+        # and exit of the application-visible calls — the points where
+        # the time buckets provably equal the clock.  The sanitizer's
+        # per-tick accounting check compares against this (a scan fired
+        # from another enclave's poll, or from finish(), runs at a time
+        # this driver's buckets never saw).
+        self._clock_hw = 0
+        #: Runtime invariant checker; None unless ``config.sanitize``.
+        self.sanitizer: Optional[SimSanitizer] = (
+            SimSanitizer(self.epc, self.channel, label=enclave.name)
+            if config.sanitize
+            else None
+        )
 
     @property
     def enclave(self) -> Enclave:
@@ -90,6 +104,8 @@ class SgxDriver:
     def _emit(self, kind: EventKind, start: int, end: int, page: int = -1) -> None:
         if self._record:
             self.events.append(TimelineEvent(kind, start, end, page))
+        if self.sanitizer is not None:
+            self.sanitizer.record_event(kind, start, end, page)
 
     def _note_eviction(self, state) -> None:
         """Account an eviction of one of *this* enclave's pages."""
@@ -116,6 +132,8 @@ class SgxDriver:
         if self.epc.is_resident(page):
             if kind is LoadKind.PRELOAD:
                 self.stats.preloads_redundant += 1
+                if self.sanitizer is not None:
+                    self.sanitizer.check_redundant_preload(page, finish)
             return evicted
         if self.epc.is_full:
             victim = self.evictor.select_victim()
@@ -126,6 +144,8 @@ class SgxDriver:
             victim_owner._note_eviction(state)
         self.epc.insert(page, preloaded=(kind is LoadKind.PRELOAD))
         self.evictor.note_insert(page)
+        if self.sanitizer is not None:
+            self.sanitizer.check_load(page, kind, finish)
         if kind is LoadKind.PRELOAD:
             self.stats.preloads_completed += 1
             if self._dfp is not None:
@@ -137,6 +157,11 @@ class SgxDriver:
                 page,
             )
         return evicted
+
+    def _queued_pages_of_tag(self, tag: int) -> List[int]:
+        """Snapshot of the queued pages belonging to one burst."""
+        channel = self.channel
+        return [p for p in channel.queued_pages if channel.queued_tag(p) == tag]
 
     def _after_scan(self, now: int, credited: int) -> None:
         """Platform hook: the global service-thread scan just ran."""
@@ -150,9 +175,27 @@ class SgxDriver:
                 self.stats.valve_stops += 1
                 base = self._enclave.base_page
                 limit = base + self._enclave.elrange_pages
+                if self.sanitizer is not None:
+                    doomed = [
+                        p for p in self.channel.queued_pages if base <= p < limit
+                    ]
+                    self.sanitizer.check_abort(doomed, now)
                 dropped = self.channel.abort_pages_in_range(base, limit, now)
                 if dropped:
                     self._dfp.note_aborted(dropped)
+        if self.sanitizer is not None:
+            # Per-tick cross-checks: valve-counter sanity and the
+            # bucket-sum-equals-clock accounting identity (the engine
+            # checks the latter only once, at run end).
+            if self._dfp is not None:
+                self.sanitizer.check_counters(
+                    self._dfp.preload_counter, self._dfp.acc_preload_counter, now
+                )
+            else:
+                self.sanitizer.check_counters(
+                    self.stats.preloads_completed, self.stats.preloads_accessed, now
+                )
+            self.sanitizer.check_tick(self.stats, self._clock_hw, now)
 
     def poll(self, now: int) -> None:
         """Advance background machinery (channel + scans) to ``now``."""
@@ -200,6 +243,7 @@ class SgxDriver:
                 f"[{self._enclave.base_page}, "
                 f"{self._enclave.base_page + self._enclave.elrange_pages})"
             )
+        self._clock_hw = now
         self.poll(now)
         self.stats.accesses += 1
         if self.epc.is_resident(page):
@@ -232,6 +276,10 @@ class SgxDriver:
                 # Fault inside a queued burst: the preloader fell
                 # behind — abort that burst's remainder (in-stream
                 # abort, Section 4.1).
+                if self.sanitizer is not None:
+                    self.sanitizer.check_abort(
+                        self._queued_pages_of_tag(burst_tag), t
+                    )
                 dropped = self.channel.abort_tag(burst_tag, t)
                 if self._dfp is not None and dropped:
                     self._dfp.note_aborted(dropped)
@@ -248,12 +296,15 @@ class SgxDriver:
             if burst:
                 pages = self._filter_burst(burst)
                 if pages:
+                    if self.sanitizer is not None:
+                        self.sanitizer.check_enqueue(pages, t)
                     self.channel.enqueue_preloads(pages, t)
 
         end = t + cost.eresume_cycles
         stats.time.eresume += cost.eresume_cycles
         self._emit(EventKind.ERESUME, t, end)
         self._touch(page, hit=False)
+        self._clock_hw = end
         return end
 
     def sip_prefetch(self, page: int, now: int) -> int:
@@ -269,6 +320,7 @@ class SgxDriver:
             raise SimulationError(
                 f"SIP notification for page {page} outside ELRANGE"
             )
+        self._clock_hw = now
         self.poll(now)
         cost = self._cost
         stats = self.stats
@@ -279,17 +331,20 @@ class SgxDriver:
         self.channel.advance_to(t)
         if self.bitmap.check(page):
             stats.sip_check_hits += 1
+            self._clock_hw = t
             return t
         if self.channel.current_page == page:
             finish = self.channel.wait_for_current(t)
             stats.time.sip_wait += finish - t
             self._emit(EventKind.SIP_LOAD, t, finish, page)
+            self._clock_hw = finish
             return finish
         stats.sip_loads += 1
         finish = self.channel.load_sync(page, LoadKind.SIP, t)
         finish += cost.notification_cycles
         stats.time.sip_wait += finish - t
         self._emit(EventKind.SIP_LOAD, t, finish, page)
+        self._clock_hw = finish
         return finish
 
     def finish(self, now: int) -> None:

@@ -8,6 +8,20 @@ numbers at the end of a long run.
 
 from __future__ import annotations
 
+from typing import Iterable
+
+__all__ = [
+    "ReproError",
+    "ConfigError",
+    "EpcError",
+    "ChannelError",
+    "WorkloadError",
+    "InstrumentationError",
+    "SimulationError",
+    "SanitizerError",
+    "LintError",
+]
+
 
 class ReproError(Exception):
     """Base class for every error raised by this library."""
@@ -40,3 +54,24 @@ class InstrumentationError(ReproError):
 class SimulationError(ReproError):
     """The simulation engine detected an internal inconsistency (time
     moving backwards, more resident pages than EPC frames, ...)."""
+
+
+class SanitizerError(SimulationError):
+    """The opt-in runtime sanitizer caught an invariant violation.
+
+    Carries the tail of the event trace leading up to the violation in
+    :attr:`trace` so the broken sequence can be diagnosed without
+    re-running with full event recording.
+    """
+
+    def __init__(self, message: str, trace: Iterable[str] = ()) -> None:
+        self.trace = tuple(trace)
+        if self.trace:
+            tail = "\n".join(f"    {entry}" for entry in self.trace)
+            message = f"{message}\n  event trace (oldest first):\n{tail}"
+        super().__init__(message)
+
+
+class LintError(ReproError):
+    """The static-analysis runner was misused (unknown rule code,
+    unreadable path, ...).  Rule *findings* are data, not exceptions."""

@@ -1,0 +1,32 @@
+"""repro-lint — repo-specific static analysis for the reproduction.
+
+Five AST rules encode the invariants every figure in the paper rests
+on (page/cycle unit discipline, seeded determinism, frozen configs,
+integral accounting, explicit API surfaces); see
+:mod:`repro.lint.rules` for the catalogue and
+:mod:`repro.lint.runner` for suppression-pragma semantics.
+
+Run it as ``python -m repro lint [paths...]``.
+"""
+
+from repro.lint.findings import Finding, LintRule, RULES, register_rule, rule_catalog
+from repro.lint.runner import (
+    iter_python_files,
+    lint_file,
+    lint_paths,
+    render_json,
+    render_text,
+)
+
+__all__ = [
+    "Finding",
+    "LintRule",
+    "RULES",
+    "register_rule",
+    "rule_catalog",
+    "iter_python_files",
+    "lint_file",
+    "lint_paths",
+    "render_json",
+    "render_text",
+]

@@ -1,0 +1,120 @@
+"""Core types of the ``repro-lint`` static-analysis pass.
+
+The checker is deliberately small: a :class:`Finding` record, a
+visitor base class (:class:`LintRule`) and a registry mapping rule
+codes to rule classes.  Each rule is one :class:`ast.NodeVisitor`
+subclass that appends findings as it walks a module's AST; the runner
+(:mod:`repro.lint.runner`) owns file discovery, pragma suppression and
+output formatting.
+
+Rules are *repo-specific by design* — they encode invariants the paper
+states but Python cannot (page/cycle denomination, determinism,
+config immutability), complementing a generic style linter rather than
+replacing one.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+from pathlib import Path
+from typing import ClassVar, Dict, List, Type
+
+__all__ = ["Finding", "LintRule", "RULES", "register_rule", "rule_catalog"]
+
+#: Code used for files the checker cannot parse at all.
+PARSE_ERROR_CODE = "RL000"
+
+
+@dataclass(frozen=True, order=True)
+class Finding:
+    """One rule violation, anchored to ``file:line:col``."""
+
+    path: str
+    line: int
+    col: int
+    code: str
+    message: str
+
+    def __str__(self) -> str:
+        return f"{self.path}:{self.line}:{self.col}: {self.code} {self.message}"
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-ready representation (``--format json``)."""
+        return {
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "code": self.code,
+            "message": self.message,
+        }
+
+
+class LintRule(ast.NodeVisitor):
+    """Base class for one lint rule.
+
+    Subclasses set the class attributes, implement ``visit_*`` methods
+    and call :meth:`report` for each violation.  A fresh instance is
+    created per file, so per-file state (import aliases, function
+    nesting) can live on ``self``.
+    """
+
+    #: Short error code, e.g. ``"RL001"``.
+    code: ClassVar[str] = ""
+    #: One-word rule name used in listings.
+    name: ClassVar[str] = ""
+    #: One-line description shown by ``lint --list-rules``.
+    description: ClassVar[str] = ""
+
+    def __init__(self, path: Path) -> None:
+        self.path = path
+        self.findings: List[Finding] = []
+
+    @classmethod
+    def applies_to(cls, path: Path) -> bool:
+        """Whether this rule should run on ``path`` at all.
+
+        Rules override this to carve out structural exemptions (e.g.
+        RL001 never applies to ``units.py`` — that module *is* the
+        single place raw page arithmetic belongs).
+        """
+        return True
+
+    def report(self, node: ast.AST, message: str) -> None:
+        """Record one violation at ``node``'s location."""
+        self.findings.append(
+            Finding(
+                path=str(self.path),
+                line=getattr(node, "lineno", 1),
+                col=getattr(node, "col_offset", 0),
+                code=self.code,
+                message=message,
+            )
+        )
+
+    def run(self, tree: ast.Module) -> List[Finding]:
+        """Walk ``tree`` and return the findings collected."""
+        self.visit(tree)
+        return self.findings
+
+
+#: Registry of all known rules, keyed by code (``RL001`` → class).
+RULES: Dict[str, Type[LintRule]] = {}
+
+
+def register_rule(cls: Type[LintRule]) -> Type[LintRule]:
+    """Class decorator adding a rule to :data:`RULES`."""
+    if not cls.code:
+        raise ValueError(f"rule {cls.__name__} has no code")
+    if cls.code in RULES:
+        raise ValueError(f"duplicate rule code {cls.code}")
+    RULES[cls.code] = cls
+    return cls
+
+
+def rule_catalog() -> List[Dict[str, str]]:
+    """Stable listing of registered rules (for ``--list-rules``)."""
+    return [
+        {"code": code, "name": rule.name, "description": rule.description}
+        for code, rule in sorted(RULES.items())
+    ]

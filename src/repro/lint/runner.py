@@ -1,0 +1,170 @@
+"""File discovery, pragma suppression and reporting for ``repro-lint``.
+
+Suppression pragma
+------------------
+
+A finding can be silenced with a comment naming its code::
+
+    footprint = npages * 4096  # repro-lint: disable=RL001  <why it is ok>
+
+* An **inline** pragma (comment on a line that also has code) silences
+  the listed codes for findings anchored on that line only.
+* A **stand-alone** pragma (a line that is nothing but the comment)
+  silences the listed codes for the whole file — this is how a module
+  opts out of a structural rule such as RL005.
+* ``disable=all`` silences every rule.
+
+Directories named ``fixtures`` (plus caches and VCS internals) are
+skipped when a directory is walked, so lint-rule test fixtures do not
+trip CI; linting a fixture *explicitly by path* still works, which is
+exactly how the rule tests drive it.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from pathlib import Path
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Set, Type
+
+from repro.errors import LintError
+from repro.lint.findings import PARSE_ERROR_CODE, RULES, Finding, LintRule
+
+# Importing the rules module populates the registry.
+from repro.lint import rules as _rules  # noqa: F401  (import for side effect)
+
+__all__ = ["lint_file", "lint_paths", "iter_python_files", "render_text", "render_json"]
+
+#: Directory names never descended into when walking a tree.
+SKIP_DIRS = {"fixtures", "__pycache__", ".git", ".venv", "build", "dist", ".hypothesis"}
+
+# The code list stops at the first token that is not a code or comma,
+# so a trailing justification ("disable=RL001 <why>") parses cleanly.
+_PRAGMA = re.compile(
+    r"#\s*repro-lint:\s*disable=([A-Za-z0-9]+(?:\s*,\s*[A-Za-z0-9]+)*)"
+)
+
+
+def _pragma_codes(comment: str) -> Set[str]:
+    """Codes listed in one pragma match (upper-cased, ``ALL`` possible)."""
+    return {code.strip().upper() for code in comment.split(",") if code.strip()}
+
+
+def _suppressions(source: str) -> "tuple[Dict[int, Set[str]], Set[str]]":
+    """Scan ``source`` for pragmas.
+
+    Returns ``(per_line, file_wide)``: codes disabled on specific
+    (1-based) lines, and codes disabled for the whole file.
+    """
+    per_line: Dict[int, Set[str]] = {}
+    file_wide: Set[str] = set()
+    for lineno, line in enumerate(source.splitlines(), start=1):
+        match = _PRAGMA.search(line)
+        if not match:
+            continue
+        codes = _pragma_codes(match.group(1))
+        if line.lstrip().startswith("#"):
+            file_wide |= codes
+        else:
+            per_line.setdefault(lineno, set()).update(codes)
+    return per_line, file_wide
+
+
+def _is_suppressed(
+    finding: Finding, per_line: Dict[int, Set[str]], file_wide: Set[str]
+) -> bool:
+    for codes in (file_wide, per_line.get(finding.line, ())):
+        if finding.code in codes or "ALL" in codes:
+            return True
+    return False
+
+
+def iter_python_files(paths: Sequence[Path]) -> Iterator[Path]:
+    """Yield the ``.py`` files named by ``paths``, in sorted order.
+
+    Directories are walked recursively, skipping :data:`SKIP_DIRS`;
+    explicit file arguments are yielded even when a walk would have
+    skipped them.
+    """
+    for path in paths:
+        if path.is_dir():
+            for sub in sorted(path.rglob("*.py")):
+                if not SKIP_DIRS.intersection(sub.relative_to(path).parts[:-1]):
+                    yield sub
+        elif path.suffix == ".py":
+            yield path
+        elif not path.exists():
+            raise LintError(f"no such file or directory: {path}")
+
+
+def _select_rules(select: Optional[Iterable[str]]) -> List[Type[LintRule]]:
+    if select is None:
+        return [RULES[code] for code in sorted(RULES)]
+    chosen = []
+    for code in select:
+        code = code.upper()
+        if code not in RULES:
+            raise LintError(
+                f"unknown rule {code!r}; known rules: {', '.join(sorted(RULES))}"
+            )
+        chosen.append(RULES[code])
+    return chosen
+
+
+def lint_file(
+    path: Path, *, select: Optional[Iterable[str]] = None
+) -> List[Finding]:
+    """Lint one file; return its (unsuppressed) findings, sorted."""
+    try:
+        source = path.read_text(encoding="utf-8")
+    except OSError as exc:
+        raise LintError(f"cannot read {path}: {exc}") from exc
+    try:
+        tree = ast.parse(source, filename=str(path))
+    except SyntaxError as exc:
+        return [
+            Finding(
+                path=str(path),
+                line=exc.lineno or 1,
+                col=(exc.offset or 1) - 1,
+                code=PARSE_ERROR_CODE,
+                message=f"file does not parse: {exc.msg}",
+            )
+        ]
+    per_line, file_wide = _suppressions(source)
+    findings: List[Finding] = []
+    for rule_cls in _select_rules(select):
+        if not rule_cls.applies_to(path):
+            continue
+        findings.extend(rule_cls(path).run(tree))
+    return sorted(
+        f for f in findings if not _is_suppressed(f, per_line, file_wide)
+    )
+
+
+def lint_paths(
+    paths: Sequence[str], *, select: Optional[Iterable[str]] = None
+) -> List[Finding]:
+    """Lint every Python file under ``paths``; return all findings."""
+    findings: List[Finding] = []
+    for path in iter_python_files([Path(p) for p in paths]):
+        findings.extend(lint_file(path, select=select))
+    return findings
+
+
+def render_text(findings: Sequence[Finding]) -> str:
+    """Human-readable report: one line per finding plus a summary."""
+    lines = [str(f) for f in findings]
+    noun = "finding" if len(findings) == 1 else "findings"
+    lines.append(f"{len(findings)} {noun}")
+    return "\n".join(lines)
+
+
+def render_json(findings: Sequence[Finding]) -> str:
+    """Machine-readable report (stable key order)."""
+    import json
+
+    return json.dumps(
+        {"findings": [f.to_dict() for f in findings], "count": len(findings)},
+        indent=2,
+    )

@@ -13,7 +13,12 @@ under one scheme, on a single virtual-cycle clock:
 
 The engine asserts the accounting invariant that the per-bucket time
 breakdown reconstructs the total run time exactly — a cheap end-to-end
-check that no simulated cycle is double-counted or lost.
+check that no simulated cycle is double-counted or lost.  With
+``config.sanitize`` set, the driver additionally carries a
+:class:`~repro.enclave.sanitizer.SimSanitizer` that re-proves this
+identity at *every* service-thread tick and cross-checks the
+EPC/channel/counter invariants per event, raising
+:class:`~repro.errors.SanitizerError` with the offending event tail.
 
 ``simulate_native`` runs the same trace *outside* any enclave (first
 touch of each page costs a regular ~2k-cycle fault) and exists for the
@@ -107,6 +112,11 @@ def simulate(
         if max_accesses is not None and count >= max_accesses:
             break
     driver.finish(now)
+    if driver.sanitizer is not None:
+        # End-of-run sweep: the per-tick checks ran at every scan; this
+        # closes the run with the same identity at the final clock plus
+        # the EPC-occupancy and abort-accounting invariants.
+        driver.sanitizer.check_final(driver.stats, now)
 
     if breakdown.total != now:
         raise SimulationError(

@@ -160,6 +160,8 @@ def simulate_shared(
                 f"time accounting mismatch for {app.workload.name}: "
                 f"buckets sum to {stats.time.total}, clock reads {app.now}"
             )
+        if app.driver.sanitizer is not None:
+            app.driver.sanitizer.check_final(stats, app.now)
         results.append(
             RunResult(
                 workload=app.workload.name,

@@ -16,6 +16,20 @@ library so that call sites never multiply raw byte counts inline.
 
 from __future__ import annotations
 
+__all__ = [
+    "PAGE_SIZE",
+    "PAGE_SHIFT",
+    "KIB",
+    "MIB",
+    "GIB",
+    "EPC_TOTAL_BYTES",
+    "EPC_USABLE_BYTES",
+    "pages_of",
+    "bytes_of",
+    "page_number",
+    "cycles_to_seconds",
+]
+
 #: Size of one enclave page in bytes.  SGX manages the EPC at 4 KiB
 #: granularity; this is fixed by the architecture, not configurable.
 PAGE_SIZE = 4096

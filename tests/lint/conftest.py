@@ -1,0 +1,7 @@
+"""Keep pytest (and its doctest collector) out of the lint fixtures.
+
+The fixture files contain deliberate rule violations; they exist to be
+*parsed* by the linter, never imported.
+"""
+
+collect_ignore_glob = ["fixtures/*"]

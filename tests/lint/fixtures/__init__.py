@@ -1,0 +1,3 @@
+# Marker making this directory a package so RL005 treats its modules
+# as public API surface; the files here are lint-rule fixtures and are
+# never imported.

@@ -1,0 +1,16 @@
+"""A module every rule should stay silent on."""
+
+from random import Random
+
+from repro import units
+
+__all__ = ["footprint_pages", "jitter"]
+
+
+def footprint_pages(nbytes):
+    return units.pages_of(nbytes)
+
+
+def jitter(seed, spread_cycles):
+    rng = Random(seed)
+    return rng.randrange(spread_cycles)

@@ -1,0 +1,14 @@
+"""RL001 fixture: the same arithmetic, silenced by inline pragmas."""
+
+__all__ = ["footprint_bytes", "page_of", "EPC_BYTES"]
+
+
+def footprint_bytes(npages):
+    return npages * 4096  # repro-lint: disable=RL001 fixture exercises pragma
+
+
+def page_of(address):
+    return address >> 12  # repro-lint: disable=RL001 fixture exercises pragma
+
+
+EPC_BYTES = 96 * 1024 * 1024  # repro-lint: disable=RL001 fixture exercises pragma

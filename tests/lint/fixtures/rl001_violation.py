@@ -1,0 +1,19 @@
+"""RL001 fixture: raw page arithmetic in every shape the rule knows."""
+
+__all__ = ["footprint_bytes", "page_of", "EPC_BYTES", "EPC_EXPR", "tail"]
+
+
+def footprint_bytes(npages):
+    return npages * 4096
+
+
+def page_of(address):
+    return address >> 12
+
+
+EPC_BYTES = 100663296
+EPC_EXPR = 128 * 1024 * 1024
+
+
+def tail(nbytes):
+    return nbytes // 4096

@@ -1,0 +1,19 @@
+"""RL002 fixture: unseeded randomness, silenced by pragmas.
+
+Also demonstrates the *seeded* patterns the rule must stay quiet on.
+"""
+
+import random
+from random import Random
+
+__all__ = ["draw", "seeded_ok"]
+
+
+def draw():
+    return random.random()  # repro-lint: disable=RL002 fixture exercises pragma
+
+
+def seeded_ok(seed):
+    rng = Random(seed)
+    other = random.Random(f"{seed}/salt")
+    return rng.random() + other.random()

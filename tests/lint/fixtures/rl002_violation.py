@@ -1,0 +1,26 @@
+"""RL002 fixture: every unseeded-randomness shape the rule knows."""
+
+import random
+from random import Random, randint
+
+__all__ = ["draw", "make_rng", "pick", "reseed", "hw_rng"]
+
+
+def draw():
+    return random.random()
+
+
+def make_rng():
+    return random.Random()
+
+
+def pick():
+    return Random(), randint(0, 9)
+
+
+def reseed():
+    random.seed()
+
+
+def hw_rng():
+    return random.SystemRandom()

@@ -1,0 +1,19 @@
+"""RL003 fixture: mutation silenced by a pragma, plus the legal form."""
+
+from dataclasses import dataclass
+
+__all__ = ["Config", "tamper"]
+
+
+@dataclass(frozen=True)
+class Config:
+    epc_pages: int = 8
+
+    def __post_init__(self):
+        # Legal: __post_init__ is the one place a frozen dataclass may
+        # normalize its own fields.
+        object.__setattr__(self, "epc_pages", max(1, self.epc_pages))
+
+
+def tamper(config):
+    object.__setattr__(config, "epc_pages", 0)  # repro-lint: disable=RL003 fixture exercises pragma

@@ -1,0 +1,17 @@
+"""RL003 fixture: frozen-dataclass mutation outside __post_init__."""
+
+from dataclasses import dataclass
+
+__all__ = ["Config", "tamper"]
+
+
+@dataclass(frozen=True)
+class Config:
+    epc_pages: int = 8
+
+    def grow(self):
+        object.__setattr__(self, "epc_pages", self.epc_pages * 2)
+
+
+def tamper(config):
+    object.__setattr__(config, "epc_pages", 0)

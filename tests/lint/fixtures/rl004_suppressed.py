@@ -1,0 +1,12 @@
+"""RL004 fixture: float mixing silenced by pragmas, plus clean ints."""
+
+__all__ = ["report", "advance"]
+
+
+def report(total_cycles):
+    return total_cycles / 1e6  # repro-lint: disable=RL004 fixture exercises pragma
+
+
+def advance(aex_cycles):
+    # Integral arithmetic on cycle counters is fine.
+    return aex_cycles + 10_000

@@ -1,0 +1,18 @@
+"""RL004 fixture: float literals mixed into page/cycle accounting."""
+
+__all__ = ["drift", "compare", "scale", "PreloadCounter"]
+
+PreloadCounter = 0.5
+
+
+def drift(total_cycles):
+    total_cycles += 1.5
+    return total_cycles
+
+
+def compare(resident_pages):
+    return resident_pages > 2.0
+
+
+def scale(aex_cycles):
+    return aex_cycles * 0.9

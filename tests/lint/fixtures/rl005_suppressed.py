@@ -1,0 +1,7 @@
+"""RL005 fixture: missing __all__, waived by a file-wide pragma."""
+
+# repro-lint: disable=RL005 fixture exercises the stand-alone pragma
+
+
+def helper():
+    return 1

@@ -1,0 +1,5 @@
+"""RL005 fixture: a public package module with no __all__."""
+
+
+def helper():
+    return 1

@@ -1,0 +1,44 @@
+"""The ``python -m repro lint`` command: exit codes and formats."""
+
+import json
+from pathlib import Path
+
+from repro.cli import main
+
+FIXTURES = Path(__file__).parent / "fixtures"
+
+
+def test_clean_path_exits_zero(tmp_path, capsys):
+    (tmp_path / "ok.py").write_text("x = 1\n")
+    assert main(["lint", str(tmp_path)]) == 0
+    assert "0 findings" in capsys.readouterr().out
+
+
+def test_findings_exit_nonzero_and_print_locations(capsys):
+    rc = main(["lint", str(FIXTURES / "rl001_violation.py"), "--select", "RL001"])
+    out = capsys.readouterr().out
+    assert rc == 1
+    assert "rl001_violation.py:7" in out
+    assert "RL001" in out
+
+
+def test_json_format(capsys):
+    rc = main(["lint", str(FIXTURES / "rl005_violation.py"), "--select", "RL005",
+               "--format", "json"])
+    payload = json.loads(capsys.readouterr().out)
+    assert rc == 1
+    assert payload["count"] == 1
+    assert payload["findings"][0]["code"] == "RL005"
+
+
+def test_list_rules(capsys):
+    assert main(["lint", "--list-rules"]) == 0
+    out = capsys.readouterr().out
+    for code in ("RL001", "RL002", "RL003", "RL004", "RL005"):
+        assert code in out
+
+
+def test_unknown_rule_reports_error(capsys):
+    rc = main(["lint", "--select", "RL999", str(FIXTURES / "clean.py")])
+    assert rc == 2
+    assert "unknown rule" in capsys.readouterr().err

@@ -1,0 +1,108 @@
+"""Per-rule contract: each rule fires on its violation fixture and
+stays silent once the fixture's ``disable`` pragma is in place."""
+
+from pathlib import Path
+
+import pytest
+
+from repro.lint import lint_file
+
+FIXTURES = Path(__file__).parent / "fixtures"
+
+
+def findings_for(name, code):
+    """Lint one fixture with a single rule selected."""
+    return lint_file(FIXTURES / name, select=[code])
+
+
+class TestRL001RawPageArithmetic:
+    def test_fires_on_every_shape(self):
+        found = findings_for("rl001_violation.py", "RL001")
+        assert len(found) == 5
+        messages = " | ".join(f.message for f in found)
+        assert "4096" in messages
+        assert "12-bit page shift" in messages
+        assert "96 MiB" in messages
+        assert "128 MiB" in messages
+
+    def test_silent_under_pragma(self):
+        assert findings_for("rl001_suppressed.py", "RL001") == []
+
+    def test_units_module_is_exempt(self, tmp_path):
+        pkg = tmp_path / "repro"
+        pkg.mkdir()
+        units = pkg / "units.py"
+        units.write_text('__all__ = ["PAGE_SIZE"]\nPAGE_SIZE = 4 * 1024\nX = 2 * 4096\n')
+        assert lint_file(units, select=["RL001"]) == []
+
+    def test_findings_carry_location(self):
+        finding = findings_for("rl001_violation.py", "RL001")[0]
+        assert finding.code == "RL001"
+        assert finding.path.endswith("rl001_violation.py")
+        assert finding.line == 7  # the `npages * 4096` line
+        assert str(finding).startswith(finding.path)
+
+
+class TestRL002UnseededRandomness:
+    def test_fires_on_every_shape(self):
+        found = findings_for("rl002_violation.py", "RL002")
+        # random.random(), random.Random(), Random(), randint(),
+        # random.seed(), random.SystemRandom()
+        assert len(found) == 6
+
+    def test_silent_under_pragma_and_on_seeded_uses(self):
+        assert findings_for("rl002_suppressed.py", "RL002") == []
+
+
+class TestRL003FrozenConfigMutation:
+    def test_fires_outside_post_init(self):
+        found = findings_for("rl003_violation.py", "RL003")
+        assert len(found) == 2
+        assert all("__post_init__" in f.message for f in found)
+
+    def test_silent_under_pragma_and_in_post_init(self):
+        assert findings_for("rl003_suppressed.py", "RL003") == []
+
+
+class TestRL004FloatPageArithmetic:
+    def test_fires_on_every_shape(self):
+        found = findings_for("rl004_violation.py", "RL004")
+        # module assign, augmented assign, comparison, binop
+        assert len(found) == 4
+        idents = " | ".join(f.message for f in found)
+        assert "PreloadCounter" in idents
+        assert "total_cycles" in idents
+        assert "resident_pages" in idents
+        assert "aex_cycles" in idents
+
+    def test_silent_under_pragma_and_on_int_arithmetic(self):
+        assert findings_for("rl004_suppressed.py", "RL004") == []
+
+
+class TestRL005MissingDunderAll:
+    def test_fires_on_public_module_without_all(self):
+        found = findings_for("rl005_violation.py", "RL005")
+        assert len(found) == 1
+        assert found[0].line == 1
+
+    def test_silent_under_file_wide_pragma(self):
+        assert findings_for("rl005_suppressed.py", "RL005") == []
+
+    def test_scripts_outside_packages_are_exempt(self, tmp_path):
+        script = tmp_path / "calibrate.py"
+        script.write_text("x = 1\n")
+        assert lint_file(script, select=["RL005"]) == []
+
+    def test_private_and_test_modules_are_exempt(self, tmp_path):
+        (tmp_path / "__init__.py").write_text("")
+        for name in ("_private.py", "test_thing.py", "conftest.py"):
+            mod = tmp_path / name
+            mod.write_text("x = 1\n")
+            assert lint_file(mod, select=["RL005"]) == []
+
+
+@pytest.mark.parametrize(
+    "code", ["RL001", "RL002", "RL003", "RL004", "RL005"]
+)
+def test_clean_fixture_is_silent_under_every_rule(code):
+    assert findings_for("clean.py", code) == []
