@@ -17,6 +17,7 @@ paper's evaluation.  Conventions:
 
 from __future__ import annotations
 
+import json
 import pathlib
 from typing import Dict, Optional, Tuple
 
@@ -95,6 +96,37 @@ def report(experiment: str, text: str) -> None:
     REPORT_DIR.mkdir(exist_ok=True)
     path = REPORT_DIR / f"{experiment}.txt"
     path.write_text(text + "\n")
+
+
+def report_manifests(
+    experiment: str,
+    runs: Dict[str, RunResult],
+    *,
+    extra: Optional[Dict[str, object]] = None,
+) -> pathlib.Path:
+    """Persist the runs behind one figure as a manifest collection.
+
+    Writes ``reports/{experiment}.manifest.json`` holding one run
+    manifest (:mod:`repro.obs.manifest`) per labelled run, so every
+    reported number can be re-derived or diffed (``repro report``
+    accepts the per-run files written by ``repro run --manifest``; the
+    collection here carries the same schema per entry).
+    """
+    from repro.obs.manifest import build_manifest
+
+    REPORT_DIR.mkdir(exist_ok=True)
+    document = {
+        "experiment": experiment,
+        "runs": {
+            label: build_manifest(result, extra=extra)
+            for label, result in sorted(runs.items())
+        },
+    }
+    path = REPORT_DIR / f"{experiment}.manifest.json"
+    path.write_text(
+        json.dumps(document, sort_keys=True, indent=2) + "\n", encoding="utf-8"
+    )
+    return path
 
 
 @pytest.fixture(scope="session", autouse=True)

@@ -17,7 +17,14 @@ lbm (streaming) and deepsjeng (irregular) on one shared EPC:
 from repro.analysis.report import format_table
 from repro.sim.multi import simulate_shared
 
-from benchmarks.conftest import bench_config, get_sip_plan, get_workload, report, run
+from benchmarks.conftest import (
+    bench_config,
+    get_sip_plan,
+    get_workload,
+    report,
+    report_manifests,
+    run,
+)
 
 PAIR = ("lbm", "deepsjeng")
 
@@ -69,6 +76,20 @@ def test_contention_shared_epc(benchmark):
         ),
     )
     report("contention_shared_epc", table)
+    report_manifests(
+        "contention_shared_epc",
+        {
+            **{f"{name}/solo-baseline": solo[name] for name in PAIR},
+            **{
+                f"{PAIR[i]}/shared-baseline": shared_base[i]
+                for i in range(len(PAIR))
+            },
+            **{
+                f"{PAIR[i]}/shared-own-scheme": shared_schemes[i]
+                for i in range(len(PAIR))
+            },
+        },
+    )
 
     # 1. Sharing alone hurts both.
     for i, name in enumerate(PAIR):

@@ -15,7 +15,7 @@ Paper observations reproduced here:
 from repro.analysis.report import ascii_bar_chart, format_table
 from repro.sim.results import improvement_pct
 
-from benchmarks.conftest import report, run
+from benchmarks.conftest import report, report_manifests, run
 
 REGULAR = ("microbenchmark", "bwaves", "lbm", "wrf")
 IRREGULAR = ("roms", "mcf", "deepsjeng", "omnetpp", "xz")
@@ -80,6 +80,14 @@ def test_fig08_dfp(benchmark):
         ],
     )
     report("fig08_dfp", "\n\n".join([table, chart, summary]))
+    report_manifests(
+        "fig08_dfp",
+        {
+            f"{name}/{scheme}": run(name, scheme)  # cached — no re-simulation
+            for name in names
+            for scheme in ("baseline", "dfp", "dfp-stop")
+        },
+    )
 
     # --- shape assertions -------------------------------------------------
     # Regular benchmarks all gain; the microbenchmark gains most.

@@ -14,7 +14,7 @@ faults is offset by the BIT_MAP_CHECK cost on its Class 1 majority.
 from repro.analysis.report import format_table
 from repro.sim.results import improvement_pct
 
-from benchmarks.conftest import get_sip_plan, report, run
+from benchmarks.conftest import get_sip_plan, report, report_manifests, run
 
 BENCHMARKS = ("deepsjeng", "mcf.2006", "mcf", "xz", "lbm", "microbenchmark")
 
@@ -64,6 +64,14 @@ def test_fig10_sip(benchmark):
         ),
     )
     report("fig10_sip", table)
+    report_manifests(
+        "fig10_sip",
+        {
+            f"{name}/{scheme}": run(name, scheme)  # cached — no re-simulation
+            for name in BENCHMARKS
+            for scheme in ("baseline", "sip")
+        },
+    )
 
     gains = {name: rows[name][0] for name in BENCHMARKS}
     # deepsjeng is SIP's best case; mcf.2006 clearly positive.

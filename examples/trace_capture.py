@@ -1,0 +1,93 @@
+#!/usr/bin/env python
+"""Observability tour: metrics, a Perfetto trace, and a manifest diff.
+
+One DFP-stop run of lbm is observed three ways at once:
+
+* a :class:`~repro.obs.metrics.MetricsRegistry` collects every layer's
+  counters (driver, DFP engine, predictor, EPC) with zero effect on
+  the simulated outcome;
+* a bounded :class:`~repro.obs.trace.RingBufferSink` captures the
+  timeline, which is then exported in Chrome ``trace_event`` format —
+  open the file at https://ui.perfetto.dev to see the app, channel and
+  scan tracks;
+* run manifests for the baseline and DFP-stop runs are diffed with
+  :func:`~repro.obs.diff.diff_manifests` — the same cycle-attribution
+  report ``repro report`` prints.
+
+Run:  python examples/trace_capture.py
+Artifacts land in the current directory (trace_capture.trace.json).
+"""
+
+from repro import SimConfig, build_workload, simulate
+from repro.analysis.report import format_table
+from repro.obs.chrome import validate_chrome_trace, write_chrome_trace
+from repro.obs.diff import diff_manifests, render_diff
+from repro.obs.manifest import build_manifest
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.trace import RingBufferSink
+
+SCALE = 16
+WORKLOAD = "lbm"
+TRACE_PATH = "trace_capture.trace.json"
+
+
+def main() -> None:
+    config = SimConfig.scaled(SCALE)
+    workload = build_workload(WORKLOAD, scale=SCALE)
+
+    # Observe a DFP-stop run: metrics registry + bounded event capture.
+    metrics = MetricsRegistry()
+    capture = RingBufferSink(1 << 18)
+    observed = simulate(
+        workload, config, "dfp-stop", metrics=metrics, tracer=capture
+    )
+    blind = simulate(workload, config, "dfp-stop")
+    assert observed == blind, "observability must never change the outcome"
+
+    picks = (
+        "fault.count",
+        "preload.completed",
+        "preload.accessed",
+        "abort.in_stream",
+        "dfp.stream_hits",
+        "dfp.stream_misses",
+        "time.fault_wait_cycles",
+    )
+    dump = metrics.as_dict()
+    print(
+        format_table(
+            ["metric", "value"],
+            [[name, f"{dump[name]:,}"] for name in picks],
+            title=f"{WORKLOAD} [dfp-stop]: selected metrics",
+        )
+    )
+    hist = dump["fault.wait_hist"]
+    print(
+        f"\nfault-wait histogram: {hist['count']:,} waits, "
+        f"{hist['sum']:,} cycles total (reconciles with the "
+        f"fault_wait bucket: {observed.stats.time.fault_wait:,})"
+    )
+
+    # Export the timeline for Perfetto and sanity-check the document.
+    records = write_chrome_trace(TRACE_PATH, capture.events)
+    import json
+
+    counts = validate_chrome_trace(json.loads(open(TRACE_PATH).read()))
+    print(
+        f"\nwrote {records:,} trace records to {TRACE_PATH} "
+        f"({counts['tracks']} tracks, {counts['complete']:,} spans, "
+        f"{counts['instant']:,} instants) — open it in ui.perfetto.dev"
+    )
+
+    # Manifest the baseline too, and attribute the improvement.
+    base = simulate(workload, config, "baseline")
+    print()
+    print(
+        render_diff(
+            diff_manifests(build_manifest(base), build_manifest(observed))
+        )
+    )
+
+
+if __name__ == "__main__":
+    main()

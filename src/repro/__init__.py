@@ -16,7 +16,11 @@ The library provides:
   (:mod:`repro.workloads`);
 * the experiment drivers and analysis helpers that regenerate every
   table and figure of the evaluation (:mod:`repro.sim`,
-  :mod:`repro.analysis`, and the ``benchmarks/`` tree).
+  :mod:`repro.analysis`, and the ``benchmarks/`` tree);
+* a passive observability layer (:mod:`repro.obs`): metrics
+  registries, timeline trace sinks with Chrome ``trace_event``
+  export, and self-describing run manifests with a cycle-attribution
+  diff (``repro report``).
 
 Quickstart::
 
@@ -38,10 +42,14 @@ from repro.errors import (
     ConfigError,
     EpcError,
     InstrumentationError,
+    ObsError,
     ReproError,
     SimulationError,
     WorkloadError,
 )
+from repro.obs.manifest import build_manifest
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.trace import RingBufferSink, TraceSink
 from repro.sim.engine import prepare_sip_plan, simulate, simulate_native
 from repro.sim.multi import simulate_shared
 from repro.sim.results import RunResult, improvement_pct, normalized_time
@@ -84,8 +92,13 @@ __all__ = [
     "LARGE_IRREGULAR",
     "SMALL_WORKING_SET",
     "CPP_BENCHMARKS",
+    "MetricsRegistry",
+    "TraceSink",
+    "RingBufferSink",
+    "build_manifest",
     "ReproError",
     "ConfigError",
+    "ObsError",
     "EpcError",
     "ChannelError",
     "WorkloadError",

@@ -4,11 +4,17 @@ Thin, scriptable access to the library's main flows:
 
 * ``list`` — available workload models and their paper groupings;
 * ``run`` — one workload under one scheme, with the cycle breakdown;
+  ``--metrics`` dumps the observability registry, ``--trace`` writes a
+  Chrome ``trace_event`` file (load it in Perfetto), ``--manifest``
+  writes the run's self-describing JSON record;
+* ``report`` — diff two run manifests: cycle attribution of the delta
+  plus every counter that moved (:mod:`repro.obs.diff`);
 * ``compare`` — several schemes on one workload, normalized;
 * ``profile`` — the SIP profiling run and instrumentation plan;
 * ``classify`` — the Table 1 classification of the models;
-* ``sweep`` — a one-parameter sweep (e.g. LOADLENGTH, Figure 7 style);
-* ``lint`` — the repo-specific static-analysis pass (rules RL001–RL005,
+* ``sweep`` — a one-parameter sweep (e.g. LOADLENGTH, Figure 7 style),
+  with ``--progress`` ETA ticks on stderr;
+* ``lint`` — the repo-specific static-analysis pass (rules RL001–RL006,
   see :mod:`repro.lint`).
 
 Every simulation command accepts ``--scale`` (default 16): the EPC and
@@ -33,7 +39,7 @@ from repro.core.instrumentation import build_sip_plan
 from repro.core.schemes import SCHEME_NAMES
 from repro.errors import ReproError
 from repro.sim.engine import simulate
-from repro.sim.sweep import compare_schemes
+from repro.sim.sweep import compare_schemes, sweep_config
 from repro.workloads.registry import (
     LARGE_IRREGULAR,
     LARGE_REGULAR,
@@ -82,6 +88,26 @@ def build_parser() -> argparse.ArgumentParser:
     p_run = sub.add_parser("run", help="run one workload under one scheme")
     add_common(p_run)
     p_run.add_argument("--scheme", choices=SCHEME_NAMES, default="baseline")
+    p_run.add_argument("--metrics", action="store_true", dest="show_metrics",
+                       help="collect and print the metrics registry dump")
+    p_run.add_argument("--trace", default=None, metavar="FILE",
+                       help="write a Chrome trace_event JSON of the run "
+                            "(open in Perfetto or chrome://tracing)")
+    p_run.add_argument("--trace-capacity", type=int, default=None,
+                       metavar="N",
+                       help="bound the trace ring buffer to the most "
+                            "recent N events (default 1048576)")
+    p_run.add_argument("--manifest", default=None, metavar="FILE",
+                       help="write the run manifest JSON (config snapshot, "
+                            "stats, metrics; diff two with 'repro report')")
+
+    p_rep = sub.add_parser(
+        "report", help="diff two run manifests (cycle attribution)"
+    )
+    p_rep.add_argument("manifest_a", help="baseline manifest (A)")
+    p_rep.add_argument("manifest_b", help="comparison manifest (B)")
+    p_rep.add_argument("--format", choices=("text", "json"), default="text",
+                       dest="output_format")
 
     p_cmp = sub.add_parser("compare", help="compare schemes on one workload")
     add_common(p_cmp)
@@ -110,9 +136,11 @@ def build_parser() -> argparse.ArgumentParser:
     p_swp.add_argument("--values", required=True,
                        help="comma-separated parameter values")
     p_swp.add_argument("--scheme", choices=SCHEME_NAMES, default="dfp-stop")
+    p_swp.add_argument("--progress", action="store_true",
+                       help="print per-point progress and ETA to stderr")
 
     p_lint = sub.add_parser(
-        "lint", help="repo-specific static analysis (rules RL001-RL005)"
+        "lint", help="repo-specific static analysis (rules RL001-RL006)"
     )
     p_lint.add_argument(
         "paths", nargs="*", default=["src"],
@@ -149,10 +177,33 @@ def _cmd_list(_args: argparse.Namespace) -> int:
 
 
 def _cmd_run(args: argparse.Namespace) -> int:
+    from repro.obs.chrome import write_chrome_trace
+    from repro.obs.manifest import build_manifest, write_manifest
+    from repro.obs.metrics import MetricsRegistry
+    from repro.obs.trace import DEFAULT_EVENT_CAPACITY, RingBufferSink
+
     config = _config(args)
     workload = build_workload(args.workload, scale=args.scale)
+    metrics = (
+        MetricsRegistry()
+        if args.show_metrics or args.manifest is not None
+        else None
+    )
+    capture: Optional[RingBufferSink] = None
+    if args.trace is not None:
+        capture = RingBufferSink(
+            args.trace_capacity
+            if args.trace_capacity is not None
+            else DEFAULT_EVENT_CAPACITY
+        )
     result = simulate(
-        workload, config, args.scheme, seed=args.seed, input_set=args.input_set
+        workload,
+        config,
+        args.scheme,
+        seed=args.seed,
+        input_set=args.input_set,
+        metrics=metrics,
+        tracer=capture,
     )
     print(result.describe())
     tb = result.stats.time
@@ -167,6 +218,46 @@ def _cmd_run(args: argparse.Namespace) -> int:
     ]
     print()
     print(format_table(["bucket", "cycles"], rows, title="time breakdown"))
+    if args.show_metrics and result.metrics is not None:
+        print()
+        metric_rows = [
+            [name, _render_metric_value(value)]
+            for name, value in result.metrics.items()
+        ]
+        print(format_table(["metric", "value"], metric_rows, title="metrics"))
+    if capture is not None:
+        records = write_chrome_trace(args.trace, capture.events)
+        note = f" ({capture.dropped:,} early events dropped)" if capture.dropped else ""
+        print(f"\ntrace: {records} records -> {args.trace}{note}")
+    if args.manifest is not None:
+        write_manifest(
+            args.manifest, build_manifest(result, workload=workload)
+        )
+        print(f"manifest -> {args.manifest}")
+    return 0
+
+
+def _render_metric_value(value: object) -> str:
+    if isinstance(value, dict):  # histogram dump
+        return f"count={value.get('count', 0):,} sum={value.get('sum', 0):,}"
+    if isinstance(value, int):
+        return f"{value:,}"
+    return str(value)
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.obs.diff import diff_manifests, render_diff
+    from repro.obs.manifest import load_manifest
+
+    diff = diff_manifests(
+        load_manifest(args.manifest_a), load_manifest(args.manifest_b)
+    )
+    if args.output_format == "json":
+        print(json.dumps(diff, indent=2, sort_keys=True))
+    else:
+        print(render_diff(diff))
     return 0
 
 
@@ -267,13 +358,25 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     base = simulate(
         workload, config, "baseline", seed=args.seed, input_set=args.input_set
     )
-    series = []
-    for value in values:
-        swept = config.replace(**{args.param: value})
-        result = simulate(
-            workload, swept, args.scheme, seed=args.seed, input_set=args.input_set
+    progress = None
+    if args.progress:
+        progress = lambda tick: print(tick.render(), file=sys.stderr)
+    points = sweep_config(
+        lambda: build_workload(args.workload, scale=args.scale),
+        [config.replace(**{args.param: value}) for value in values],
+        [args.scheme],
+        values=values,
+        seed=args.seed,
+        input_set=args.input_set,
+        progress=progress,
+    )
+    series = [
+        (
+            point.value,
+            point.results[args.scheme].total_cycles / base.total_cycles,
         )
-        series.append((value, result.total_cycles / base.total_cycles))
+        for point in points
+    ]
     print(
         render_series(
             {args.scheme: series},
@@ -311,6 +414,7 @@ def _cmd_lint(args: argparse.Namespace) -> int:
 _COMMANDS = {
     "list": _cmd_list,
     "run": _cmd_run,
+    "report": _cmd_report,
     "compare": _cmd_compare,
     "profile": _cmd_profile,
     "classify": _cmd_classify,

@@ -78,7 +78,7 @@ class DfpEngine:
     ablation studies.
     """
 
-    def __init__(self, config: DfpConfig, *, predictor=None) -> None:
+    def __init__(self, config: DfpConfig, *, predictor=None, metrics=None) -> None:
         self._config = config
         self.predictor = predictor or MultiStreamPredictor(
             config.stream_list_length,
@@ -92,6 +92,41 @@ class DfpEngine:
         #: Burst remainders dropped by the in-stream abort.
         self.aborted_preloads = 0
         self._stopped = False
+        self._register_metrics(metrics)
+
+    def _register_metrics(self, metrics) -> None:
+        """Publish the engine and predictor counters as callback gauges.
+
+        Gauges are sampled at dump time, so observation adds nothing to
+        the fault path; predictor internals are read via ``getattr``
+        because substituted ablation predictors need not expose them.
+        """
+        if metrics is None or not metrics.enabled:
+            from repro.obs.metrics import NULL_REGISTRY
+
+            metrics = NULL_REGISTRY
+        else:
+            predictor = self.predictor
+            for name, fn in (
+                ("dfp.preload_counter", lambda: self.preload_counter),
+                ("dfp.acc_preload_counter", lambda: self.acc_preload_counter),
+                ("dfp.aborted_preloads", lambda: self.aborted_preloads),
+                ("dfp.active", lambda: int(self.active)),
+                ("dfp.stream_hits", lambda: getattr(predictor, "stream_hits", 0)),
+                ("dfp.stream_misses", lambda: getattr(predictor, "stream_misses", 0)),
+                (
+                    "dfp.stream_recycles",
+                    lambda: getattr(predictor, "stream_recycles", 0),
+                ),
+                (
+                    "dfp.streams_active",
+                    lambda: len(getattr(predictor, "streams", ())),
+                ),
+            ):
+                metrics.gauge(name, fn=fn)
+        self._m_valve_trips = metrics.counter(
+            "dfp.valve_trips", "times the safety valve stopped the preload thread"
+        )
 
     # ------------------------------------------------------------------
     # Queries
@@ -150,5 +185,6 @@ class DfpEngine:
         threshold = self._config.valve_ratio * self.preload_counter
         if self.acc_preload_counter + self._config.valve_slack < threshold:
             self._stopped = True
+            self._m_valve_trips.inc()
             return True
         return False

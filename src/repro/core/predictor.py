@@ -27,7 +27,7 @@ ascending streams, so backward tracking defaults to off.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Tuple
+from typing import Dict, List, Optional, Tuple
 
 from repro.errors import ConfigError
 
@@ -71,6 +71,8 @@ class MultiStreamPredictor:
         # Lifetime counters.
         self.stream_hits = 0
         self.stream_misses = 0
+        #: Misses that recycled an LRU entry (list was already full).
+        self.stream_recycles = 0
 
     # ------------------------------------------------------------------
     # Queries
@@ -90,6 +92,15 @@ class MultiStreamPredictor:
     def streams(self) -> Tuple[StreamEntry, ...]:
         """Snapshot of the stream list, most recently used first."""
         return tuple(self._streams)
+
+    def counters(self) -> Dict[str, int]:
+        """Lifetime counters, JSON-ready (for metrics and manifests)."""
+        return {
+            "stream_hits": self.stream_hits,
+            "stream_misses": self.stream_misses,
+            "stream_recycles": self.stream_recycles,
+            "streams_active": len(self._streams),
+        }
 
     def _match(self, npn: int) -> Optional[int]:
         """Return the index of the stream ``npn`` extends, or None.
@@ -143,6 +154,7 @@ class MultiStreamPredictor:
 
         self.stream_misses += 1
         if len(self._streams) >= self._length:
+            self.stream_recycles += 1
             recycled = self._streams.pop()
             recycled.stpn = npn
             recycled.direction = 1

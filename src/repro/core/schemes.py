@@ -57,13 +57,17 @@ class Scheme:
         if self.sip_enabled and self.sip_plan is None:
             raise ConfigError(f"scheme {self.name!r} enables SIP without a plan")
 
-    def build_dfp(self) -> Optional[DfpEngine]:
-        """Fresh DFP engine for one run (None when DFP is off)."""
+    def build_dfp(self, *, metrics=None) -> Optional[DfpEngine]:
+        """Fresh DFP engine for one run (None when DFP is off).
+
+        ``metrics`` is an optional :class:`repro.obs.metrics.MetricsRegistry`
+        the engine publishes its counters into.
+        """
         if not self.dfp_enabled:
             return None
         assert self.dfp_config is not None
         predictor = self.predictor_factory() if self.predictor_factory else None
-        return DfpEngine(self.dfp_config, predictor=predictor)
+        return DfpEngine(self.dfp_config, predictor=predictor, metrics=metrics)
 
     def build_sip(self) -> Optional[SipRuntime]:
         """Fresh SIP runtime for one run (None when SIP is off)."""

@@ -41,6 +41,8 @@ from repro.enclave.platform import SharedPlatform
 from repro.enclave.sanitizer import SimSanitizer
 from repro.enclave.stats import RunStats
 from repro.errors import SimulationError
+from repro.obs.metrics import NULL_REGISTRY, MetricsRegistry
+from repro.obs.trace import DEFAULT_EVENT_CAPACITY, RingBufferSink, TraceSink
 
 __all__ = ["SgxDriver"]
 
@@ -56,6 +58,9 @@ class SgxDriver:
         dfp: Optional[DfpEngine] = None,
         record_events: bool = False,
         platform: Optional[SharedPlatform] = None,
+        metrics: Optional[MetricsRegistry] = None,
+        tracer: Optional[TraceSink] = None,
+        event_capacity: Optional[int] = None,
     ) -> None:
         self._config = config
         self._cost = config.cost
@@ -70,8 +75,23 @@ class SgxDriver:
             self.epc, enclave.elrange_pages, base_page=enclave.base_page
         )
         self.stats = RunStats()
-        self._record = record_events
-        self.events: List[TimelineEvent] = []
+        # Event recording goes through trace sinks (repro.obs.trace):
+        # ``record_events`` keeps a bounded ring buffer for .events,
+        # and an external ``tracer`` sink (JSONL stream, fan-out, ...)
+        # receives every event as it happens.
+        self._ring: Optional[RingBufferSink] = (
+            RingBufferSink(
+                event_capacity if event_capacity is not None else DEFAULT_EVENT_CAPACITY
+            )
+            if record_events
+            else None
+        )
+        self._sinks: List[TraceSink] = []
+        if self._ring is not None:
+            self._sinks.append(self._ring)
+        if tracer is not None:
+            self._sinks.append(tracer)
+        self._register_metrics(metrics if metrics is not None else NULL_REGISTRY)
         self._last_now = 0
         # Application-clock high-water mark, updated only at the entry
         # and exit of the application-visible calls — the points where
@@ -97,13 +117,94 @@ class SgxDriver:
         """The (possibly shared) physical platform."""
         return self._platform
 
+    @property
+    def events(self) -> List[TimelineEvent]:
+        """Recorded timeline events (most recent ``event_capacity``)."""
+        return self._ring.events if self._ring is not None else []
+
+    @property
+    def events_dropped(self) -> int:
+        """Events the bounded recorder had to evict (0 with room)."""
+        return self._ring.dropped if self._ring is not None else 0
+
     # ------------------------------------------------------------------
     # Internal helpers
     # ------------------------------------------------------------------
 
+    def _register_metrics(self, metrics: MetricsRegistry) -> None:
+        """Publish this driver's layers into ``metrics``.
+
+        Quantities another layer already counts (``RunStats`` fields,
+        EPC occupancy, channel counters) are exposed as callback
+        gauges — sampled at dump time, zero hot-path cost, reconciled
+        with their source by construction.  Quantities no other layer
+        tracks (aborts by cause, wait-latency distributions, scan
+        credits, recorder drops) get true counters and histograms.
+        With the shared NULL registry all of these are no-op
+        singletons, so the disabled path costs one dead method call.
+        """
+        self._metrics = metrics
+        stats = self.stats
+        time = stats.time
+        if metrics.enabled:
+            for name, fn in (
+                ("app.accesses", lambda: stats.accesses),
+                ("app.epc_hits", lambda: stats.epc_hits),
+                ("fault.count", lambda: stats.faults),
+                ("fault.absorbed_by_inflight", lambda: stats.faults_absorbed_by_inflight),
+                ("preload.hits", lambda: stats.preload_hits),
+                ("preload.enqueued", lambda: stats.preloads_enqueued),
+                ("preload.completed", lambda: stats.preloads_completed),
+                ("preload.aborted", lambda: stats.preloads_aborted),
+                ("preload.accessed", lambda: stats.preloads_accessed),
+                ("preload.redundant", lambda: stats.preloads_redundant),
+                ("preload.evicted_unused", lambda: stats.preloads_evicted_unused),
+                ("epc.evictions", lambda: stats.evictions),
+                ("epc.resident_pages", lambda: self.epc.resident_count),
+                ("epc.capacity_pages", lambda: self.epc.capacity),
+                ("sip.checks", lambda: stats.sip_checks),
+                ("sip.check_hits", lambda: stats.sip_check_hits),
+                ("sip.loads", lambda: stats.sip_loads),
+                ("valve.stops", lambda: stats.valve_stops),
+                ("scan.count", lambda: stats.scans),
+                ("time.compute_cycles", lambda: time.compute),
+                ("time.aex_cycles", lambda: time.aex),
+                ("time.eresume_cycles", lambda: time.eresume),
+                ("time.fault_wait_cycles", lambda: time.fault_wait),
+                ("time.sip_check_cycles", lambda: time.sip_check),
+                ("time.sip_wait_cycles", lambda: time.sip_wait),
+                ("time.total_cycles", lambda: time.total),
+                ("time.overhead_cycles", lambda: time.overhead),
+                ("trace.events_dropped", lambda: self.events_dropped),
+            ):
+                metrics.gauge(name, fn=fn)
+        self._m_abort_instream = metrics.counter(
+            "abort.in_stream", "in-stream aborts taken on a queued-burst fault"
+        )
+        self._m_abort_instream_pages = metrics.counter(
+            "abort.in_stream_pages", "queued pages dropped by in-stream aborts"
+        )
+        self._m_abort_valve = metrics.counter(
+            "abort.valve", "safety-valve aborts (preload thread stops)"
+        )
+        self._m_abort_valve_pages = metrics.counter(
+            "abort.valve_pages", "queued pages dropped when the valve fired"
+        )
+        self._m_scan_credited = metrics.counter(
+            "scan.credited_pages", "preloaded pages credited as accessed by scans"
+        )
+        self._m_fault_wait_hist = metrics.histogram(
+            "fault.wait_hist", "per-fault channel wait, virtual cycles"
+        )
+        self._m_sip_wait_hist = metrics.histogram(
+            "sip.wait_hist", "per-notification synchronous wait, virtual cycles"
+        )
+
     def _emit(self, kind: EventKind, start: int, end: int, page: int = -1) -> None:
-        if self._record:
-            self.events.append(TimelineEvent(kind, start, end, page))
+        if self._sinks:
+            event = TimelineEvent(kind, start, end, page)
+            for sink in self._sinks:
+                sink.emit(event)
         if self.sanitizer is not None:
             self.sanitizer.record_event(kind, start, end, page)
 
@@ -166,8 +267,10 @@ class SgxDriver:
     def _after_scan(self, now: int, credited: int) -> None:
         """Platform hook: the global service-thread scan just ran."""
         self.stats.scans += 1
+        self._emit(EventKind.SCAN, now, now)
         if credited:
             self.stats.preloads_accessed += credited
+            self._m_scan_credited.inc(credited)
         if self._dfp is not None:
             if credited:
                 self._dfp.credit_accessed(credited)
@@ -181,6 +284,8 @@ class SgxDriver:
                     ]
                     self.sanitizer.check_abort(doomed, now)
                 dropped = self.channel.abort_pages_in_range(base, limit, now)
+                self._m_abort_valve.inc()
+                self._m_abort_valve_pages.inc(dropped)
                 if dropped:
                     self._dfp.note_aborted(dropped)
         if self.sanitizer is not None:
@@ -268,6 +373,7 @@ class SgxDriver:
             finish = self.channel.wait_for_current(t)
             stats.faults_absorbed_by_inflight += 1
             stats.time.fault_wait += finish - t
+            self._m_fault_wait_hist.observe(finish - t)
             self._emit(EventKind.FAULT_WAIT, t, finish, page)
             t = finish
         else:
@@ -281,11 +387,14 @@ class SgxDriver:
                         self._queued_pages_of_tag(burst_tag), t
                     )
                 dropped = self.channel.abort_tag(burst_tag, t)
+                self._m_abort_instream.inc()
+                self._m_abort_instream_pages.inc(dropped)
                 if self._dfp is not None and dropped:
                     self._dfp.note_aborted(dropped)
                 self._emit(EventKind.ABORT, t, t, page)
             finish = self.channel.load_sync(page, LoadKind.DEMAND, t)
             stats.time.fault_wait += finish - t
+            self._m_fault_wait_hist.observe(finish - t)
             self._emit(EventKind.DEMAND_LOAD, finish - self.channel.load_cycles, finish, page)
             t = finish
 
@@ -336,6 +445,7 @@ class SgxDriver:
         if self.channel.current_page == page:
             finish = self.channel.wait_for_current(t)
             stats.time.sip_wait += finish - t
+            self._m_sip_wait_hist.observe(finish - t)
             self._emit(EventKind.SIP_LOAD, t, finish, page)
             self._clock_hw = finish
             return finish
@@ -343,6 +453,7 @@ class SgxDriver:
         finish = self.channel.load_sync(page, LoadKind.SIP, t)
         finish += cost.notification_cycles
         stats.time.sip_wait += finish - t
+        self._m_sip_wait_hist.observe(finish - t)
         self._emit(EventKind.SIP_LOAD, t, finish, page)
         self._clock_hw = finish
         return finish

@@ -2,12 +2,17 @@
 
 The paper's didactic figures plot the exact sequence of AEX, page-load,
 ERESUME and notification intervals on a time axis.  When a driver is
-constructed with ``record_events=True`` it appends one
-:class:`TimelineEvent` per interval, which the Figure 2 bench renders
-as an ASCII time chart.
+constructed with ``record_events=True`` it emits one
+:class:`TimelineEvent` per interval into a bounded ring buffer
+(:class:`repro.obs.trace.RingBufferSink`), which the Figure 2 bench
+renders as an ASCII time chart.
 
-Recording is off by default: large runs produce millions of events and
-the recorder would dominate both memory and time.
+Recording is off by default, and memory stays bounded even when it is
+on: large runs produce millions of events, so the ring buffer keeps
+only the most recent ``event_capacity`` of them and counts the rest in
+``SgxDriver.events_dropped``.  Arbitrary additional consumers (JSONL
+streams, the Chrome trace exporter) attach through the driver's
+``tracer`` sink — see :mod:`repro.obs.trace`.
 """
 
 from __future__ import annotations
@@ -31,6 +36,7 @@ class EventKind(enum.Enum):
     FAULT_WAIT = "fault_wait"
     ABORT = "abort"
     EPC_HIT = "epc_hit"
+    SCAN = "scan"
 
 
 @dataclass(frozen=True)

@@ -11,7 +11,8 @@ buckets sum to the total run time.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, fields
+from typing import Dict
 
 __all__ = ["RunStats", "TimeBreakdown"]
 
@@ -55,6 +56,13 @@ class TimeBreakdown:
     def overhead(self) -> int:
         """Every non-compute cycle: what preloading tries to shrink."""
         return self.total - self.compute
+
+    def as_dict(self) -> Dict[str, int]:
+        """JSON-ready breakdown, including the derived totals."""
+        out = {f.name: getattr(self, f.name) for f in fields(self)}
+        out["total"] = self.total
+        out["overhead"] = self.overhead
+        return out
 
 
 @dataclass
@@ -115,3 +123,11 @@ class RunStats:
         if not self.preloads_completed:
             return 0.0
         return self.preloads_accessed / self.preloads_completed
+
+    def as_dict(self) -> Dict[str, object]:
+        """JSON-ready counters (time nested under ``"time"``)."""
+        out: Dict[str, object] = {
+            f.name: getattr(self, f.name) for f in fields(self) if f.name != "time"
+        }
+        out["time"] = self.time.as_dict()
+        return out

@@ -20,6 +20,7 @@ __all__ = [
     "SimulationError",
     "SanitizerError",
     "LintError",
+    "ObsError",
 ]
 
 
@@ -75,3 +76,10 @@ class SanitizerError(SimulationError):
 class LintError(ReproError):
     """The static-analysis runner was misused (unknown rule code,
     unreadable path, ...).  Rule *findings* are data, not exceptions."""
+
+
+class ObsError(ReproError):
+    """The observability layer was misused (conflicting metric
+    registration, invalid histogram buckets, malformed manifest or
+    trace artifact, ...).  Observation itself never raises on a valid
+    run — these errors are construction/IO-time, by design."""

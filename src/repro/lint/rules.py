@@ -1,4 +1,4 @@
-"""The repo-specific lint rules, RL001–RL005.
+"""The repo-specific lint rules, RL001–RL006.
 
 Each rule mechanizes one invariant the reproduction depends on:
 
@@ -19,6 +19,10 @@ Each rule mechanizes one invariant the reproduction depends on:
   cross-checks.
 * **RL005** — public modules declare ``__all__`` so the API surface is
   explicit and ``from m import *`` cannot leak helpers.
+* **RL006** — no direct ``print()`` in library code.  Output belongs to
+  the CLI and the report renderer; everything else surfaces state
+  through :mod:`repro.obs` (metrics, traces, manifests) so it stays
+  machine-readable and silent by default.
 """
 
 from __future__ import annotations
@@ -36,6 +40,7 @@ __all__ = [
     "FrozenConfigMutation",
     "FloatPageArithmetic",
     "MissingDunderAll",
+    "DirectPrint",
 ]
 
 #: Byte values that re-encode the platform's EPC geometry.
@@ -376,3 +381,36 @@ class MissingDunderAll(LintRule):
                 if isinstance(target, ast.Name) and target.id == "__all__":
                     return
         self.report(node, "public module does not declare __all__")
+
+
+@register_rule
+class DirectPrint(LintRule):
+    """RL006: direct ``print()`` in library code."""
+
+    code = "RL006"
+    name = "direct-print"
+    description = (
+        "print() in library code — only the CLI and the report renderer "
+        "write to stdout; use repro.obs for run-time visibility"
+    )
+
+    @classmethod
+    def applies_to(cls, path: Path) -> bool:
+        if "repro" not in path.parts:
+            return False
+        if path.name == "cli.py":
+            return False
+        # The analysis report renderer is the other sanctioned writer.
+        if path.name == "report.py" and path.parent.name == "analysis":
+            return False
+        return True
+
+    def visit_Call(self, node: ast.Call) -> None:
+        func = node.func
+        if isinstance(func, ast.Name) and func.id == "print":
+            self.report(
+                node,
+                "direct print() in library code; return/log the data or "
+                "surface it through repro.obs instead",
+            )
+        self.generic_visit(node)

@@ -1,0 +1,80 @@
+"""repro.obs — the unified observability layer of the simulator.
+
+One subsystem, four capabilities, all passive (enabling any of them
+changes no simulation outcome — the determinism tests prove runs are
+bit-identical with observability on or off):
+
+* **metrics** (:mod:`repro.obs.metrics`) — a registry of counters,
+  gauges and virtual-cycle-bucketed histograms that the engine,
+  driver, DFP and EPC layers publish into; near-zero overhead when
+  disabled;
+* **tracing** (:mod:`repro.obs.trace`) — pluggable sinks for the
+  driver's timeline events: bounded ring buffer, JSONL streaming, and
+  fan-out composition;
+* **Chrome trace export** (:mod:`repro.obs.chrome`) — renders a
+  captured event list in ``trace_event`` format with per-thread
+  app/channel/scan tracks, loadable in Perfetto or chrome://tracing;
+* **run manifests** (:mod:`repro.obs.manifest`, :mod:`repro.obs.diff`)
+  — self-describing JSON records of one run (provenance, config,
+  stats, metrics) and the ``repro report`` cycle-attribution diff
+  between two of them.
+"""
+
+from repro.obs.chrome import (
+    THREAD_NAMES,
+    chrome_trace,
+    validate_chrome_trace,
+    write_chrome_trace,
+)
+from repro.obs.diff import diff_manifests, render_diff
+from repro.obs.manifest import (
+    MANIFEST_SCHEMA,
+    build_manifest,
+    git_sha,
+    load_manifest,
+    write_manifest,
+)
+from repro.obs.metrics import (
+    DEFAULT_CYCLE_BUCKETS,
+    NULL_REGISTRY,
+    Counter,
+    Gauge,
+    Histogram,
+    Metric,
+    MetricsRegistry,
+)
+from repro.obs.trace import (
+    DEFAULT_EVENT_CAPACITY,
+    JsonlSink,
+    RingBufferSink,
+    Tracer,
+    TraceSink,
+    event_to_dict,
+)
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "Metric",
+    "MetricsRegistry",
+    "NULL_REGISTRY",
+    "DEFAULT_CYCLE_BUCKETS",
+    "TraceSink",
+    "RingBufferSink",
+    "JsonlSink",
+    "Tracer",
+    "DEFAULT_EVENT_CAPACITY",
+    "event_to_dict",
+    "chrome_trace",
+    "write_chrome_trace",
+    "validate_chrome_trace",
+    "THREAD_NAMES",
+    "MANIFEST_SCHEMA",
+    "build_manifest",
+    "write_manifest",
+    "load_manifest",
+    "git_sha",
+    "diff_manifests",
+    "render_diff",
+]

@@ -1,0 +1,157 @@
+"""Manifest diffing: the cycle-attribution delta between two runs.
+
+``repro report A.json B.json`` answers the question every figure of
+the paper answers — *where did the seconds go?* — for an arbitrary
+pair of recorded runs.  The diff attributes the total cycle delta to
+the time-breakdown buckets (compute, AEX, ERESUME, fault wait, SIP
+check/wait) and lists every counter that moved, so a preloading win
+shows up as "fault_wait shrank by N cycles, carried by M fewer
+faults" rather than a bare ratio.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.analysis.report import format_table
+
+__all__ = ["diff_manifests", "render_diff"]
+
+#: Buckets reported in attribution order (derived totals excluded).
+_TIME_BUCKETS = ("compute", "aex", "eresume", "fault_wait", "sip_check", "sip_wait")
+
+
+def _run_label(manifest: Dict[str, object]) -> str:
+    run = manifest.get("run", {})
+    if not isinstance(run, dict):
+        return "?"
+    return (
+        f"{run.get('workload', '?')}/{run.get('scheme', '?')}"
+        f"[{run.get('input_set', '?')}, seed {run.get('seed', '?')}]"
+    )
+
+
+def _int_of(section: Dict[str, object], key: str) -> int:
+    value = section.get(key, 0)
+    return value if isinstance(value, int) else 0
+
+
+def diff_manifests(
+    a: Dict[str, object], b: Dict[str, object]
+) -> Dict[str, object]:
+    """Structured diff of two run manifests (``b`` relative to ``a``).
+
+    Returns a dict with ``total`` (cycles and ratio), ``time`` rows
+    attributing the delta per bucket (each with its share of the total
+    delta), ``stats`` rows for every counter that changed, and a
+    ``comparable`` flag that is False when the two runs are of
+    different workloads or input sets (the diff is still produced —
+    cross-workload deltas are occasionally what one wants — but the
+    renderer flags it).
+    """
+    run_a = a.get("run", {}) if isinstance(a.get("run"), dict) else {}
+    run_b = b.get("run", {}) if isinstance(b.get("run"), dict) else {}
+    time_a = a.get("time_breakdown", {}) if isinstance(a.get("time_breakdown"), dict) else {}
+    time_b = b.get("time_breakdown", {}) if isinstance(b.get("time_breakdown"), dict) else {}
+    stats_a = a.get("stats", {}) if isinstance(a.get("stats"), dict) else {}
+    stats_b = b.get("stats", {}) if isinstance(b.get("stats"), dict) else {}
+
+    total_a = _int_of(time_a, "total")
+    total_b = _int_of(time_b, "total")
+    total_delta = total_b - total_a
+
+    time_rows: List[Dict[str, object]] = []
+    for bucket in _TIME_BUCKETS:
+        va = _int_of(time_a, bucket)
+        vb = _int_of(time_b, bucket)
+        delta = vb - va
+        share: Optional[float] = delta / total_delta if total_delta else None
+        time_rows.append(
+            {"bucket": bucket, "a": va, "b": vb, "delta": delta, "share": share}
+        )
+
+    stat_rows: List[Dict[str, object]] = []
+    for key in sorted(set(stats_a) | set(stats_b)):
+        if key == "time":
+            continue
+        va = _int_of(stats_a, key)
+        vb = _int_of(stats_b, key)
+        if va != vb:
+            stat_rows.append({"counter": key, "a": va, "b": vb, "delta": vb - va})
+
+    comparable = (
+        run_a.get("workload") == run_b.get("workload")
+        and run_a.get("input_set") == run_b.get("input_set")
+    )
+    return {
+        "a": {"label": _run_label(a), **run_a},
+        "b": {"label": _run_label(b), **run_b},
+        "comparable": comparable,
+        "total": {
+            "a": total_a,
+            "b": total_b,
+            "delta": total_delta,
+            "ratio": (total_b / total_a) if total_a else None,
+        },
+        "time": time_rows,
+        "stats": stat_rows,
+    }
+
+
+def _fmt_share(share: Optional[float]) -> str:
+    return f"{share:+.1%}" if share is not None else "-"
+
+
+def render_diff(diff: Dict[str, object]) -> str:
+    """Human-readable report of one :func:`diff_manifests` result."""
+    a = diff["a"]
+    b = diff["b"]
+    total = diff["total"]
+    lines: List[str] = [
+        f"A: {a['label']}",
+        f"B: {b['label']}",
+    ]
+    if not diff["comparable"]:
+        lines.append(
+            "warning: runs differ in workload or input set — deltas are "
+            "cross-experiment, not an apples-to-apples comparison"
+        )
+    ratio = total["ratio"]
+    ratio_text = f"{ratio:.3f}x" if ratio is not None else "-"
+    lines.append(
+        f"total: {total['a']:,} -> {total['b']:,} cycles "
+        f"({total['delta']:+,}; B/A = {ratio_text})"
+    )
+    lines.append("")
+    lines.append(
+        format_table(
+            ["bucket", "A cycles", "B cycles", "delta", "share of delta"],
+            [
+                [
+                    row["bucket"],
+                    f"{row['a']:,}",
+                    f"{row['b']:,}",
+                    f"{row['delta']:+,}",
+                    _fmt_share(row["share"]),
+                ]
+                for row in diff["time"]
+            ],
+            title="cycle attribution (B - A)",
+        )
+    )
+    stats = diff["stats"]
+    lines.append("")
+    if stats:
+        lines.append(
+            format_table(
+                ["counter", "A", "B", "delta"],
+                [
+                    [row["counter"], f"{row['a']:,}", f"{row['b']:,}", f"{row['delta']:+,}"]
+                    for row in stats
+                ],
+                title="counters that moved",
+            )
+        )
+    else:
+        lines.append("no counters moved")
+    return "\n".join(lines)

@@ -1,0 +1,141 @@
+"""Run manifests: self-describing JSON records of one simulated run.
+
+Every experiment in the paper is an attribution argument — seconds
+regained are explained by counting the AEX/ERESUME pairs removed and
+the channel cycles spent — so a result is only as good as the record
+of the run that produced it.  A manifest captures everything needed to
+re-derive or compare a number:
+
+* provenance — library version and (best-effort) git SHA;
+* the run identity — workload, scheme, input set, seed;
+* the full configuration snapshot (cost model included);
+* the workload's shape (footprint/ELRANGE) when available;
+* the complete :class:`~repro.enclave.stats.RunStats` counters and
+  cycle-time breakdown;
+* the metrics dump, when the run was observed
+  (:mod:`repro.obs.metrics`).
+
+Manifests are deliberately free of wall-clock timestamps: two runs of
+the same (workload, config, seed) at the same source revision produce
+byte-identical manifests, which is what makes ``repro report`` diffs
+trustworthy.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import subprocess
+from pathlib import Path
+from typing import Dict, Optional, TYPE_CHECKING, Union
+
+from repro.errors import ObsError
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.sim.results import RunResult
+    from repro.workloads.base import Workload
+
+__all__ = [
+    "MANIFEST_SCHEMA",
+    "build_manifest",
+    "write_manifest",
+    "load_manifest",
+    "git_sha",
+]
+
+#: Schema identifier carried by every manifest.
+MANIFEST_SCHEMA = "repro.run-manifest/1"
+
+
+def git_sha() -> str:
+    """The source tree's HEAD commit, or ``"unknown"``.
+
+    Resolved relative to this file so the answer names the revision of
+    the *code that ran*, not whatever directory the caller sits in.
+    """
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            cwd=Path(__file__).resolve().parent,
+            capture_output=True,
+            text=True,
+            timeout=5,
+            check=False,
+        )
+    except (OSError, subprocess.SubprocessError):
+        return "unknown"
+    sha = out.stdout.strip()
+    return sha if out.returncode == 0 and sha else "unknown"
+
+
+def build_manifest(
+    result: "RunResult",
+    *,
+    workload: Optional["Workload"] = None,
+    extra: Optional[Dict[str, object]] = None,
+) -> Dict[str, object]:
+    """Build the manifest dict for one :class:`~repro.sim.results.RunResult`.
+
+    ``workload`` enriches the record with the workload's shape;
+    ``extra`` is carried through verbatim (experiment labels, sweep
+    coordinates, ...).
+    """
+    from repro import __version__
+
+    manifest: Dict[str, object] = {
+        "schema": MANIFEST_SCHEMA,
+        "generator": {"repro_version": __version__, "git_sha": git_sha()},
+        "run": {
+            "workload": result.workload,
+            "scheme": result.scheme,
+            "input_set": result.input_set,
+            "seed": result.seed,
+            "total_cycles": result.total_cycles,
+            "seconds": result.seconds,
+            "sip_points": result.sip_points,
+        },
+        "config": dataclasses.asdict(result.config),
+        "stats": result.stats.as_dict(),
+        "time_breakdown": result.stats.time.as_dict(),
+        "metrics": dict(result.metrics) if result.metrics else {},
+    }
+    if workload is not None:
+        manifest["workload"] = {
+            "name": workload.name,
+            "footprint_pages": workload.footprint_pages,
+            "elrange_pages": workload.elrange_pages,
+        }
+    if extra:
+        manifest["extra"] = dict(extra)
+    return manifest
+
+
+def write_manifest(path: Union[str, Path], manifest: Dict[str, object]) -> Path:
+    """Write ``manifest`` as stable (sorted, indented) JSON; return path."""
+    target = Path(path)
+    target.write_text(
+        json.dumps(manifest, sort_keys=True, indent=2) + "\n", encoding="utf-8"
+    )
+    return target
+
+
+def load_manifest(path: Union[str, Path]) -> Dict[str, object]:
+    """Load and schema-check one manifest file."""
+    target = Path(path)
+    try:
+        document = json.loads(target.read_text(encoding="utf-8"))
+    except OSError as exc:
+        raise ObsError(f"cannot read manifest {target}: {exc}") from exc
+    except json.JSONDecodeError as exc:
+        raise ObsError(f"manifest {target} is not valid JSON: {exc}") from exc
+    if not isinstance(document, dict):
+        raise ObsError(f"manifest {target} is not a JSON object")
+    schema = document.get("schema")
+    if schema != MANIFEST_SCHEMA:
+        raise ObsError(
+            f"manifest {target} has schema {schema!r}, expected {MANIFEST_SCHEMA!r}"
+        )
+    for key in ("run", "stats", "time_breakdown"):
+        if key not in document:
+            raise ObsError(f"manifest {target} lacks required section {key!r}")
+    return document

@@ -1,0 +1,316 @@
+"""Metrics: counters, gauges and virtual-cycle-bucketed histograms.
+
+Every number the paper's evaluation argues from — faults taken,
+preloads completed, AEX/ERESUME pairs removed, channel cycles wasted —
+is a counter somewhere in the simulator.  :class:`MetricsRegistry`
+gives those counters one name space and one machine-readable dump, so
+a run manifest (:mod:`repro.obs.manifest`) can carry the full metric
+state alongside :class:`~repro.enclave.stats.RunStats` and the two can
+be reconciled mechanically.
+
+Three metric kinds:
+
+* :class:`Counter` — monotone event count (``inc``);
+* :class:`Gauge` — point-in-time value, either ``set`` explicitly or
+  backed by a callback sampled at dump time.  Callback gauges are the
+  preferred way to publish quantities another layer already counts
+  (``RunStats`` fields, the DFP valve counters, EPC residency): they
+  cost nothing on the hot path and reconcile with their source by
+  construction;
+* :class:`Histogram` — distribution of virtual-cycle durations over
+  fixed buckets (fault-wait and SIP-wait latencies), with exact
+  ``sum``/``count`` so totals still reconcile with the time breakdown.
+
+Overhead discipline: a registry constructed with ``enabled=False``
+(and the shared :data:`NULL_REGISTRY`) hands out no-op metric
+singletons, so instrumented code paths pay one attribute call on a
+no-op object when observability is off.  Observation is read-only
+either way — enabling metrics changes no simulation outcome.
+"""
+
+from __future__ import annotations
+
+import bisect
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.errors import ObsError
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "Metric",
+    "MetricsRegistry",
+    "NULL_REGISTRY",
+    "DEFAULT_CYCLE_BUCKETS",
+]
+
+#: Default histogram bucket upper bounds, in virtual cycles.  A 1-2-5
+#: decade ladder spanning everything the simulator times: a bitmap
+#: check (~1.4k) up to multi-million-cycle channel convoys.  Values
+#: above the last bound land in the overflow bucket.
+DEFAULT_CYCLE_BUCKETS: Tuple[int, ...] = (
+    1_000,
+    2_000,
+    5_000,
+    10_000,
+    20_000,
+    50_000,
+    100_000,
+    200_000,
+    500_000,
+    1_000_000,
+    2_000_000,
+    5_000_000,
+)
+
+
+class Metric:
+    """Base class: a named, self-describing observable value."""
+
+    kind = ""
+
+    def __init__(self, name: str, help: str = "") -> None:
+        self.name = name
+        self.help = help
+
+    def dump(self) -> object:
+        """JSON-ready value of this metric (scalar or dict)."""
+        raise NotImplementedError
+
+
+class Counter(Metric):
+    """Monotone non-decreasing event counter."""
+
+    kind = "counter"
+
+    def __init__(self, name: str, help: str = "") -> None:
+        super().__init__(name, help)
+        self.value = 0
+
+    def inc(self, amount: int = 1) -> None:
+        """Add ``amount`` (must be non-negative) to the counter."""
+        if amount < 0:
+            raise ObsError(
+                f"counter {self.name!r} incremented by negative {amount}"
+            )
+        self.value += amount
+
+    def dump(self) -> int:
+        return self.value
+
+
+class Gauge(Metric):
+    """Point-in-time value: ``set`` explicitly, or callback-backed.
+
+    A callback gauge samples ``fn()`` each time it is read, so it
+    publishes an existing counter (a ``RunStats`` field, the EPC's
+    resident count) with zero hot-path cost and no double bookkeeping.
+    """
+
+    kind = "gauge"
+
+    def __init__(
+        self,
+        name: str,
+        help: str = "",
+        fn: Optional[Callable[[], object]] = None,
+    ) -> None:
+        super().__init__(name, help)
+        self._fn = fn
+        self._value: object = 0
+
+    @property
+    def callback(self) -> Optional[Callable[[], object]]:
+        """The sampling callback (None for a set-style gauge)."""
+        return self._fn
+
+    def set(self, value: object) -> None:
+        """Set the gauge (invalid on a callback-backed gauge)."""
+        if self._fn is not None:
+            raise ObsError(
+                f"gauge {self.name!r} is callback-backed and cannot be set"
+            )
+        self._value = value
+
+    @property
+    def value(self) -> object:
+        """Current value (samples the callback when one is attached)."""
+        return self._fn() if self._fn is not None else self._value
+
+    def dump(self) -> object:
+        return self.value
+
+
+class Histogram(Metric):
+    """Distribution over fixed, ascending virtual-cycle buckets.
+
+    ``counts[i]`` is the number of observations ``v`` with
+    ``bounds[i-1] < v <= bounds[i]`` (non-cumulative); observations
+    above the last bound land in :attr:`overflow`.  ``sum`` and
+    ``count`` are exact, so a histogram of waits reconciles with the
+    corresponding :class:`~repro.enclave.stats.TimeBreakdown` bucket.
+    """
+
+    kind = "histogram"
+
+    def __init__(
+        self,
+        name: str,
+        help: str = "",
+        buckets: Sequence[int] = DEFAULT_CYCLE_BUCKETS,
+    ) -> None:
+        super().__init__(name, help)
+        bounds = tuple(buckets)
+        if not bounds:
+            raise ObsError(f"histogram {self.name!r} needs at least one bucket")
+        if any(b <= a for a, b in zip(bounds, bounds[1:])):
+            raise ObsError(
+                f"histogram {self.name!r} bucket bounds must be strictly "
+                f"ascending, got {bounds}"
+            )
+        self.bounds = bounds
+        self.counts: List[int] = [0] * len(bounds)
+        self.overflow = 0
+        self.sum = 0
+        self.count = 0
+
+    def observe(self, value: int) -> None:
+        """Record one observation (a duration in virtual cycles)."""
+        self.count += 1
+        self.sum += value
+        index = bisect.bisect_left(self.bounds, value)
+        if index >= len(self.bounds):
+            self.overflow += 1
+        else:
+            self.counts[index] += 1
+
+    def dump(self) -> Dict[str, object]:
+        return {
+            "type": "histogram",
+            "count": self.count,
+            "sum": self.sum,
+            "buckets": [
+                {"le": bound, "count": count}
+                for bound, count in zip(self.bounds, self.counts)
+            ],
+            "overflow": self.overflow,
+        }
+
+
+class _NullCounter(Counter):
+    """Shared no-op counter handed out by a disabled registry."""
+
+    def inc(self, amount: int = 1) -> None:  # noqa: ARG002 - no-op by design
+        return None
+
+
+class _NullGauge(Gauge):
+    """Shared no-op gauge handed out by a disabled registry."""
+
+    def set(self, value: object) -> None:  # noqa: ARG002 - no-op by design
+        return None
+
+
+class _NullHistogram(Histogram):
+    """Shared no-op histogram handed out by a disabled registry."""
+
+    def observe(self, value: int) -> None:  # noqa: ARG002 - no-op by design
+        return None
+
+
+_NULL_COUNTER = _NullCounter("null")
+_NULL_GAUGE = _NullGauge("null")
+_NULL_HISTOGRAM = _NullHistogram("null")
+
+
+class MetricsRegistry:
+    """Named collection of metrics with a deterministic dump.
+
+    Registration is idempotent for counters, histograms and set-style
+    gauges: asking for an existing name returns the existing metric
+    (so independent layers can share a counter).  Re-registering a
+    name under a different kind, or registering a *callback* gauge
+    twice, raises :class:`~repro.errors.ObsError` — a silent clash
+    would make two layers overwrite each other's numbers.
+    """
+
+    def __init__(self, enabled: bool = True) -> None:
+        self.enabled = enabled
+        self._metrics: Dict[str, Metric] = {}
+
+    def _register(self, name: str, factory: Callable[[], Metric], kind: str) -> Metric:
+        existing = self._metrics.get(name)
+        if existing is not None:
+            if existing.kind != kind:
+                raise ObsError(
+                    f"metric {name!r} already registered as {existing.kind}, "
+                    f"cannot re-register as {kind}"
+                )
+            return existing
+        metric = factory()
+        self._metrics[name] = metric
+        return metric
+
+    def counter(self, name: str, help: str = "") -> Counter:
+        """Get or create the counter ``name``."""
+        if not self.enabled:
+            return _NULL_COUNTER
+        return self._register(name, lambda: Counter(name, help), "counter")  # type: ignore[return-value]
+
+    def gauge(
+        self,
+        name: str,
+        help: str = "",
+        fn: Optional[Callable[[], object]] = None,
+    ) -> Gauge:
+        """Get or create the gauge ``name`` (``fn`` makes it sampled)."""
+        if not self.enabled:
+            return _NULL_GAUGE
+        existing = self._metrics.get(name)
+        if existing is not None and fn is not None:
+            raise ObsError(
+                f"callback gauge {name!r} registered twice — each sampled "
+                "source must own its name"
+            )
+        return self._register(name, lambda: Gauge(name, help, fn=fn), "gauge")  # type: ignore[return-value]
+
+    def histogram(
+        self,
+        name: str,
+        help: str = "",
+        buckets: Sequence[int] = DEFAULT_CYCLE_BUCKETS,
+    ) -> Histogram:
+        """Get or create the histogram ``name``."""
+        if not self.enabled:
+            return _NULL_HISTOGRAM
+        return self._register(
+            name, lambda: Histogram(name, help, buckets=buckets), "histogram"
+        )  # type: ignore[return-value]
+
+    def get(self, name: str) -> Optional[Metric]:
+        """The registered metric called ``name``, or None."""
+        return self._metrics.get(name)
+
+    def names(self) -> List[str]:
+        """Sorted names of all registered metrics."""
+        return sorted(self._metrics)
+
+    def __len__(self) -> int:
+        return len(self._metrics)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._metrics
+
+    def as_dict(self) -> Dict[str, object]:
+        """JSON-ready dump of every metric, sorted by name.
+
+        Counters and gauges dump as scalars; histograms as dicts (see
+        :meth:`Histogram.dump`).  Callback gauges are sampled here, so
+        the dump reflects the state of their sources at call time.
+        """
+        return {name: self._metrics[name].dump() for name in self.names()}
+
+
+#: Shared disabled registry: the default observer for all hot paths.
+NULL_REGISTRY = MetricsRegistry(enabled=False)

@@ -37,6 +37,8 @@ from repro.core.schemes import Scheme, make_scheme
 from repro.enclave.driver import SgxDriver
 from repro.enclave.enclave import Enclave
 from repro.errors import SimulationError
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.trace import TraceSink
 from repro.sim.results import RunResult
 from repro.workloads.base import Workload
 
@@ -73,6 +75,9 @@ def simulate(
     sip_plan: Optional[SipPlan] = None,
     record_events: bool = False,
     max_accesses: Optional[int] = None,
+    metrics: Optional["MetricsRegistry"] = None,
+    tracer: Optional["TraceSink"] = None,
+    event_capacity: Optional[int] = None,
 ) -> RunResult:
     """Run one workload under one scheme; return its result.
 
@@ -80,13 +85,21 @@ def simulate(
     or a scheme name; names needing SIP use ``sip_plan`` when given
     and otherwise compile one on the fly via :func:`prepare_sip_plan`.
     ``max_accesses`` truncates the trace (useful for tests).
+
+    Observability (all passive — none of these change the outcome):
+    ``metrics`` is a :class:`~repro.obs.metrics.MetricsRegistry` the
+    driver and DFP layers publish into (its dump lands on
+    ``RunResult.metrics``); ``tracer`` is an extra
+    :class:`~repro.obs.trace.TraceSink` receiving every timeline event
+    as it happens; ``event_capacity`` bounds the ``record_events``
+    ring buffer (most recent events win, drops are counted).
     """
     if isinstance(scheme, str):
         if scheme in ("sip", "hybrid") and sip_plan is None:
             sip_plan = prepare_sip_plan(workload, config, seed=seed)
         scheme = make_scheme(scheme, config, sip_plan=sip_plan)
 
-    dfp = scheme.build_dfp()
+    dfp = scheme.build_dfp(metrics=metrics)
     sip = scheme.build_sip()
     points = scheme.sip_plan.instrumentation_points if scheme.sip_plan else 0
     enclave = Enclave(
@@ -94,7 +107,15 @@ def simulate(
         elrange_pages=workload.elrange_pages,
         instrumentation_points=points,
     )
-    driver = SgxDriver(config, enclave, dfp=dfp, record_events=record_events)
+    driver = SgxDriver(
+        config,
+        enclave,
+        dfp=dfp,
+        record_events=record_events,
+        metrics=metrics,
+        tracer=tracer,
+        event_capacity=event_capacity,
+    )
     breakdown = driver.stats.time
     instrumented = sip.instrumented if sip is not None else None
 
@@ -133,6 +154,11 @@ def simulate(
         config=config,
         sip_points=points,
         events=driver.events if record_events else None,
+        metrics=(
+            metrics.as_dict()
+            if metrics is not None and metrics.enabled
+            else None
+        ),
     )
 
 

@@ -8,7 +8,7 @@ here are :func:`normalized_time` and :func:`improvement_pct`.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional
+from typing import Dict, List, Optional
 
 from repro import units
 from repro.core.config import SimConfig
@@ -35,6 +35,10 @@ class RunResult:
     sip_points: int = 0
     #: Timeline events, populated only when the run recorded them.
     events: Optional[List[TimelineEvent]] = field(default=None, compare=False)
+    #: Metrics dump (:meth:`repro.obs.metrics.MetricsRegistry.as_dict`),
+    #: populated only when the run was observed.  Excluded from
+    #: comparison: observing a run must not change its identity.
+    metrics: Optional[Dict[str, object]] = field(default=None, compare=False)
 
     @property
     def seconds(self) -> float:

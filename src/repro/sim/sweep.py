@@ -8,6 +8,8 @@ length; Figure 7: ``LOADLENGTH``; Figure 9: the SIP threshold).
 
 from __future__ import annotations
 
+import time
+from dataclasses import dataclass
 from typing import Callable, Dict, Iterable, List, Optional, Sequence
 
 from repro.core.config import SimConfig
@@ -17,7 +19,37 @@ from repro.sim.engine import prepare_sip_plan, simulate
 from repro.sim.results import RunResult
 from repro.workloads.base import Workload
 
-__all__ = ["compare_schemes", "sweep_config", "SweepPoint"]
+__all__ = ["compare_schemes", "sweep_config", "SweepPoint", "SweepProgress"]
+
+
+@dataclass(frozen=True)
+class SweepProgress:
+    """One progress tick of a sweep, delivered after each point.
+
+    ``elapsed_s``/``eta_s`` are wall-clock (the only wall-clock in the
+    simulator — progress reporting is about the operator's time, not
+    virtual cycles).  ``eta_s`` extrapolates linearly from the points
+    done so far.
+    """
+
+    completed: int
+    total: int
+    label: object
+    elapsed_s: float
+    eta_s: float
+
+    @property
+    def fraction(self) -> float:
+        """Completed share of the sweep, in [0, 1]."""
+        return self.completed / self.total if self.total else 1.0
+
+    def render(self) -> str:
+        """One-line human-readable progress report."""
+        return (
+            f"[{self.completed}/{self.total}] {self.label} done "
+            f"({self.fraction:.0%}, {self.elapsed_s:.1f}s elapsed, "
+            f"~{self.eta_s:.1f}s left)"
+        )
 
 
 class SweepPoint:
@@ -71,12 +103,16 @@ def sweep_config(
     values: Optional[Sequence[object]] = None,
     seed: int = 0,
     input_set: str = "ref",
+    progress: Optional[Callable[[SweepProgress], None]] = None,
 ) -> List[SweepPoint]:
     """Run a scheme comparison at each configuration.
 
     ``values`` labels the sweep points (defaults to their index).  The
     workload is rebuilt per point via ``workload_factory`` so traces
-    never share generator state.
+    never share generator state.  ``progress`` is called once after
+    each completed point with a :class:`SweepProgress` tick (sweeps are
+    the slow path — minutes at paper scale — so the CLI surfaces an
+    ETA through this hook).
     """
     config_list = list(configs)
     if values is None:
@@ -88,10 +124,25 @@ def sweep_config(
             f"{len(config_list)} configs but {len(labels)} labels"
         )
     points: List[SweepPoint] = []
+    started = time.monotonic()
+    total = len(config_list)
     for label, config in zip(labels, config_list):
         workload = workload_factory()
         results = compare_schemes(
             workload, config, schemes, seed=seed, input_set=input_set
         )
         points.append(SweepPoint(label, results))
+        if progress is not None:
+            elapsed = time.monotonic() - started
+            done = len(points)
+            eta = elapsed / done * (total - done)
+            progress(
+                SweepProgress(
+                    completed=done,
+                    total=total,
+                    label=label,
+                    elapsed_s=elapsed,
+                    eta_s=eta,
+                )
+            )
     return points

@@ -69,6 +69,20 @@ class TestExamplesRun:
         assert "EPC contention study" in out
         assert "vs solo" in out
 
+    def test_trace_capture(self, capsys, monkeypatch, tmp_path):
+        module = load_example("trace_capture")
+        monkeypatch.setattr(module, "SCALE", TEST_SCALE)
+        monkeypatch.setattr(
+            module, "TRACE_PATH", str(tmp_path / "trace.json")
+        )
+        module.main()
+        out = capsys.readouterr().out
+        assert "selected metrics" in out
+        assert "reconciles" in out
+        assert "ui.perfetto.dev" in out
+        assert "cycle attribution (B - A)" in out
+        assert (tmp_path / "trace.json").exists()
+
 
 class TestExampleHygiene:
     @pytest.mark.parametrize(
@@ -79,6 +93,7 @@ class TestExampleHygiene:
             "vision_pipeline",
             "custom_workload",
             "contention_study",
+            "trace_capture",
         ],
     )
     def test_example_has_docstring_and_main(self, name):

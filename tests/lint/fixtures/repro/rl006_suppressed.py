@@ -1,0 +1,13 @@
+"""RL006 fixture: prints waived by pragmas (and non-print calls)."""
+
+import sys
+
+__all__ = ["announce", "report"]
+
+
+def announce(message):
+    print(message)  # repro-lint: disable=RL006 one-off calibration banner
+
+
+def report(findings, write=print):  # a reference, not a call — clean
+    write(len(findings), file=sys.stderr)

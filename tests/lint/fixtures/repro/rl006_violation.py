@@ -1,0 +1,12 @@
+"""RL006 fixture: library code that writes to stdout directly."""
+
+__all__ = ["load_pages", "debug_dump"]
+
+
+def load_pages(pages):
+    print(f"loading {len(pages)} pages")
+    return list(pages)
+
+
+def debug_dump(stats):
+    print(stats)

@@ -101,8 +101,33 @@ class TestRL005MissingDunderAll:
             assert lint_file(mod, select=["RL005"]) == []
 
 
+class TestRL006DirectPrint:
+    def test_fires_on_each_print_call(self):
+        found = findings_for("repro/rl006_violation.py", "RL006")
+        assert len(found) == 2
+        assert all("print()" in f.message for f in found)
+
+    def test_silent_under_pragma_and_on_references(self):
+        assert findings_for("repro/rl006_suppressed.py", "RL006") == []
+
+    @pytest.mark.parametrize(
+        "relpath", ["repro/cli.py", "repro/analysis/report.py"]
+    )
+    def test_sanctioned_writers_are_exempt(self, tmp_path, relpath):
+        mod = tmp_path / relpath
+        mod.parent.mkdir(parents=True, exist_ok=True)
+        mod.write_text('__all__ = []\nprint("ok")\n')
+        assert lint_file(mod, select=["RL006"]) == []
+
+    def test_code_outside_the_package_is_exempt(self, tmp_path):
+        script = tmp_path / "tools" / "calibrate.py"
+        script.parent.mkdir()
+        script.write_text('print("calibrating")\n')
+        assert lint_file(script, select=["RL006"]) == []
+
+
 @pytest.mark.parametrize(
-    "code", ["RL001", "RL002", "RL003", "RL004", "RL005"]
+    "code", ["RL001", "RL002", "RL003", "RL004", "RL005", "RL006"]
 )
 def test_clean_fixture_is_silent_under_every_rule(code):
     assert findings_for("clean.py", code) == []

@@ -1,0 +1,151 @@
+"""Metric types and the registry (repro.obs.metrics)."""
+
+import pytest
+
+from repro.errors import ObsError
+from repro.obs.metrics import (
+    DEFAULT_CYCLE_BUCKETS,
+    NULL_REGISTRY,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
+
+
+class TestCounter:
+    def test_starts_at_zero_and_accumulates(self):
+        c = Counter("faults")
+        c.inc()
+        c.inc(41)
+        assert c.value == 42
+        assert c.dump() == 42
+        assert c.kind == "counter"
+
+    def test_negative_increment_rejected(self):
+        c = Counter("faults")
+        with pytest.raises(ObsError):
+            c.inc(-1)
+        assert c.value == 0
+
+
+class TestGauge:
+    def test_set_style(self):
+        g = Gauge("resident")
+        assert g.value == 0
+        g.set(7)
+        assert g.value == 7
+        assert g.dump() == 7
+        assert g.callback is None
+
+    def test_callback_gauge_samples_at_read_time(self):
+        box = {"n": 1}
+        g = Gauge("resident", fn=lambda: box["n"])
+        assert g.value == 1
+        box["n"] = 5
+        assert g.dump() == 5
+
+    def test_callback_gauge_cannot_be_set(self):
+        g = Gauge("resident", fn=lambda: 0)
+        with pytest.raises(ObsError):
+            g.set(3)
+
+
+class TestHistogram:
+    def test_bucketing_is_le_and_non_cumulative(self):
+        h = Histogram("wait", buckets=(10, 100, 1000))
+        for value in (5, 10, 11, 100, 999, 1000):
+            h.observe(value)
+        assert h.counts == [2, 2, 2]
+        assert h.overflow == 0
+        h.observe(1001)
+        assert h.overflow == 1
+        assert h.count == 7
+        assert h.sum == 5 + 10 + 11 + 100 + 999 + 1000 + 1001
+
+    def test_dump_shape(self):
+        h = Histogram("wait", buckets=(10, 20))
+        h.observe(15)
+        dump = h.dump()
+        assert dump["type"] == "histogram"
+        assert dump["count"] == 1
+        assert dump["sum"] == 15
+        assert dump["buckets"] == [
+            {"le": 10, "count": 0},
+            {"le": 20, "count": 1},
+        ]
+        assert dump["overflow"] == 0
+
+    def test_default_buckets_are_the_cycle_ladder(self):
+        h = Histogram("wait")
+        assert h.bounds == DEFAULT_CYCLE_BUCKETS
+
+    def test_bad_buckets_rejected(self):
+        with pytest.raises(ObsError):
+            Histogram("wait", buckets=())
+        with pytest.raises(ObsError):
+            Histogram("wait", buckets=(10, 10))
+        with pytest.raises(ObsError):
+            Histogram("wait", buckets=(20, 10))
+
+
+class TestRegistry:
+    def test_registration_is_idempotent_per_kind(self):
+        reg = MetricsRegistry()
+        a = reg.counter("faults")
+        b = reg.counter("faults")
+        assert a is b
+        assert len(reg) == 1
+        assert "faults" in reg
+        assert reg.get("faults") is a
+        assert reg.get("nope") is None
+
+    def test_kind_clash_raises(self):
+        reg = MetricsRegistry()
+        reg.counter("x")
+        with pytest.raises(ObsError):
+            reg.gauge("x")
+        with pytest.raises(ObsError):
+            reg.histogram("x")
+
+    def test_callback_gauge_registered_twice_raises(self):
+        reg = MetricsRegistry()
+        reg.gauge("res", fn=lambda: 1)
+        with pytest.raises(ObsError):
+            reg.gauge("res", fn=lambda: 2)
+
+    def test_as_dict_is_sorted_and_samples_callbacks(self):
+        reg = MetricsRegistry()
+        reg.counter("b.count").inc(3)
+        box = {"n": 9}
+        reg.gauge("a.res", fn=lambda: box["n"])
+        reg.histogram("c.wait", buckets=(10,)).observe(4)
+        dump = reg.as_dict()
+        assert list(dump) == ["a.res", "b.count", "c.wait"]
+        assert dump["a.res"] == 9
+        assert dump["b.count"] == 3
+        assert dump["c.wait"]["count"] == 1
+        box["n"] = 10
+        assert reg.as_dict()["a.res"] == 10
+        assert reg.names() == ["a.res", "b.count", "c.wait"]
+
+
+class TestNullRegistry:
+    def test_disabled_registry_hands_out_noops(self):
+        reg = MetricsRegistry(enabled=False)
+        c = reg.counter("faults")
+        c.inc(5)
+        assert c.value == 0
+        g = reg.gauge("res", fn=lambda: 99)
+        g.set(3)
+        h = reg.histogram("wait")
+        h.observe(123)
+        assert h.count == 0
+        assert len(reg) == 0
+        assert reg.as_dict() == {}
+
+    def test_shared_null_registry_is_disabled(self):
+        assert NULL_REGISTRY.enabled is False
+        before = NULL_REGISTRY.counter("anything")
+        before.inc()
+        assert len(NULL_REGISTRY) == 0

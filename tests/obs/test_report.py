@@ -1,0 +1,196 @@
+"""Manifest diffing (repro.obs.diff) and the observability CLI surface."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.obs.diff import diff_manifests, render_diff
+from repro.obs.manifest import MANIFEST_SCHEMA, load_manifest
+
+
+def canned_manifest(
+    scheme,
+    *,
+    workload="mcf",
+    input_set="ref",
+    compute=1_000,
+    fault_wait=500,
+    faults=10,
+):
+    """A minimal, self-consistent manifest for diff tests."""
+    time = {
+        "compute": compute,
+        "aex": 70,
+        "eresume": 70,
+        "fault_wait": fault_wait,
+        "sip_check": 0,
+        "sip_wait": 0,
+    }
+    time["total"] = sum(time.values())
+    time["overhead"] = time["total"] - compute
+    return {
+        "schema": MANIFEST_SCHEMA,
+        "generator": {"repro_version": "1.0.0", "git_sha": "deadbeef"},
+        "run": {
+            "workload": workload,
+            "scheme": scheme,
+            "input_set": input_set,
+            "seed": 0,
+            "total_cycles": time["total"],
+            "seconds": 0.0,
+            "sip_points": 0,
+        },
+        "config": {"epc_pages": 64},
+        "stats": {"faults": faults, "accesses": 100, "time": dict(time)},
+        "time_breakdown": time,
+        "metrics": {},
+    }
+
+
+class TestDiffManifests:
+    def test_attributes_the_delta_per_bucket(self):
+        a = canned_manifest("baseline", fault_wait=900, faults=18)
+        b = canned_manifest("dfp-stop", fault_wait=500, faults=10)
+        diff = diff_manifests(a, b)
+        assert diff["comparable"] is True
+        assert diff["total"]["delta"] == -400
+        assert diff["total"]["ratio"] == pytest.approx(
+            b["time_breakdown"]["total"] / a["time_breakdown"]["total"]
+        )
+        rows = {row["bucket"]: row for row in diff["time"]}
+        assert rows["fault_wait"]["delta"] == -400
+        assert rows["fault_wait"]["share"] == pytest.approx(1.0)
+        assert rows["compute"]["delta"] == 0
+        assert diff["stats"] == [
+            {"counter": "faults", "a": 18, "b": 10, "delta": -8}
+        ]
+
+    def test_zero_delta_yields_no_shares_and_no_moved_counters(self):
+        a = canned_manifest("baseline")
+        diff = diff_manifests(a, canned_manifest("baseline"))
+        assert diff["total"]["delta"] == 0
+        assert all(row["share"] is None for row in diff["time"])
+        assert diff["stats"] == []
+
+    def test_cross_workload_flagged_not_comparable(self):
+        a = canned_manifest("baseline")
+        b = canned_manifest("baseline", workload="lbm")
+        assert diff_manifests(a, b)["comparable"] is False
+
+    def test_render_diff_report(self):
+        a = canned_manifest("baseline", fault_wait=900, faults=18)
+        b = canned_manifest("dfp-stop", fault_wait=500, faults=10)
+        text = render_diff(diff_manifests(a, b))
+        assert "A: mcf/baseline[ref, seed 0]" in text
+        assert "cycle attribution (B - A)" in text
+        assert "counters that moved" in text
+        assert "faults" in text
+        assert "warning" not in text
+
+    def test_render_diff_warns_on_cross_experiment(self):
+        a = canned_manifest("baseline")
+        b = canned_manifest("baseline", workload="lbm")
+        assert "warning" in render_diff(diff_manifests(a, b))
+
+    def test_render_diff_without_moved_counters(self):
+        a = canned_manifest("baseline")
+        text = render_diff(diff_manifests(a, canned_manifest("baseline")))
+        assert "no counters moved" in text
+
+
+SCALE = ["--scale", "64"]
+
+
+class TestCliRunObservability:
+    def test_metrics_flag_prints_registry(self, capsys):
+        assert main(
+            ["run", "lbm", "--scheme", "dfp-stop", "--metrics", *SCALE]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "metrics" in out
+        assert "fault.count" in out
+        assert "dfp.preload_counter" in out
+
+    def test_trace_flag_writes_valid_chrome_trace(self, tmp_path, capsys):
+        from repro.obs.chrome import validate_chrome_trace
+
+        trace = tmp_path / "trace.json"
+        assert main(
+            ["run", "lbm", "--scheme", "dfp-stop", "--trace", str(trace), *SCALE]
+        ) == 0
+        assert "trace:" in capsys.readouterr().out
+        counts = validate_chrome_trace(json.loads(trace.read_text()))
+        assert counts["tracks"] == 3
+        assert counts["events"] > 4
+
+    def test_trace_capacity_reports_drops(self, tmp_path, capsys):
+        trace = tmp_path / "trace.json"
+        assert main(
+            ["run", "lbm", "--trace", str(trace), "--trace-capacity", "4", *SCALE]
+        ) == 0
+        assert "dropped" in capsys.readouterr().out
+
+    def test_manifest_flag_writes_loadable_manifest(self, tmp_path, capsys):
+        path = tmp_path / "run.json"
+        assert main(
+            ["run", "lbm", "--scheme", "dfp-stop", "--manifest", str(path), *SCALE]
+        ) == 0
+        assert "manifest" in capsys.readouterr().out
+        manifest = load_manifest(path)
+        assert manifest["run"]["workload"] == "lbm"
+        assert manifest["metrics"]  # --manifest implies metric collection
+        assert manifest["workload"]["name"] == "lbm"
+
+
+class TestCliReport:
+    @pytest.fixture
+    def two_manifests(self, tmp_path):
+        a = tmp_path / "a.json"
+        b = tmp_path / "b.json"
+        assert main(["run", "lbm", "--manifest", str(a), *SCALE]) == 0
+        assert main(
+            ["run", "lbm", "--scheme", "dfp-stop", "--manifest", str(b), *SCALE]
+        ) == 0
+        return a, b
+
+    def test_report_text(self, two_manifests, capsys):
+        a, b = two_manifests
+        capsys.readouterr()
+        assert main(["report", str(a), str(b)]) == 0
+        out = capsys.readouterr().out
+        assert "cycle attribution (B - A)" in out
+        assert "baseline" in out and "dfp-stop" in out
+
+    def test_report_json(self, two_manifests, capsys):
+        a, b = two_manifests
+        capsys.readouterr()
+        assert main(["report", str(a), str(b), "--format", "json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["comparable"] is True
+        assert {row["bucket"] for row in payload["time"]} >= {"compute", "fault_wait"}
+
+    def test_report_on_missing_manifest_is_a_clean_error(self, tmp_path, capsys):
+        assert main(["report", str(tmp_path / "a.json"), str(tmp_path / "b.json")]) == 2
+        assert "error:" in capsys.readouterr().err
+
+
+class TestCliSweepProgress:
+    def test_progress_ticks_on_stderr(self, capsys):
+        assert main(
+            [
+                "sweep", "lbm", "--param", "load_length",
+                "--values", "2,4", "--progress", *SCALE,
+            ]
+        ) == 0
+        captured = capsys.readouterr()
+        assert "[1/2]" in captured.err
+        assert "[2/2]" in captured.err
+        assert "elapsed" in captured.err
+        assert "sweep" in captured.out or "lbm" in captured.out
+
+    def test_no_progress_by_default(self, capsys):
+        assert main(
+            ["sweep", "lbm", "--param", "load_length", "--values", "2", *SCALE]
+        ) == 0
+        assert capsys.readouterr().err == ""

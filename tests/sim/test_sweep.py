@@ -4,7 +4,7 @@ import pytest
 
 from repro.core.config import SimConfig
 from repro.errors import ConfigError
-from repro.sim.sweep import compare_schemes, sweep_config
+from repro.sim.sweep import SweepProgress, compare_schemes, sweep_config
 from repro.workloads.base import SyntheticWorkload
 from repro.workloads.synthetic import sequential
 
@@ -73,3 +73,48 @@ class TestSweepConfig:
     def test_repr_mentions_value(self, config):
         points = sweep_config(make_workload, [config], ["baseline"], values=["x"])
         assert "x" in repr(points[0])
+
+
+class TestSweepProgress:
+    def test_callback_receives_one_tick_per_point(self, config):
+        ticks = []
+        configs = [config.replace(load_length=n) for n in (2, 4)]
+        sweep_config(
+            make_workload,
+            configs,
+            ["baseline"],
+            values=[2, 4],
+            progress=ticks.append,
+        )
+        assert [(t.completed, t.total, t.label) for t in ticks] == [
+            (1, 2, 2),
+            (2, 2, 4),
+        ]
+        assert all(t.elapsed_s >= 0 for t in ticks)
+        assert ticks[-1].eta_s == 0.0
+        assert ticks[0].fraction == 0.5
+
+    def test_render_is_one_line(self):
+        tick = SweepProgress(
+            completed=1, total=4, label="load_length=2", elapsed_s=1.5, eta_s=4.5
+        )
+        line = tick.render()
+        assert "\n" not in line
+        assert "[1/4]" in line
+        assert "load_length=2" in line
+        assert "25%" in line
+
+    def test_progress_does_not_change_results(self, config):
+        configs = [config.replace(load_length=4)]
+        quiet = sweep_config(make_workload, configs, ["dfp-stop"], values=[4])
+        noisy = sweep_config(
+            make_workload,
+            configs,
+            ["dfp-stop"],
+            values=[4],
+            progress=lambda tick: None,
+        )
+        assert (
+            quiet[0].results["dfp-stop"].total_cycles
+            == noisy[0].results["dfp-stop"].total_cycles
+        )
