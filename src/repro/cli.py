@@ -14,8 +14,12 @@ Thin, scriptable access to the library's main flows:
 * ``classify`` — the Table 1 classification of the models;
 * ``sweep`` — a one-parameter sweep (e.g. LOADLENGTH, Figure 7 style),
   with ``--progress`` ETA ticks on stderr;
-* ``lint`` — the repo-specific static-analysis pass (rules RL001–RL006,
+* ``lint`` — the repo-specific static-analysis pass (rules RL001–RL007,
   see :mod:`repro.lint`).
+
+``compare`` and ``sweep`` take ``--jobs N`` to fan their independent
+simulations out over N worker processes (:mod:`repro.sim.parallel`);
+results are byte-identical to the serial run, just faster.
 
 Every simulation command accepts ``--scale`` (default 16): the EPC and
 workload footprints shrink together, preserving normalized results
@@ -39,6 +43,7 @@ from repro.core.instrumentation import build_sip_plan
 from repro.core.schemes import SCHEME_NAMES
 from repro.errors import ReproError
 from repro.sim.engine import simulate
+from repro.sim.parallel import WorkloadSpec
 from repro.sim.sweep import compare_schemes, sweep_config
 from repro.workloads.registry import (
     LARGE_IRREGULAR,
@@ -116,6 +121,9 @@ def build_parser() -> argparse.ArgumentParser:
         default="baseline,dfp,dfp-stop,sip,hybrid",
         help="comma-separated scheme names",
     )
+    p_cmp.add_argument("--jobs", type=int, default=1, metavar="N",
+                       help="worker processes (1 = serial; results are "
+                            "identical either way)")
 
     p_prof = sub.add_parser("profile", help="SIP profile + instrumentation plan")
     add_common(p_prof)
@@ -138,9 +146,12 @@ def build_parser() -> argparse.ArgumentParser:
     p_swp.add_argument("--scheme", choices=SCHEME_NAMES, default="dfp-stop")
     p_swp.add_argument("--progress", action="store_true",
                        help="print per-point progress and ETA to stderr")
+    p_swp.add_argument("--jobs", type=int, default=1, metavar="N",
+                       help="worker processes (1 = serial; results are "
+                            "identical either way)")
 
     p_lint = sub.add_parser(
-        "lint", help="repo-specific static analysis (rules RL001-RL006)"
+        "lint", help="repo-specific static analysis (rules RL001-RL007)"
     )
     p_lint.add_argument(
         "paths", nargs="*", default=["src"],
@@ -264,9 +275,13 @@ def _cmd_report(args: argparse.Namespace) -> int:
 def _cmd_compare(args: argparse.Namespace) -> int:
     config = _config(args)
     schemes = [s.strip() for s in args.schemes.split(",") if s.strip()]
-    workload = build_workload(args.workload, scale=args.scale)
     results = compare_schemes(
-        workload, config, schemes, seed=args.seed, input_set=args.input_set
+        WorkloadSpec(args.workload, args.scale),
+        config,
+        schemes,
+        seed=args.seed,
+        input_set=args.input_set,
+        jobs=args.jobs,
     )
     baseline_name = "baseline" if "baseline" in results else schemes[0]
     table = summarize_results(
@@ -362,13 +377,14 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     if args.progress:
         progress = lambda tick: print(tick.render(), file=sys.stderr)
     points = sweep_config(
-        lambda: build_workload(args.workload, scale=args.scale),
+        WorkloadSpec(args.workload, args.scale),
         [config.replace(**{args.param: value}) for value in values],
         [args.scheme],
         values=values,
         seed=args.seed,
         input_set=args.input_set,
         progress=progress,
+        jobs=args.jobs,
     )
     series = [
         (

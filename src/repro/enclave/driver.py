@@ -65,6 +65,9 @@ class SgxDriver:
         self._config = config
         self._cost = config.cost
         self._enclave = enclave
+        # ELRANGE bounds, hoisted for the per-access fast path.
+        self._base_page = enclave.base_page
+        self._limit_page = enclave.base_page + enclave.elrange_pages
         self._dfp = dfp
         self._platform = platform if platform is not None else SharedPlatform(config)
         self._platform.register(self)
@@ -342,22 +345,37 @@ class SgxDriver:
 
     def access(self, page: int, now: int) -> int:
         """Simulate one enclave page touch at ``now``; return end time."""
-        if not self._enclave.contains_page(page):
+        if page < self._base_page or page >= self._limit_page:
             raise SimulationError(
                 f"access to page {page} outside ELRANGE "
-                f"[{self._enclave.base_page}, "
-                f"{self._enclave.base_page + self._enclave.elrange_pages})"
+                f"[{self._base_page}, {self._limit_page})"
             )
         self._clock_hw = now
-        self.poll(now)
-        self.stats.accesses += 1
-        if self.epc.is_resident(page):
-            self._touch(page, hit=True)
+        # Inlined poll(): this runs once per simulated event, and the
+        # background machinery must still advance *before* residency is
+        # read — a completion landing at or before ``now`` can insert
+        # this very page (or evict it as a CLOCK victim).
+        if now < self._last_now:
+            raise SimulationError(
+                f"time went backwards: {now} < {self._last_now}"
+            )
+        self._last_now = now
+        self._platform.poll(now)
+        stats = self.stats
+        stats.accesses += 1
+        state = self.epc.lookup(page)
+        if state is not None:
+            # Resident fast path: one probe, set the A bit, done — no
+            # fault machinery, no event emission (a plain EPC hit has
+            # no timeline extent).
+            if state.preloaded and not state.accessed:
+                stats.preload_hits += 1
+            state.accessed = True
+            stats.epc_hits += 1
             return now
 
         # Demand fault: AEX out of the enclave.
         cost = self._cost
-        stats = self.stats
         stats.faults += 1
         t = now + cost.aex_cycles
         stats.time.aex += cost.aex_cycles

@@ -20,7 +20,7 @@ This module models the EPC as a fixed pool of frames plus, for every
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Iterator
+from typing import Dict, Iterator, Optional
 
 from repro.errors import EpcError
 
@@ -85,6 +85,15 @@ class Epc:
     def is_resident(self, page: int) -> bool:
         """True if virtual ``page`` currently occupies an EPC frame."""
         return page in self._resident
+
+    def lookup(self, page: int) -> Optional[EpcPageState]:
+        """The metadata of ``page`` if resident, else ``None``.
+
+        One dictionary probe combining :meth:`is_resident` and
+        :meth:`state_of` — the driver's access fast path runs this
+        once per page touch, which is once per simulated event.
+        """
+        return self._resident.get(page)
 
     def state_of(self, page: int) -> EpcPageState:
         """Return the metadata of a resident page.

@@ -19,6 +19,7 @@ __all__ = [
     "InstrumentationError",
     "SimulationError",
     "SanitizerError",
+    "ParallelExecutionError",
     "LintError",
     "ObsError",
 ]
@@ -70,6 +71,22 @@ class SanitizerError(SimulationError):
         if self.trace:
             tail = "\n".join(f"    {entry}" for entry in self.trace)
             message = f"{message}\n  event trace (oldest first):\n{tail}"
+        super().__init__(message)
+
+
+class ParallelExecutionError(SimulationError):
+    """A worker of the parallel experiment runner failed.
+
+    Names the job that died (:attr:`job`) so a many-point sweep does
+    not reduce a single bad configuration to an anonymous pool
+    traceback.  The worker's original exception is chained as
+    ``__cause__``.
+    """
+
+    def __init__(self, message: str, job: str = "") -> None:
+        #: Human-readable description of the failed job
+        #: (``workload/scheme/seed/input_set``).
+        self.job = job
         super().__init__(message)
 
 

@@ -23,6 +23,12 @@ Each rule mechanizes one invariant the reproduction depends on:
   the CLI and the report renderer; everything else surfaces state
   through :mod:`repro.obs` (metrics, traces, manifests) so it stays
   machine-readable and silent by default.
+* **RL007** — process-level parallelism stays in ``repro.sim.parallel``.
+  The determinism guarantee (``jobs=N`` reproduces ``jobs=1`` byte for
+  byte) is only auditable while pool sizing, submission order and
+  failure wrapping live in one module; a stray ``ProcessPoolExecutor``
+  or ``multiprocessing`` use elsewhere forks the simulator's state
+  behind the runner's back.
 """
 
 from __future__ import annotations
@@ -41,6 +47,7 @@ __all__ = [
     "FloatPageArithmetic",
     "MissingDunderAll",
     "DirectPrint",
+    "StrayMultiprocessing",
 ]
 
 #: Byte values that re-encode the platform's EPC geometry.
@@ -413,4 +420,60 @@ class DirectPrint(LintRule):
                 "direct print() in library code; return/log the data or "
                 "surface it through repro.obs instead",
             )
+        self.generic_visit(node)
+
+
+#: Names from ``concurrent.futures`` that spawn worker processes.
+_POOL_NAMES = {"ProcessPoolExecutor"}
+
+
+@register_rule
+class StrayMultiprocessing(LintRule):
+    """RL007: process pools outside ``repro.sim.parallel``."""
+
+    code = "RL007"
+    name = "stray-multiprocessing"
+    description = (
+        "ProcessPoolExecutor / multiprocessing use outside "
+        "repro.sim.parallel — parallel execution must go through the "
+        "deterministic job runner"
+    )
+
+    @classmethod
+    def applies_to(cls, path: Path) -> bool:
+        # The runner itself is the single sanctioned home.
+        parts = path.parts
+        return not (
+            path.name == "parallel.py" and len(parts) >= 2 and parts[-2] == "sim"
+        )
+
+    def _flag(self, node: ast.AST, what: str) -> None:
+        self.report(
+            node,
+            f"{what} outside repro.sim.parallel; use "
+            "repro.sim.parallel.run_jobs (or the drivers' jobs= parameter) "
+            "so parallel runs stay deterministic and failures stay typed",
+        )
+
+    def visit_Import(self, node: ast.Import) -> None:
+        for alias in node.names:
+            root = alias.name.split(".")[0]
+            if root == "multiprocessing":
+                self._flag(node, f"import of {alias.name!r}")
+        self.generic_visit(node)
+
+    def visit_ImportFrom(self, node: ast.ImportFrom) -> None:
+        module = node.module or ""
+        root = module.split(".")[0]
+        if root == "multiprocessing":
+            self._flag(node, f"import from {module!r}")
+        elif root == "concurrent":
+            for alias in node.names:
+                if alias.name in _POOL_NAMES:
+                    self._flag(node, f"import of {alias.name!r}")
+        self.generic_visit(node)
+
+    def visit_Attribute(self, node: ast.Attribute) -> None:
+        if node.attr in _POOL_NAMES:
+            self._flag(node, f"use of {node.attr!r}")
         self.generic_visit(node)

@@ -5,12 +5,18 @@
 * :mod:`repro.sim.results` — run results and comparisons.
 * :mod:`repro.sim.sweep` — parameter sweeps and scheme comparisons,
   the building blocks of every figure in the evaluation.
+* :mod:`repro.sim.parallel` — the process-pool job runner behind the
+  drivers' ``jobs=`` parameter.
+* :mod:`repro.sim.tracecache` — byte-budgeted LRU of materialized
+  workload traces, shared by every scheme replay of one trace.
 """
 
 from repro.sim.engine import simulate, simulate_native, prepare_sip_plan
 from repro.sim.multi import simulate_shared
+from repro.sim.parallel import JobSpec, WorkloadSpec, run_jobs
 from repro.sim.results import RunResult, improvement_pct, normalized_time
 from repro.sim.sweep import compare_schemes, sweep_config
+from repro.sim.tracecache import TraceCache, shared_trace_cache
 
 __all__ = [
     "simulate",
@@ -22,4 +28,9 @@ __all__ = [
     "normalized_time",
     "compare_schemes",
     "sweep_config",
+    "JobSpec",
+    "WorkloadSpec",
+    "run_jobs",
+    "TraceCache",
+    "shared_trace_cache",
 ]

@@ -28,7 +28,8 @@ sequential microbenchmark inside SGX.
 
 from __future__ import annotations
 
-from typing import Optional
+from itertools import islice
+from typing import Iterable, Optional
 
 from repro.core.config import SimConfig
 from repro.core.instrumentation import SipPlan, build_sip_plan
@@ -40,7 +41,7 @@ from repro.errors import SimulationError
 from repro.obs.metrics import MetricsRegistry
 from repro.obs.trace import TraceSink
 from repro.sim.results import RunResult
-from repro.workloads.base import Workload
+from repro.workloads.base import TraceEvent, Workload
 
 __all__ = ["simulate", "simulate_native", "prepare_sip_plan"]
 
@@ -78,6 +79,7 @@ def simulate(
     metrics: Optional["MetricsRegistry"] = None,
     tracer: Optional["TraceSink"] = None,
     event_capacity: Optional[int] = None,
+    trace: Optional[Iterable[TraceEvent]] = None,
 ) -> RunResult:
     """Run one workload under one scheme; return its result.
 
@@ -85,6 +87,13 @@ def simulate(
     or a scheme name; names needing SIP use ``sip_plan`` when given
     and otherwise compile one on the fly via :func:`prepare_sip_plan`.
     ``max_accesses`` truncates the trace (useful for tests).
+
+    ``trace`` replays a pre-materialized event stream (see
+    :mod:`repro.sim.tracecache`) instead of walking the workload's
+    generator; it must be exactly what ``workload.trace(seed=seed,
+    input_set=input_set)`` would yield, so results are identical
+    either way — the scheme comparison drivers use this to walk a
+    trace once and replay it for every scheme.
 
     Observability (all passive — none of these change the outcome):
     ``metrics`` is a :class:`~repro.obs.metrics.MetricsRegistry` the
@@ -120,18 +129,31 @@ def simulate(
     instrumented = sip.instrumented if sip is not None else None
 
     now = 0
-    count = 0
     sip_prefetch = driver.sip_prefetch
     access = driver.access
-    for instr, page, cycles in workload.trace(seed=seed, input_set=input_set):
-        now += cycles
-        breakdown.compute += cycles
-        if instrumented is not None and instr in instrumented:
-            now = sip_prefetch(page, now)
-        now = access(page, now)
-        count += 1
-        if max_accesses is not None and count >= max_accesses:
-            break
+    events: Iterable[TraceEvent] = (
+        trace
+        if trace is not None
+        else workload.trace(seed=seed, input_set=input_set)
+    )
+    if max_accesses is not None:
+        events = islice(events, max_accesses)
+    # Hot loop.  Two variants so the common non-SIP run pays neither
+    # the membership test nor the extra branch per event; both keep
+    # ``breakdown.compute`` current per event because the sanitizer's
+    # per-tick accounting identity reads it mid-run.
+    if instrumented is None:
+        for _instr, page, cycles in events:
+            now += cycles
+            breakdown.compute += cycles
+            now = access(page, now)
+    else:
+        for instr, page, cycles in events:
+            now += cycles
+            breakdown.compute += cycles
+            if instr in instrumented:
+                now = sip_prefetch(page, now)
+            now = access(page, now)
     driver.finish(now)
     if driver.sanitizer is not None:
         # End-of-run sweep: the per-tick checks ran at every scan; this

@@ -1,0 +1,218 @@
+"""Parallel experiment execution: the process-pool job runner.
+
+Every figure of the evaluation is an embarrassingly parallel set of
+independent simulations — same code, different ``(workload, config,
+scheme, seed)`` coordinates — so the experiment drivers
+(:mod:`repro.sim.sweep`) fan their points out over a
+``ProcessPoolExecutor`` here instead of running them one at a time.
+
+Three properties the drivers rely on:
+
+* **Determinism** — a job is a picklable :class:`JobSpec` naming a
+  *registry* workload (name + scale), never a live generator; the
+  worker rebuilds the workload from the registry, so a job's result is
+  a function of the spec alone and ``jobs=N`` reproduces ``jobs=1``
+  byte for byte (proved by ``tests/sim/test_parallel.py`` against the
+  PR-2 run manifests).
+* **Order** — results come back in submission order no matter which
+  worker finished first.
+* **Failure attribution** — a worker exception is re-raised as a
+  typed :class:`~repro.errors.ParallelExecutionError` naming the job,
+  with the original exception chained.
+
+Workers run *blind*: no metrics registry, no trace sink, no event
+recording.  Observability in this codebase is passive by contract
+(observed and blind runs compare equal), so attaching instruments in
+workers would only produce N disconnected registries that cannot be
+merged meaningfully; callers who want an observed run re-run the one
+point they care about with :func:`repro.sim.engine.simulate` directly.
+
+This module is the single place in the tree allowed to touch
+``concurrent.futures``/``multiprocessing`` (lint rule RL007): pool
+sizing, submission order and failure wrapping must stay in one spot
+for the determinism guarantee to be auditable.
+"""
+
+from __future__ import annotations
+
+import multiprocessing  # repro-lint: disable=RL007  the sanctioned home
+from concurrent import futures  # repro-lint: disable=RL007  the sanctioned home
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.core.config import SimConfig
+from repro.core.instrumentation import SipPlan
+from repro.errors import ConfigError, ParallelExecutionError
+from repro.sim.results import RunResult
+from repro.workloads.base import Workload
+
+__all__ = ["WorkloadSpec", "JobSpec", "run_job", "run_jobs"]
+
+
+@dataclass(frozen=True)
+class WorkloadSpec:
+    """A picklable recipe for a registry workload.
+
+    Live :class:`~repro.workloads.base.Workload` objects hold phase
+    closures and cannot cross a process boundary; a spec carries only
+    the registry name and build scale and is rebuilt on the far side
+    with :func:`repro.workloads.registry.build_workload` — which is
+    also why parallel drivers require a spec where serial ones accept
+    a factory.
+    """
+
+    name: str
+    scale: int = 1
+
+    def build(self) -> Workload:
+        """Construct the workload this spec names."""
+        from repro.workloads.registry import build_workload
+
+        return build_workload(self.name, scale=self.scale)
+
+
+@dataclass(frozen=True)
+class JobSpec:
+    """One simulation job: everything a worker needs, nothing live.
+
+    All fields are picklable values; compiled SIP plans ride along so
+    workers never re-run the profiler (plan compilation is memoized
+    once, in the parent — see :func:`repro.sim.sweep.sweep_config`).
+    """
+
+    workload: WorkloadSpec
+    config: SimConfig
+    scheme: str
+    seed: int = 0
+    input_set: str = "ref"
+    sip_plan: Optional[SipPlan] = field(default=None, compare=False)
+    max_accesses: Optional[int] = None
+
+    def describe(self) -> str:
+        """Short identity string used in progress and error messages."""
+        return (
+            f"{self.workload.name}@x{self.workload.scale}"
+            f"/{self.scheme}/seed={self.seed}/{self.input_set}"
+        )
+
+
+def run_job(spec: JobSpec) -> RunResult:
+    """Execute one job in the current process.
+
+    This is the pool's target function and the ``jobs=1`` fallback.
+    The workload's trace is served from this process's shared
+    materialization cache, so a worker running several schemes of the
+    same point walks the generator once.
+    """
+    from repro.sim.engine import simulate
+    from repro.sim.tracecache import shared_trace_cache
+
+    workload = spec.workload.build()
+    trace = shared_trace_cache().get(
+        workload, seed=spec.seed, input_set=spec.input_set
+    )
+    return simulate(
+        workload,
+        spec.config,
+        spec.scheme,
+        seed=spec.seed,
+        input_set=spec.input_set,
+        sip_plan=spec.sip_plan,
+        trace=trace,
+    )
+
+
+def _warm_trace_cache(specs: Sequence[JobSpec]) -> None:
+    """Materialize each distinct trace in the parent before forking.
+
+    With the ``fork`` start method the pool's workers inherit the
+    parent's populated :func:`~repro.sim.tracecache.shared_trace_cache`
+    copy-on-write, so N workers replay traces the parent walked once
+    instead of each re-walking the generator.  Under ``spawn``/
+    ``forkserver`` nothing is inherited, so the warm-up would be pure
+    extra parent work and is skipped.
+    """
+    if multiprocessing.get_start_method() != "fork":
+        return
+    from repro.sim.tracecache import shared_trace_cache
+
+    cache = shared_trace_cache()
+    seen: set[Tuple[WorkloadSpec, int, str]] = set()
+    for spec in specs:
+        identity = (spec.workload, spec.seed, spec.input_set)
+        if identity in seen:
+            continue
+        seen.add(identity)
+        try:
+            cache.get(
+                spec.workload.build(), seed=spec.seed, input_set=spec.input_set
+            )
+        except Exception:
+            # Warm-up is best-effort: a spec that cannot build fails
+            # again in its worker, where the failure is wrapped and
+            # attributed through the one sanctioned error path.
+            continue
+
+
+def run_jobs(
+    specs: Sequence[JobSpec],
+    *,
+    jobs: int = 1,
+    on_result: Optional[Callable[[int, JobSpec], None]] = None,
+) -> List[RunResult]:
+    """Run every job; return results in submission order.
+
+    ``jobs`` is the worker-process count; ``jobs=1`` (the default)
+    runs everything serially in-process with no pool at all, which is
+    both the fallback and the reference the determinism suite compares
+    against.  ``on_result`` fires once per finished job — in
+    *completion* order, with the job's submission index — and is how
+    the sweep drivers keep their progress ticks flowing while futures
+    resolve out of order.
+
+    A failing job raises :class:`~repro.errors.ParallelExecutionError`
+    naming it; remaining jobs are cancelled where possible (results of
+    jobs that already finished are discarded — a sweep with a poisoned
+    point has no meaningful partial answer).
+    """
+    if jobs < 1:
+        raise ConfigError(f"jobs must be at least 1, got {jobs}")
+    specs = list(specs)
+    if jobs == 1 or len(specs) <= 1:
+        results: List[RunResult] = []
+        for index, spec in enumerate(specs):
+            try:
+                results.append(run_job(spec))
+            except Exception as exc:
+                raise ParallelExecutionError(
+                    f"job {spec.describe()} failed: {exc}", job=spec.describe()
+                ) from exc
+            if on_result is not None:
+                on_result(index, spec)
+        return results
+
+    _warm_trace_cache(specs)
+    slots: List[Optional[RunResult]] = [None] * len(specs)
+    with futures.ProcessPoolExecutor(max_workers=jobs) as pool:
+        index_of: Dict[futures.Future, int] = {
+            pool.submit(run_job, spec): index for index, spec in enumerate(specs)
+        }
+        try:
+            for future in futures.as_completed(index_of):
+                index = index_of[future]
+                spec = specs[index]
+                try:
+                    slots[index] = future.result()
+                except Exception as exc:
+                    raise ParallelExecutionError(
+                        f"job {spec.describe()} failed in a worker: {exc}",
+                        job=spec.describe(),
+                    ) from exc
+                if on_result is not None:
+                    on_result(index, spec)
+        except BaseException:
+            for future in index_of:
+                future.cancel()
+            raise
+    assert all(result is not None for result in slots)
+    return slots  # type: ignore[return-value]

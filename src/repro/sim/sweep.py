@@ -4,22 +4,53 @@ These are the experiment drivers: every figure of the evaluation is
 either a scheme comparison over workloads (Figures 8, 10–13) or a
 sweep of one configuration parameter (Figure 6: ``stream_list``
 length; Figure 7: ``LOADLENGTH``; Figure 9: the SIP threshold).
+
+Both drivers take ``jobs=`` and fan their independent simulations out
+over :func:`repro.sim.parallel.run_jobs` when ``jobs > 1`` (the
+default of 1 is the serial in-process path).  Two caches keep the hot
+path from repeating work the determinism contract makes repeatable:
+
+* traces are materialized once per ``(workload, seed, input_set)`` and
+  replayed for every scheme (:mod:`repro.sim.tracecache`);
+* SIP plans are compile-time artifacts — one binary serves every run
+  in the paper — so profiling runs are memoized per trace identity
+  ``(workload, footprint, seed)`` and plan compilation per profile +
+  threshold.  A Figure 6/7 sweep profiles once for all points and a
+  Figure 9 threshold sweep re-decides instrumentation from one shared
+  profile.
 """
 
 from __future__ import annotations
 
 import time
 from dataclasses import dataclass
-from typing import Callable, Dict, Iterable, List, Optional, Sequence
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple, Union
 
 from repro.core.config import SimConfig
-from repro.core.instrumentation import SipPlan
+from repro.core.instrumentation import SipPlan, build_sip_plan
+from repro.core.profiler import WorkloadProfile, profile_workload
 from repro.errors import ConfigError
-from repro.sim.engine import prepare_sip_plan, simulate
+from repro.sim.engine import simulate
+from repro.sim.parallel import JobSpec, WorkloadSpec, run_jobs
 from repro.sim.results import RunResult
+from repro.sim.tracecache import shared_trace_cache
 from repro.workloads.base import Workload
 
-__all__ = ["compare_schemes", "sweep_config", "SweepPoint", "SweepProgress"]
+__all__ = [
+    "compare_schemes",
+    "sweep_config",
+    "SweepPoint",
+    "SweepProgress",
+    "SIP_SCHEMES",
+]
+
+#: Scheme names that execute under a compiled SIP plan.
+SIP_SCHEMES = ("sip", "hybrid")
+
+#: Progress-math guard: a sweep point that completes faster than the
+#: clock's resolution must not extrapolate a zero ETA for the points
+#: still to run.
+_MIN_ELAPSED_S = 1e-9
 
 
 @dataclass(frozen=True)
@@ -37,6 +68,32 @@ class SweepProgress:
     label: object
     elapsed_s: float
     eta_s: float
+
+    @classmethod
+    def tick(
+        cls, *, completed: int, total: int, label: object, elapsed_s: float
+    ) -> "SweepProgress":
+        """Build a tick, deriving the ETA with the zero-duration guard.
+
+        A first point finishing within the clock's resolution would
+        otherwise extrapolate ``eta_s == 0.0`` with the whole sweep
+        still ahead; clamping ``elapsed_s`` keeps the estimate a tiny
+        positive number instead of a lie, and a tick with nothing
+        completed yet reports the only honest estimate: none.
+        """
+        if completed <= 0:
+            eta = float("inf") if total else 0.0
+        elif completed >= total:
+            eta = 0.0
+        else:
+            eta = max(elapsed_s, _MIN_ELAPSED_S) / completed * (total - completed)
+        return cls(
+            completed=completed,
+            total=total,
+            label=label,
+            elapsed_s=elapsed_s,
+            eta_s=eta,
+        )
 
     @property
     def fraction(self) -> float:
@@ -64,39 +121,142 @@ class SweepPoint:
         return f"SweepPoint(value={self.value!r}, runs=[{names}])"
 
 
+#: What the drivers accept as "the workload": a live object (serial
+#: only), a picklable registry spec, or a zero-argument factory.
+WorkloadSource = Union[Workload, WorkloadSpec, Callable[[], Workload]]
+
+
+def _build_workload(source: WorkloadSource) -> Workload:
+    """Materialize a live workload from any accepted source form."""
+    if isinstance(source, Workload):
+        return source
+    if isinstance(source, WorkloadSpec):
+        return source.build()
+    return source()
+
+
+def _require_spec(source: WorkloadSource, caller: str) -> WorkloadSpec:
+    """The :class:`WorkloadSpec` behind ``source``, or a clear error.
+
+    Parallel execution ships jobs to worker processes, so the workload
+    must be a picklable registry recipe — live workloads and closures
+    cannot cross the boundary (and silently pickling a stateful
+    generator would be worse than refusing).
+    """
+    if isinstance(source, WorkloadSpec):
+        return source
+    raise ConfigError(
+        f"{caller} with jobs > 1 needs a repro.sim.parallel.WorkloadSpec "
+        f"(registry name + scale) so jobs can be shipped to worker "
+        f"processes; got {type(source).__name__}"
+    )
+
+
+class _SipPlanCache:
+    """Two-level memo: profiling runs, then plan compilation.
+
+    A SIP plan is a *compile-time* artifact: one compiled binary
+    serves all of the paper's runs, no matter which kernel-side knob
+    (LOADLENGTH, ``stream_list`` length, EPC share) an experiment
+    varies.  The profile is therefore memoized per trace identity
+    ``(workload, footprint, seed)`` — the first point needing a plan
+    supplies the profiling environment — and the plan per profile +
+    threshold, so a Figure 6/7 sweep profiles and compiles exactly
+    once, and a Figure 9 threshold sweep re-runs only the (cheap)
+    threshold decision over one shared profiling run.
+    """
+
+    def __init__(self) -> None:
+        self._profiles: Dict[Tuple, WorkloadProfile] = {}
+        self._plans: Dict[Tuple, SipPlan] = {}
+
+    @staticmethod
+    def _profile_key(workload: Workload, seed: int) -> Tuple:
+        return (workload.name, workload.footprint_pages, seed)
+
+    def plan_for(
+        self, workload: Workload, config: SimConfig, seed: int
+    ) -> SipPlan:
+        """The compiled plan for one sweep point's SIP coordinates."""
+        profile_key = self._profile_key(workload, seed)
+        plan_key = profile_key + (config.sip_threshold,)
+        plan = self._plans.get(plan_key)
+        if plan is None:
+            profile = self._profiles.get(profile_key)
+            if profile is None:
+                profile = profile_workload(
+                    workload, config, input_set="train", seed=seed
+                )
+                self._profiles[profile_key] = profile
+            plan = build_sip_plan(profile, config.sip_threshold)
+            self._plans[plan_key] = plan
+        return plan
+
+
+def _needs_sip(schemes: Sequence[str]) -> bool:
+    return any(name in SIP_SCHEMES for name in schemes)
+
+
 def compare_schemes(
-    workload: Workload,
+    workload: WorkloadSource,
     config: SimConfig,
     schemes: Sequence[str],
     *,
     seed: int = 0,
     input_set: str = "ref",
     sip_plan: Optional[SipPlan] = None,
+    jobs: int = 1,
 ) -> Dict[str, RunResult]:
-    """Run ``workload`` under each scheme; return results by name.
+    """Run the workload under each scheme; return results by name.
 
     A single SIP plan is compiled once (from the train input) and
     shared across the SIP-bearing schemes, exactly as one compiled
-    binary serves all the paper's runs.
+    binary serves all the paper's runs; schemes without SIP never
+    touch the profiler.  The workload trace is materialized once and
+    replayed per scheme.  ``jobs > 1`` runs the schemes in worker
+    processes (``workload`` must then be a
+    :class:`~repro.sim.parallel.WorkloadSpec`); results are identical
+    to the serial path.
     """
-    needs_sip = any(name in ("sip", "hybrid") for name in schemes)
-    if needs_sip and sip_plan is None:
-        sip_plan = prepare_sip_plan(workload, config, seed=seed)
+    if jobs > 1:
+        spec = _require_spec(workload, "compare_schemes")
+        if _needs_sip(schemes) and sip_plan is None:
+            built = spec.build()
+            sip_plan = _SipPlanCache().plan_for(built, config, seed)
+        specs = [
+            JobSpec(
+                workload=spec,
+                config=config,
+                scheme=name,
+                seed=seed,
+                input_set=input_set,
+                sip_plan=sip_plan if name in SIP_SCHEMES else None,
+            )
+            for name in schemes
+        ]
+        runs = run_jobs(specs, jobs=jobs)
+        return dict(zip(schemes, runs))
+
+    built = _build_workload(workload)
+    if _needs_sip(schemes) and sip_plan is None:
+        sip_plan = _SipPlanCache().plan_for(built, config, seed)
+    trace = shared_trace_cache().get(built, seed=seed, input_set=input_set)
     results: Dict[str, RunResult] = {}
     for name in schemes:
         results[name] = simulate(
-            workload,
+            built,
             config,
             name,
             seed=seed,
             input_set=input_set,
-            sip_plan=sip_plan if name in ("sip", "hybrid") else None,
+            sip_plan=sip_plan if name in SIP_SCHEMES else None,
+            trace=trace,
         )
     return results
 
 
 def sweep_config(
-    workload_factory: Callable[[], Workload],
+    workload_factory: WorkloadSource,
     configs: Iterable[SimConfig],
     schemes: Sequence[str],
     *,
@@ -104,16 +264,28 @@ def sweep_config(
     seed: int = 0,
     input_set: str = "ref",
     progress: Optional[Callable[[SweepProgress], None]] = None,
+    jobs: int = 1,
 ) -> List[SweepPoint]:
     """Run a scheme comparison at each configuration.
 
     ``values`` labels the sweep points (defaults to their index).  The
     workload is rebuilt per point via ``workload_factory`` so traces
-    never share generator state.  ``progress`` is called once after
-    each completed point with a :class:`SweepProgress` tick (sweeps are
-    the slow path — minutes at paper scale — so the CLI surfaces an
-    ETA through this hook).
+    never share generator state (a :class:`~repro.sim.parallel.WorkloadSpec`
+    serves as the factory and is required when ``jobs > 1``).
+
+    SIP plans are compiled here, once per (workload, seed, threshold),
+    and shared by every point whose coordinates match — a sweep that
+    varies a non-SIP parameter profiles exactly once, and a sweep
+    whose schemes carry no SIP at all never touches the profiler.
+
+    ``progress`` is called after each completed point with a
+    :class:`SweepProgress` tick (sweeps are the slow path — minutes at
+    paper scale — so the CLI surfaces an ETA through this hook); with
+    ``jobs > 1`` ticks fire as points complete, which may be out of
+    label order.
     """
+    if jobs < 1:
+        raise ConfigError(f"jobs must be at least 1, got {jobs}")
     config_list = list(configs)
     if values is None:
         labels: List[object] = list(range(len(config_list)))
@@ -123,26 +295,83 @@ def sweep_config(
         raise ConfigError(
             f"{len(config_list)} configs but {len(labels)} labels"
         )
-    points: List[SweepPoint] = []
-    started = time.monotonic()
+    needs_sip = _needs_sip(schemes)
+    plan_cache = _SipPlanCache() if needs_sip else None
     total = len(config_list)
+    started = time.monotonic()
+
+    def point_plan(workload: Workload, config: SimConfig) -> Optional[SipPlan]:
+        if plan_cache is None:
+            return None
+        return plan_cache.plan_for(workload, config, seed)
+
+    if jobs > 1:
+        spec = _require_spec(workload_factory, "sweep_config")
+        plan_probe = spec.build() if needs_sip else None
+        specs: List[JobSpec] = []
+        for config in config_list:
+            plan = point_plan(plan_probe, config) if plan_probe is not None else None
+            for name in schemes:
+                specs.append(
+                    JobSpec(
+                        workload=spec,
+                        config=config,
+                        scheme=name,
+                        seed=seed,
+                        input_set=input_set,
+                        sip_plan=plan if name in SIP_SCHEMES else None,
+                    )
+                )
+        per_point = len(schemes)
+        remaining = [per_point] * total
+        points_done = 0
+
+        def on_result(index: int, _spec: JobSpec) -> None:
+            nonlocal points_done
+            point = index // per_point
+            remaining[point] -= 1
+            if remaining[point] == 0 and progress is not None:
+                points_done += 1
+                progress(
+                    SweepProgress.tick(
+                        completed=points_done,
+                        total=total,
+                        label=labels[point],
+                        elapsed_s=time.monotonic() - started,
+                    )
+                )
+
+        runs = run_jobs(specs, jobs=jobs, on_result=on_result)
+        points: List[SweepPoint] = []
+        for point_index, label in enumerate(labels):
+            base = point_index * per_point
+            points.append(
+                SweepPoint(
+                    label,
+                    dict(zip(schemes, runs[base : base + per_point])),
+                )
+            )
+        return points
+
+    points = []
     for label, config in zip(labels, config_list):
-        workload = workload_factory()
+        workload = _build_workload(workload_factory)
         results = compare_schemes(
-            workload, config, schemes, seed=seed, input_set=input_set
+            workload,
+            config,
+            schemes,
+            seed=seed,
+            input_set=input_set,
+            sip_plan=point_plan(workload, config),
         )
         points.append(SweepPoint(label, results))
         if progress is not None:
-            elapsed = time.monotonic() - started
-            done = len(points)
-            eta = elapsed / done * (total - done)
             progress(
-                SweepProgress(
-                    completed=done,
+                SweepProgress.tick(
+                    completed=len(points),
                     total=total,
                     label=label,
-                    elapsed_s=elapsed,
-                    eta_s=eta,
+                    elapsed_s=time.monotonic() - started,
                 )
             )
     return points

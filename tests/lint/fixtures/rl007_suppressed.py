@@ -1,0 +1,18 @@
+"""RL007 fixture: the same shapes, silenced by inline pragmas."""
+
+import multiprocessing  # repro-lint: disable=RL007  measured, sanctioned here
+from concurrent.futures import ProcessPoolExecutor  # repro-lint: disable=RL007  ditto
+
+__all__ = ["fan_out", "run_jobs_is_fine"]
+
+
+def fan_out(jobs, fn, items):
+    with ProcessPoolExecutor(max_workers=jobs) as pool:  # noqa: the import was pragma'd
+        return list(pool.map(fn, items))
+
+
+def run_jobs_is_fine(specs):
+    # Going through the sanctioned runner never trips the rule.
+    from repro.sim.parallel import run_jobs
+
+    return run_jobs(specs, jobs=multiprocessing.cpu_count())

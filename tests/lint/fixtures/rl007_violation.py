@@ -1,0 +1,25 @@
+"""RL007 fixture: rolling its own process pool instead of run_jobs."""
+
+import multiprocessing
+from concurrent.futures import ProcessPoolExecutor
+from multiprocessing import Pool
+
+__all__ = ["fan_out"]
+
+
+def fan_out(jobs, fn, items):
+    queue = multiprocessing.Queue()
+    with ProcessPoolExecutor(max_workers=jobs) as pool:
+        return queue, list(pool.map(fn, items))
+
+
+def fan_out_futures(jobs, fn, items):
+    import concurrent.futures
+
+    with concurrent.futures.ProcessPoolExecutor(max_workers=jobs) as pool:
+        return list(pool.map(fn, items))
+
+
+def fan_out_pool(jobs, fn, items):
+    with Pool(jobs) as pool:
+        return pool.map(fn, items)

@@ -126,8 +126,30 @@ class TestRL006DirectPrint:
         assert lint_file(script, select=["RL006"]) == []
 
 
+class TestRL007StrayMultiprocessing:
+    def test_fires_on_imports_and_attribute_use(self):
+        found = findings_for("rl007_violation.py", "RL007")
+        # import multiprocessing, from concurrent.futures import
+        # ProcessPoolExecutor, from multiprocessing import Pool, and the
+        # concurrent.futures.ProcessPoolExecutor attribute reference.
+        assert len(found) == 4
+        messages = " | ".join(f.message for f in found)
+        assert "repro.sim.parallel" in messages
+
+    def test_silent_under_pragma_and_on_run_jobs(self):
+        assert findings_for("rl007_suppressed.py", "RL007") == []
+
+    def test_sanctioned_runner_module_is_exempt(self, tmp_path):
+        mod = tmp_path / "repro" / "sim" / "parallel.py"
+        mod.parent.mkdir(parents=True)
+        mod.write_text(
+            "__all__ = []\nfrom concurrent.futures import ProcessPoolExecutor\n"
+        )
+        assert lint_file(mod, select=["RL007"]) == []
+
+
 @pytest.mark.parametrize(
-    "code", ["RL001", "RL002", "RL003", "RL004", "RL005", "RL006"]
+    "code", ["RL001", "RL002", "RL003", "RL004", "RL005", "RL006", "RL007"]
 )
 def test_clean_fixture_is_silent_under_every_rule(code):
     assert findings_for("clean.py", code) == []

@@ -101,7 +101,9 @@ class TestOutput:
     def test_rule_catalog_lists_all_registered_rules(self):
         codes = [entry["code"] for entry in rule_catalog()]
         assert codes == sorted(RULES)
-        assert codes == ["RL001", "RL002", "RL003", "RL004", "RL005", "RL006"]
+        assert codes == [
+            "RL001", "RL002", "RL003", "RL004", "RL005", "RL006", "RL007",
+        ]
 
 
 def test_repo_tree_is_lint_clean():

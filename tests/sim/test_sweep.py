@@ -74,6 +74,59 @@ class TestSweepConfig:
         points = sweep_config(make_workload, [config], ["baseline"], values=["x"])
         assert "x" in repr(points[0])
 
+    def test_non_sip_sweep_never_touches_the_profiler(self, config, monkeypatch):
+        """The needs_sip check is hoisted into sweep_config: a DFP-only
+        sweep (Fig. 6 style) must not run a single profiling pass."""
+        import repro.sim.sweep as sweep_mod
+
+        def boom(*_args, **_kwargs):
+            raise AssertionError("profiler invoked for a non-SIP sweep")
+
+        monkeypatch.setattr(sweep_mod, "profile_workload", boom)
+        configs = [config.replace(load_length=n) for n in (2, 4)]
+        points = sweep_config(
+            make_workload, configs, ["baseline", "dfp-stop"], values=[2, 4]
+        )
+        assert len(points) == 2
+
+    def test_sip_sweep_profiles_once_across_points(self, config, monkeypatch):
+        """A non-SIP-parameter sweep shares one profiling run (and one
+        plan) across every point instead of recompiling per point."""
+        import repro.sim.sweep as sweep_mod
+
+        calls = []
+        real = sweep_mod.profile_workload
+
+        def counting(workload, cfg, **kwargs):
+            calls.append(workload.name)
+            return real(workload, cfg, **kwargs)
+
+        monkeypatch.setattr(sweep_mod, "profile_workload", counting)
+        configs = [config.replace(load_length=n) for n in (2, 4, 8)]
+        points = sweep_config(
+            make_workload, configs, ["sip"], values=[2, 4, 8]
+        )
+        assert len(calls) == 1
+        plans = {p.results["sip"].sip_points for p in points}
+        assert len(plans) == 1
+
+    def test_threshold_sweep_shares_the_profile(self, config, monkeypatch):
+        """A Figure 9 threshold sweep re-decides instrumentation per
+        threshold but profiles exactly once."""
+        import repro.sim.sweep as sweep_mod
+
+        calls = []
+        real = sweep_mod.profile_workload
+
+        def counting(workload, cfg, **kwargs):
+            calls.append(workload.name)
+            return real(workload, cfg, **kwargs)
+
+        monkeypatch.setattr(sweep_mod, "profile_workload", counting)
+        configs = [config.replace(sip_threshold=t) for t in (0.01, 0.05, 0.5)]
+        sweep_config(make_workload, configs, ["sip"], values=[0.01, 0.05, 0.5])
+        assert len(calls) == 1
+
 
 class TestSweepProgress:
     def test_callback_receives_one_tick_per_point(self, config):
@@ -103,6 +156,25 @@ class TestSweepProgress:
         assert "[1/4]" in line
         assert "load_length=2" in line
         assert "25%" in line
+
+    def test_first_tick_eta_guards_zero_duration(self):
+        """A first point faster than the clock's resolution must not
+        extrapolate a hard 0.0 ETA for the rest of the sweep."""
+        tick = SweepProgress.tick(completed=1, total=5, label=0, elapsed_s=0.0)
+        assert tick.eta_s > 0.0
+        assert tick.eta_s < 1.0  # the clamp is an epsilon, not a guess
+
+    def test_tick_eta_zero_only_when_done(self):
+        done = SweepProgress.tick(completed=5, total=5, label=4, elapsed_s=0.0)
+        assert done.eta_s == 0.0
+
+    def test_tick_with_nothing_completed_has_no_estimate(self):
+        tick = SweepProgress.tick(completed=0, total=5, label=None, elapsed_s=0.1)
+        assert tick.eta_s == float("inf")
+
+    def test_tick_extrapolates_linearly(self):
+        tick = SweepProgress.tick(completed=2, total=6, label=1, elapsed_s=3.0)
+        assert tick.eta_s == pytest.approx(6.0)
 
     def test_progress_does_not_change_results(self, config):
         configs = [config.replace(load_length=4)]

@@ -1,0 +1,232 @@
+#!/usr/bin/env python
+"""Performance harness for the simulation hot path.
+
+Measures three things and writes them to ``BENCH_perf.json`` so every
+future PR has a perf trajectory to compare against:
+
+* ``engine`` — steady-state :func:`repro.sim.engine.simulate`
+  throughput per scheme (runs/sec and accesses/sec) over a warm
+  materialized trace: the hot-loop number the driver fast path and
+  attribute hoisting move.
+* ``trace_cache`` — one simulate comparison run twice, with the trace
+  regenerated per run (pre-PR behaviour) and replayed from one
+  materialized copy; reports both runs/sec figures and the gain.
+* ``sweep`` — wall-clock of a 5-point, 2-scheme ``LOADLENGTH`` sweep.
+  The *reference* leg replicates the pre-PR serial driver's cost
+  model point by point — a full profiling run and plan compilation
+  per point, a fresh generator walk per scheme run, no caches — and
+  the *optimized* leg is ``sweep_config(..., jobs=N)``.  Both legs
+  run the same experiment (plans compile once per (workload, seed,
+  threshold) — a compile-time artifact — so the reference profiles
+  against the sweep's first configuration) and the harness asserts
+  their results are equal before reporting the speedup.
+
+Usage: python tools/perf_bench.py [--quick] [--jobs N] [--out PATH]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import time
+
+from repro.core.config import SimConfig
+from repro.core.instrumentation import build_sip_plan
+from repro.core.profiler import profile_workload
+from repro.sim.engine import prepare_sip_plan, simulate
+from repro.sim.parallel import WorkloadSpec
+from repro.sim.sweep import SIP_SCHEMES, sweep_config
+from repro.sim.tracecache import TraceCache, shared_trace_cache
+
+#: Engine-throughput and trace-cache legs use the paper's dilemma
+#: benchmark: realistic fault mix, RNG-heavy generator.
+HOT_WORKLOAD = "mcf"
+
+#: Sweep leg: a small-working-set workload, where the driver machinery
+#: (profiling, plan compilation, trace generation) dominates the
+#: per-run cost — the overhead this PR removes.
+SWEEP_WORKLOAD = "leela"
+
+SWEEP_VALUES = (1, 2, 4, 6, 8)
+SWEEP_SCHEMES = ("dfp-stop", "sip")
+
+ENGINE_SCHEMES = ("baseline", "dfp", "dfp-stop", "sip", "hybrid")
+
+
+def measure_engine(scale: int, repeats: int) -> dict:
+    """Steady-state simulate() throughput per scheme, warm trace."""
+    config = SimConfig.scaled(scale)
+    workload = WorkloadSpec(HOT_WORKLOAD, scale).build()
+    trace = shared_trace_cache().get(workload, seed=0, input_set="ref")
+    plan = prepare_sip_plan(workload, config)
+    out = {}
+    for scheme in ENGINE_SCHEMES:
+        sip_plan = plan if scheme in SIP_SCHEMES else None
+        simulate(workload, config, scheme, seed=0, sip_plan=sip_plan, trace=trace)
+        t0 = time.perf_counter()
+        for _ in range(repeats):
+            result = simulate(
+                workload, config, scheme, seed=0, sip_plan=sip_plan, trace=trace
+            )
+        elapsed = time.perf_counter() - t0
+        out[scheme] = {
+            "runs": repeats,
+            "seconds": round(elapsed, 4),
+            "runs_per_sec": round(repeats / elapsed, 3),
+            "accesses_per_sec": round(repeats * result.stats.accesses / elapsed),
+        }
+    return out
+
+
+def measure_trace_cache(scale: int, repeats: int) -> dict:
+    """One simulate comparison, generator-per-run vs replay-from-cache."""
+    config = SimConfig.scaled(scale)
+    workload = WorkloadSpec(HOT_WORKLOAD, scale).build()
+
+    t0 = time.perf_counter()
+    for _ in range(repeats):
+        uncached = simulate(workload, config, "dfp-stop", seed=0)
+    uncached_s = time.perf_counter() - t0
+
+    cache = TraceCache()
+    t0 = time.perf_counter()
+    for _ in range(repeats):
+        trace = cache.get(workload, seed=0, input_set="ref")
+        cached = simulate(workload, config, "dfp-stop", seed=0, trace=trace)
+    cached_s = time.perf_counter() - t0
+
+    assert cached == uncached, "trace replay changed the simulation result"
+    return {
+        "workload": HOT_WORKLOAD,
+        "scheme": "dfp-stop",
+        "runs": repeats,
+        "uncached_runs_per_sec": round(repeats / uncached_s, 3),
+        "cached_runs_per_sec": round(repeats / cached_s, 3),
+        "speedup": round(uncached_s / cached_s, 3),
+        "cache": cache.stats(),
+    }
+
+
+def run_reference_sweep(spec: WorkloadSpec, configs, schemes, seed: int):
+    """Replicate the pre-PR serial driver's cost model.
+
+    Per point: rebuild the workload, run a full profiling pass and
+    plan compilation when any scheme needs SIP, then walk a fresh
+    trace generator per scheme run.  Profiling uses the sweep's first
+    configuration at every point so both legs run the identical
+    experiment (the plan is a compile-time artifact); the *work* is
+    still repeated per point, as the old driver repeated it.
+    """
+    needs_sip = any(scheme in SIP_SCHEMES for scheme in schemes)
+    first = configs[0]
+    points = []
+    for config in configs:
+        workload = spec.build()
+        plan = None
+        if needs_sip:
+            profile = profile_workload(workload, first, input_set="train", seed=seed)
+            plan = build_sip_plan(profile, first.sip_threshold)
+        points.append(
+            {
+                scheme: simulate(
+                    workload, config, scheme, seed=seed, sip_plan=plan
+                )
+                for scheme in schemes
+            }
+        )
+    return points
+
+
+def measure_sweep(scale: int, jobs: int) -> dict:
+    """Reference (pre-PR cost model) vs optimized sweep wall-clock."""
+    spec = WorkloadSpec(SWEEP_WORKLOAD, scale)
+    base = SimConfig.scaled(scale)
+    configs = [base.replace(load_length=value) for value in SWEEP_VALUES]
+
+    t0 = time.perf_counter()
+    reference = run_reference_sweep(spec, configs, SWEEP_SCHEMES, seed=0)
+    reference_s = time.perf_counter() - t0
+
+    shared_trace_cache().clear()
+    t0 = time.perf_counter()
+    optimized = sweep_config(
+        spec, configs, SWEEP_SCHEMES, values=list(SWEEP_VALUES), jobs=jobs
+    )
+    optimized_s = time.perf_counter() - t0
+
+    results_equal = all(
+        reference[i][scheme] == point.results[scheme]
+        for i, point in enumerate(optimized)
+        for scheme in SWEEP_SCHEMES
+    )
+    assert results_equal, "optimized sweep diverged from the reference leg"
+    return {
+        "workload": SWEEP_WORKLOAD,
+        "points": len(SWEEP_VALUES),
+        "schemes": list(SWEEP_SCHEMES),
+        "parameter": "load_length",
+        "jobs": jobs,
+        "reference_serial_s": round(reference_s, 4),
+        "optimized_s": round(optimized_s, 4),
+        "speedup": round(reference_s / optimized_s, 3),
+        "results_equal": results_equal,
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--quick", action="store_true", help="CI-sized run: smaller traces, fewer reps"
+    )
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=min(4, os.cpu_count() or 1),
+        help="worker processes for the optimized sweep leg (default: min(4, cores))",
+    )
+    parser.add_argument(
+        "--out", default="BENCH_perf.json", help="output path (default: %(default)s)"
+    )
+    args = parser.parse_args(argv)
+    if args.jobs < 1:
+        parser.error("--jobs must be at least 1")
+
+    # Scale 8 (SimConfig.scaled divides the paper-scale geometry, so
+    # smaller scale = larger traces) keeps runs big enough that pool
+    # startup amortizes even on one core; --quick trims repeats only.
+    scale = 8
+    repeats = 3 if args.quick else 5
+
+    report = {
+        "schema": "repro/perf-bench/v1",
+        "python": sys.version.split()[0],
+        "cpu_count": os.cpu_count(),
+        "quick": args.quick,
+        "scale": scale,
+        "engine": measure_engine(scale, repeats),
+        "trace_cache": measure_trace_cache(scale, repeats),
+        "sweep": measure_sweep(scale, args.jobs),
+    }
+
+    with open(args.out, "w", encoding="utf-8") as handle:
+        json.dump(report, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+
+    sweep = report["sweep"]
+    cache = report["trace_cache"]
+    print(f"wrote {args.out}")
+    print(
+        f"sweep: {sweep['reference_serial_s']}s -> {sweep['optimized_s']}s "
+        f"({sweep['speedup']}x, jobs={sweep['jobs']})"
+    )
+    print(
+        f"trace cache: {cache['uncached_runs_per_sec']} -> "
+        f"{cache['cached_runs_per_sec']} runs/sec ({cache['speedup']}x)"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
