@@ -20,7 +20,11 @@ The library provides:
 * a passive observability layer (:mod:`repro.obs`): metrics
   registries, timeline trace sinks with Chrome ``trace_event``
   export, and self-describing run manifests with a cycle-attribution
-  diff (``repro report``).
+  diff (``repro report``);
+* a resilience layer (:mod:`repro.robust`): one
+  :class:`ExecutionPolicy` object configuring worker count, retry
+  with backoff, per-job timeouts, checkpoint/resume, and
+  deterministic fault injection for the experiment drivers.
 
 Quickstart::
 
@@ -49,6 +53,7 @@ from repro.errors import (
 )
 from repro.obs.manifest import build_manifest
 from repro.obs.metrics import MetricsRegistry
+from repro.robust import ExecutionPolicy, FaultPlan, RetryPolicy
 from repro.obs.trace import RingBufferSink, TraceSink
 from repro.sim.engine import prepare_sip_plan, simulate, simulate_native
 from repro.sim.multi import simulate_shared
@@ -84,6 +89,9 @@ __all__ = [
     "normalized_time",
     "compare_schemes",
     "sweep_config",
+    "ExecutionPolicy",
+    "RetryPolicy",
+    "FaultPlan",
     "Access",
     "Workload",
     "build_workload",

@@ -14,18 +14,25 @@ Thin, scriptable access to the library's main flows:
 * ``classify`` — the Table 1 classification of the models;
 * ``sweep`` — a one-parameter sweep (e.g. LOADLENGTH, Figure 7 style),
   with ``--progress`` ETA ticks on stderr;
-* ``lint`` — the repo-specific static-analysis pass (rules RL001–RL007,
+* ``lint`` — the repo-specific static-analysis pass (rules RL001–RL008,
   see :mod:`repro.lint`).
 
-``compare`` and ``sweep`` take ``--jobs N`` to fan their independent
-simulations out over N worker processes (:mod:`repro.sim.parallel`);
-results are byte-identical to the serial run, just faster.
+Flags are shared through two argparse *parent parsers* rather than
+re-declared per command:
 
-Every simulation command accepts ``--scale`` (default 16): the EPC and
-workload footprints shrink together, preserving normalized results
-(DESIGN.md §6) — and ``--sanitize``, which runs the same simulation
-under the runtime invariant sanitizer
-(:mod:`repro.enclave.sanitizer`).
+* the **simulation parent** — ``--scale`` (default 16: EPC and
+  workload footprints shrink together, preserving normalized results,
+  DESIGN.md §6), ``--seed``, ``--input-set``, and ``--sanitize`` (the
+  runtime invariant sanitizer, :mod:`repro.enclave.sanitizer`);
+* the **execution parent** (``run``/``compare``/``sweep``) —
+  ``--jobs/--retries/--timeout/--checkpoint/--resume/--progress``,
+  compiled by one helper into the
+  :class:`~repro.robust.ExecutionPolicy` handed to the drivers.
+  ``--jobs N`` fans simulations over N worker processes with results
+  byte-identical to the serial run; ``--retries``/``--timeout`` bound
+  flaky or wedged jobs; ``--checkpoint DIR`` persists each completed
+  run as a manifest record and ``--resume`` skips the ones already
+  there, so an interrupted sweep restarts where it died.
 """
 
 from __future__ import annotations
@@ -41,9 +48,10 @@ from repro.core.config import SimConfig
 from repro.core.profiler import profile_workload
 from repro.core.instrumentation import build_sip_plan
 from repro.core.schemes import SCHEME_NAMES
-from repro.errors import ReproError
+from repro.errors import ConfigError, ReproError
+from repro.robust import ExecutionPolicy, RetryPolicy
 from repro.sim.engine import simulate
-from repro.sim.parallel import WorkloadSpec
+from repro.sim.parallel import JobSpec, WorkloadSpec, run_jobs
 from repro.sim.sweep import compare_schemes, sweep_config
 from repro.workloads.registry import (
     LARGE_IRREGULAR,
@@ -77,20 +85,46 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
+    # Shared flag groups, declared once as argparse parent parsers.
+    sim_parent = argparse.ArgumentParser(add_help=False)
+    sim_parent.add_argument("--scale", type=int, default=16,
+                            help="EPC/footprint scale factor (default 16)")
+    sim_parent.add_argument("--seed", type=int, default=0)
+    sim_parent.add_argument("--input-set", choices=("train", "ref"),
+                            default="ref")
+    sim_parent.add_argument("--sanitize", action="store_true",
+                            help="run under the runtime invariant sanitizer "
+                                 "(same results, per-event checking)")
+
+    exec_parent = argparse.ArgumentParser(add_help=False)
+    exec_parent.add_argument("--jobs", type=int, default=1, metavar="N",
+                             help="worker processes (1 = serial; results "
+                                  "are identical either way)")
+    exec_parent.add_argument("--retries", type=int, default=0, metavar="N",
+                             help="re-run a failed job up to N extra times "
+                                  "with exponential backoff (default 0)")
+    exec_parent.add_argument("--timeout", type=float, default=None,
+                             metavar="SECONDS",
+                             help="per-job wall-clock budget; a timed-out "
+                                  "attempt counts as a failure and retries")
+    exec_parent.add_argument("--checkpoint", default=None, metavar="DIR",
+                             help="persist each completed run as a manifest "
+                                  "record in DIR")
+    exec_parent.add_argument("--resume", action="store_true",
+                             help="skip jobs already recorded in the "
+                                  "--checkpoint directory")
+    exec_parent.add_argument("--progress", action="store_true",
+                             help="print per-point progress and ETA to "
+                                  "stderr")
+
     def add_common(p: argparse.ArgumentParser, workload: bool = True) -> None:
         if workload:
             p.add_argument("workload", choices=WORKLOAD_NAMES)
-        p.add_argument("--scale", type=int, default=16,
-                       help="EPC/footprint scale factor (default 16)")
-        p.add_argument("--seed", type=int, default=0)
-        p.add_argument("--input-set", choices=("train", "ref"), default="ref")
-        p.add_argument("--sanitize", action="store_true",
-                       help="run under the runtime invariant sanitizer "
-                            "(same results, per-event checking)")
 
     sub.add_parser("list", help="list workload models")
 
-    p_run = sub.add_parser("run", help="run one workload under one scheme")
+    p_run = sub.add_parser("run", help="run one workload under one scheme",
+                           parents=[sim_parent, exec_parent])
     add_common(p_run)
     p_run.add_argument("--scheme", choices=SCHEME_NAMES, default="baseline")
     p_run.add_argument("--metrics", action="store_true", dest="show_metrics",
@@ -114,18 +148,17 @@ def build_parser() -> argparse.ArgumentParser:
     p_rep.add_argument("--format", choices=("text", "json"), default="text",
                        dest="output_format")
 
-    p_cmp = sub.add_parser("compare", help="compare schemes on one workload")
+    p_cmp = sub.add_parser("compare", help="compare schemes on one workload",
+                           parents=[sim_parent, exec_parent])
     add_common(p_cmp)
     p_cmp.add_argument(
         "--schemes",
         default="baseline,dfp,dfp-stop,sip,hybrid",
         help="comma-separated scheme names",
     )
-    p_cmp.add_argument("--jobs", type=int, default=1, metavar="N",
-                       help="worker processes (1 = serial; results are "
-                            "identical either way)")
 
-    p_prof = sub.add_parser("profile", help="SIP profile + instrumentation plan")
+    p_prof = sub.add_parser("profile", help="SIP profile + instrumentation plan",
+                            parents=[sim_parent])
     add_common(p_prof)
     p_prof.add_argument("--threshold", type=float, default=None,
                         help="irregular-ratio threshold (default: config's 5%%)")
@@ -138,20 +171,16 @@ def build_parser() -> argparse.ArgumentParser:
     p_cls.add_argument("--scale", type=int, default=16)
     p_cls.add_argument("--seed", type=int, default=0)
 
-    p_swp = sub.add_parser("sweep", help="sweep one config parameter")
+    p_swp = sub.add_parser("sweep", help="sweep one config parameter",
+                           parents=[sim_parent, exec_parent])
     add_common(p_swp)
     p_swp.add_argument("--param", choices=SWEEPABLE, required=True)
     p_swp.add_argument("--values", required=True,
                        help="comma-separated parameter values")
     p_swp.add_argument("--scheme", choices=SCHEME_NAMES, default="dfp-stop")
-    p_swp.add_argument("--progress", action="store_true",
-                       help="print per-point progress and ETA to stderr")
-    p_swp.add_argument("--jobs", type=int, default=1, metavar="N",
-                       help="worker processes (1 = serial; results are "
-                            "identical either way)")
 
     p_lint = sub.add_parser(
-        "lint", help="repo-specific static analysis (rules RL001-RL007)"
+        "lint", help="repo-specific static analysis (rules RL001-RL008)"
     )
     p_lint.add_argument(
         "paths", nargs="*", default=["src"],
@@ -171,6 +200,23 @@ def _config(args: argparse.Namespace) -> SimConfig:
     if getattr(args, "sanitize", False):
         config = config.replace(sanitize=True)
     return config
+
+
+def _policy_from_args(args: argparse.Namespace) -> ExecutionPolicy:
+    """Compile the shared execution flags into one ExecutionPolicy.
+
+    The single place where ``--jobs/--retries/--timeout/--checkpoint/
+    --resume`` become execution configuration; ``run``, ``compare``
+    and ``sweep`` all build their policy here.  ``--retries N`` means
+    N *extra* attempts, so the attempt budget is ``N + 1``.
+    """
+    return ExecutionPolicy(
+        jobs=args.jobs,
+        retry=RetryPolicy(max_attempts=args.retries + 1),
+        timeout=args.timeout,
+        checkpoint_dir=args.checkpoint,
+        resume=args.resume,
+    )
 
 
 def _cmd_list(_args: argparse.Namespace) -> int:
@@ -195,6 +241,14 @@ def _cmd_run(args: argparse.Namespace) -> int:
 
     config = _config(args)
     workload = build_workload(args.workload, scale=args.scale)
+    policy = _policy_from_args(args)
+    observed = args.show_metrics or args.trace is not None
+    if policy.is_resilient and observed:
+        raise ConfigError(
+            "run: --metrics/--trace need an in-process observed run and "
+            "cannot combine with --jobs/--retries/--timeout/--checkpoint "
+            "(resilient jobs run blind; re-run the point without them)"
+        )
     metrics = (
         MetricsRegistry()
         if args.show_metrics or args.manifest is not None
@@ -207,15 +261,29 @@ def _cmd_run(args: argparse.Namespace) -> int:
             if args.trace_capacity is not None
             else DEFAULT_EVENT_CAPACITY
         )
-    result = simulate(
-        workload,
-        config,
-        args.scheme,
-        seed=args.seed,
-        input_set=args.input_set,
-        metrics=metrics,
-        tracer=capture,
-    )
+    if policy.is_resilient:
+        result = run_jobs(
+            [
+                JobSpec(
+                    workload=WorkloadSpec(args.workload, args.scale),
+                    config=config,
+                    scheme=args.scheme,
+                    seed=args.seed,
+                    input_set=args.input_set,
+                )
+            ],
+            policy=policy,
+        )[0]
+    else:
+        result = simulate(
+            workload,
+            config,
+            args.scheme,
+            seed=args.seed,
+            input_set=args.input_set,
+            metrics=metrics,
+            tracer=capture,
+        )
     print(result.describe())
     tb = result.stats.time
     rows = [
@@ -281,7 +349,7 @@ def _cmd_compare(args: argparse.Namespace) -> int:
         schemes,
         seed=args.seed,
         input_set=args.input_set,
-        jobs=args.jobs,
+        policy=_policy_from_args(args),
     )
     baseline_name = "baseline" if "baseline" in results else schemes[0]
     table = summarize_results(
@@ -384,7 +452,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         seed=args.seed,
         input_set=args.input_set,
         progress=progress,
-        jobs=args.jobs,
+        policy=_policy_from_args(args),
     )
     series = [
         (

@@ -20,6 +20,10 @@ __all__ = [
     "SimulationError",
     "SanitizerError",
     "ParallelExecutionError",
+    "JobTimeoutError",
+    "JobRetriesExhaustedError",
+    "ResultIntegrityError",
+    "CheckpointError",
     "LintError",
     "ObsError",
 ]
@@ -79,15 +83,51 @@ class ParallelExecutionError(SimulationError):
 
     Names the job that died (:attr:`job`) so a many-point sweep does
     not reduce a single bad configuration to an anonymous pool
-    traceback.  The worker's original exception is chained as
-    ``__cause__``.
+    traceback, and carries how many attempts were made (:attr:`attempts`)
+    so a retried job reads differently from a first-try failure.  The
+    worker's original exception is chained as ``__cause__``.
     """
 
-    def __init__(self, message: str, job: str = "") -> None:
+    def __init__(self, message: str, job: str = "", attempts: int = 1) -> None:
         #: Human-readable description of the failed job
         #: (``workload/scheme/seed/input_set``).
         self.job = job
+        #: How many execution attempts the job was given before the
+        #: runner gave up (1 when retries were not configured).
+        self.attempts = attempts
         super().__init__(message)
+
+
+class JobTimeoutError(ParallelExecutionError):
+    """One attempt of a job exceeded the policy's per-job timeout.
+
+    Raised per *attempt*: the runner records it, abandons the attempt,
+    and retries while the :class:`repro.robust.RetryPolicy` allows;
+    only when attempts are exhausted does it surface (chained under a
+    :class:`JobRetriesExhaustedError`)."""
+
+
+class JobRetriesExhaustedError(ParallelExecutionError):
+    """A job failed on every attempt the retry policy allowed.
+
+    The last attempt's failure (exception, timeout, or integrity
+    mismatch) is chained as ``__cause__``; :attr:`attempts` records
+    how many attempts were burned."""
+
+
+class ResultIntegrityError(ParallelExecutionError):
+    """A worker's result failed the replayed-manifest digest check.
+
+    The runner recomputes the result's manifest digest on receipt and
+    compares it against the digest the worker computed at the source;
+    a mismatch means the result was corrupted in transit (or by an
+    injected fault) and must not be accepted."""
+
+
+class CheckpointError(ReproError):
+    """A checkpoint record could not be written, read, or trusted
+    (unreadable directory, malformed record, coordinates that do not
+    match the job being resumed, ...)."""
 
 
 class LintError(ReproError):

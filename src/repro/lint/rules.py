@@ -1,4 +1,4 @@
-"""The repo-specific lint rules, RL001–RL006.
+"""The repo-specific lint rules, RL001–RL008.
 
 Each rule mechanizes one invariant the reproduction depends on:
 
@@ -29,6 +29,12 @@ Each rule mechanizes one invariant the reproduction depends on:
   failure wrapping live in one module; a stray ``ProcessPoolExecutor``
   or ``multiprocessing`` use elsewhere forks the simulator's state
   behind the runner's back.
+* **RL008** — real-time delays stay in ``repro.robust``.  A bare
+  ``time.sleep`` elsewhere is either an accidental wall-clock
+  dependency in a virtual-cycle simulator or an unauditable wait; the
+  resilience layer's :func:`repro.robust.sleep` is the one sanctioned
+  delay primitive (retry backoff, injected hangs), so every real wait
+  in the tree is greppable in one package.
 """
 
 from __future__ import annotations
@@ -48,6 +54,7 @@ __all__ = [
     "MissingDunderAll",
     "DirectPrint",
     "StrayMultiprocessing",
+    "BareSleep",
 ]
 
 #: Byte values that re-encode the platform's EPC geometry.
@@ -451,8 +458,9 @@ class StrayMultiprocessing(LintRule):
         self.report(
             node,
             f"{what} outside repro.sim.parallel; use "
-            "repro.sim.parallel.run_jobs (or the drivers' jobs= parameter) "
-            "so parallel runs stay deterministic and failures stay typed",
+            "repro.sim.parallel.run_jobs (or the drivers' policy= "
+            "parameter) so parallel runs stay deterministic and failures "
+            "stay typed",
         )
 
     def visit_Import(self, node: ast.Import) -> None:
@@ -476,4 +484,56 @@ class StrayMultiprocessing(LintRule):
     def visit_Attribute(self, node: ast.Attribute) -> None:
         if node.attr in _POOL_NAMES:
             self._flag(node, f"use of {node.attr!r}")
+        self.generic_visit(node)
+
+
+@register_rule
+class BareSleep(LintRule):
+    """RL008: bare ``time.sleep`` outside ``repro.robust``."""
+
+    code = "RL008"
+    name = "bare-sleep"
+    description = (
+        "time.sleep outside repro.robust — the simulator is virtual-cycle "
+        "deterministic; real waits (backoff, injected hangs) go through "
+        "repro.robust.sleep so they stay auditable in one package"
+    )
+
+    @classmethod
+    def applies_to(cls, path: Path) -> bool:
+        # The resilience layer is the single sanctioned home for
+        # wall-clock delays.
+        parts = path.parts
+        return not ("robust" in parts and "repro" in parts)
+
+    def __init__(self, path: Path) -> None:
+        super().__init__(path)
+        self._sleep_aliases: Set[str] = set()
+
+    def _flag(self, node: ast.AST, what: str) -> None:
+        self.report(
+            node,
+            f"{what} outside repro.robust; use repro.robust.sleep so "
+            "every real-time wait in the tree stays auditable",
+        )
+
+    def visit_ImportFrom(self, node: ast.ImportFrom) -> None:
+        if node.module == "time":
+            for alias in node.names:
+                if alias.name == "sleep":
+                    self._sleep_aliases.add(alias.asname or alias.name)
+                    self._flag(node, "import of time.sleep")
+        self.generic_visit(node)
+
+    def visit_Call(self, node: ast.Call) -> None:
+        func = node.func
+        if (
+            isinstance(func, ast.Attribute)
+            and func.attr == "sleep"
+            and isinstance(func.value, ast.Name)
+            and func.value.id == "time"
+        ):
+            self._flag(node, "time.sleep() call")
+        elif isinstance(func, ast.Name) and func.id in self._sleep_aliases:
+            self._flag(node, f"call of {func.id}() (imported from time)")
         self.generic_visit(node)

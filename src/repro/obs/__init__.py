@@ -32,6 +32,8 @@ from repro.obs.manifest import (
     build_manifest,
     git_sha,
     load_manifest,
+    manifest_digest,
+    result_from_manifest,
     write_manifest,
 )
 from repro.obs.metrics import (
@@ -75,6 +77,8 @@ __all__ = [
     "write_manifest",
     "load_manifest",
     "git_sha",
+    "manifest_digest",
+    "result_from_manifest",
     "diff_manifests",
     "render_diff",
 ]

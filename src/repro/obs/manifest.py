@@ -24,10 +24,11 @@ trustworthy.
 from __future__ import annotations
 
 import dataclasses
+import hashlib
 import json
 import subprocess
 from pathlib import Path
-from typing import Dict, Optional, TYPE_CHECKING, Union
+from typing import Dict, Optional, Tuple, TYPE_CHECKING, Union
 
 from repro.errors import ObsError
 
@@ -41,6 +42,8 @@ __all__ = [
     "write_manifest",
     "load_manifest",
     "git_sha",
+    "manifest_digest",
+    "result_from_manifest",
 ]
 
 #: Schema identifier carried by every manifest.
@@ -117,6 +120,95 @@ def write_manifest(path: Union[str, Path], manifest: Dict[str, object]) -> Path:
         json.dumps(manifest, sort_keys=True, indent=2) + "\n", encoding="utf-8"
     )
     return target
+
+
+#: Sections excluded from the integrity digest: provenance varies
+#: with the checkout (git SHA), not with what the run computed.
+_DIGEST_EXCLUDE: Tuple[str, ...] = ("generator",)
+
+
+def manifest_digest(
+    manifest: Dict[str, object], *, exclude: Tuple[str, ...] = _DIGEST_EXCLUDE
+) -> str:
+    """Content digest of a manifest's run-defining sections.
+
+    SHA-256 over the canonical (sorted, compact) JSON form, with the
+    provenance section excluded so the digest is a function of what
+    the run *computed*, not where the code was checked out.  The
+    parallel runner uses this as its result-integrity check: workers
+    digest the manifest of the result they produced, the parent
+    replays the digest over the result it received, and a mismatch
+    rejects the result (:class:`~repro.errors.ResultIntegrityError`).
+    """
+    payload = {k: v for k, v in manifest.items() if k not in exclude}
+    try:
+        canonical = json.dumps(
+            payload, sort_keys=True, separators=(",", ":"), allow_nan=False
+        )
+    except (TypeError, ValueError) as exc:
+        raise ObsError(f"manifest is not canonically serializable: {exc}") from exc
+    return "sha256:" + hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
+
+def result_from_manifest(manifest: Dict[str, object]) -> "RunResult":
+    """Reconstruct the :class:`~repro.sim.results.RunResult` a manifest records.
+
+    The inverse of :func:`build_manifest` for the run-defining
+    sections (run identity, config snapshot, stats, time breakdown;
+    the metrics dump rides along when present).  Round-tripping is
+    exact — ``build_manifest(result_from_manifest(m))`` reproduces
+    ``m``'s bytes — which is what lets checkpoint/resume hand back
+    restored results indistinguishable from freshly computed ones.
+    """
+    # Function-level imports: repro.sim imports repro.obs at package
+    # init, so the reverse edge must stay out of module import time.
+    from repro.core.config import CostModel, SimConfig
+    from repro.enclave.stats import RunStats, TimeBreakdown
+    from repro.sim.results import RunResult
+
+    try:
+        run = dict(manifest["run"])  # type: ignore[arg-type]
+        config_doc = dict(manifest["config"])  # type: ignore[arg-type]
+        stats_doc = dict(manifest["stats"])  # type: ignore[arg-type]
+        time_doc = dict(stats_doc.pop("time"))  # type: ignore[arg-type]
+    except (KeyError, TypeError) as exc:
+        raise ObsError(f"manifest lacks a run-defining section: {exc}") from exc
+
+    try:
+        time = TimeBreakdown(
+            **{
+                k: v
+                for k, v in time_doc.items()
+                if k not in ("total", "overhead")
+            }
+        )
+        stats = RunStats(**stats_doc, time=time)
+        cost = CostModel(**dict(config_doc.pop("cost")))
+        config = SimConfig(**config_doc, cost=cost)
+    except TypeError as exc:
+        raise ObsError(
+            f"manifest sections do not match the current schema: {exc}"
+        ) from exc
+
+    metrics = dict(manifest.get("metrics") or {}) or None
+    result = RunResult(
+        workload=run["workload"],
+        scheme=run["scheme"],
+        input_set=run["input_set"],
+        seed=run["seed"],
+        total_cycles=run["total_cycles"],
+        stats=stats,
+        config=config,
+        sip_points=run.get("sip_points", 0),
+        metrics=metrics,
+    )
+    if result.stats.time.total != result.total_cycles:
+        raise ObsError(
+            f"manifest is internally inconsistent: time buckets sum to "
+            f"{result.stats.time.total}, run records {result.total_cycles} "
+            "cycles"
+        )
+    return result
 
 
 def load_manifest(path: Union[str, Path]) -> Dict[str, object]:

@@ -1,0 +1,127 @@
+"""Checkpoint/resume for sweeps: one manifest record per completed run.
+
+A paper-scale sweep is minutes of wall-clock across dozens of points;
+losing all of it to one late crash is exactly the failure mode the
+resilience layer exists to remove.  The store here persists every
+completed run as a ``repro.run-manifest/1`` record (the same schema
+``repro run --manifest`` writes and ``repro report`` diffs) in a
+*content-addressed* directory: the filename is the SHA-256 of the
+job's full coordinates — workload recipe, scheme, seed, input set,
+and the entire configuration snapshot.  Restarting the same sweep
+finds the records of every point that already finished and skips
+re-executing them; changing any coordinate changes the address, so a
+stale record can never be served for a different experiment.
+
+Because manifests are deliberately wall-clock-free and the simulator
+is deterministic, a resumed sweep's manifest collection is
+byte-identical to an uninterrupted run's — proved by
+``tests/robust/test_checkpoint.py``.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from pathlib import Path
+from typing import Dict, Optional, Union
+
+from repro.errors import CheckpointError
+from repro.obs.manifest import MANIFEST_SCHEMA, load_manifest
+
+__all__ = ["CheckpointStore", "checkpoint_key"]
+
+#: Schema identifier for the coordinate payload a key digests.
+_KEY_SCHEMA = "repro.job-key/1"
+
+
+def checkpoint_key(coordinates: Dict[str, object]) -> str:
+    """Content address for one job's coordinate payload.
+
+    ``coordinates`` must be a JSON-serializable dict fully naming the
+    run (the runner builds it from a
+    :class:`~repro.sim.parallel.JobSpec`); the key is the SHA-256 of
+    its canonical JSON form, so equal experiments share an address and
+    any coordinate change moves it.
+    """
+    payload = dict(coordinates)
+    payload["schema"] = _KEY_SCHEMA
+    try:
+        canonical = json.dumps(
+            payload, sort_keys=True, separators=(",", ":"), allow_nan=False
+        )
+    except (TypeError, ValueError) as exc:
+        raise CheckpointError(
+            f"job coordinates are not canonically serializable: {exc}"
+        ) from exc
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
+
+class CheckpointStore:
+    """A directory of completed-run manifests, addressed by job key."""
+
+    def __init__(self, directory: Union[str, Path]) -> None:
+        self.directory = Path(directory)
+        try:
+            self.directory.mkdir(parents=True, exist_ok=True)
+        except OSError as exc:
+            raise CheckpointError(
+                f"cannot create checkpoint directory {self.directory}: {exc}"
+            ) from exc
+
+    def path_for(self, key: str) -> Path:
+        """Where the record for ``key`` lives."""
+        return self.directory / f"{key}.manifest.json"
+
+    def load(self, key: str) -> Optional[Dict[str, object]]:
+        """The stored manifest for ``key``, or None if not checkpointed.
+
+        A present-but-unreadable record raises
+        :class:`~repro.errors.CheckpointError`: silently re-running a
+        point whose record rotted would mask the rot.
+        """
+        path = self.path_for(key)
+        if not path.exists():
+            return None
+        try:
+            return load_manifest(path)
+        except Exception as exc:
+            raise CheckpointError(
+                f"checkpoint record {path} is unreadable or malformed: {exc}"
+            ) from exc
+
+    def store(self, key: str, manifest: Dict[str, object]) -> Path:
+        """Persist ``manifest`` under ``key``, atomically.
+
+        Written to a temporary sibling and renamed into place, so a
+        kill mid-write leaves either the old record or none — never a
+        truncated one that would poison a resume.
+        """
+        if manifest.get("schema") != MANIFEST_SCHEMA:
+            raise CheckpointError(
+                f"refusing to checkpoint a record with schema "
+                f"{manifest.get('schema')!r}; expected {MANIFEST_SCHEMA!r}"
+            )
+        path = self.path_for(key)
+        tmp = path.with_suffix(".tmp")
+        try:
+            tmp.write_text(
+                json.dumps(manifest, sort_keys=True, indent=2) + "\n",
+                encoding="utf-8",
+            )
+            os.replace(tmp, path)
+        except OSError as exc:
+            raise CheckpointError(
+                f"cannot write checkpoint record {path}: {exc}"
+            ) from exc
+        return path
+
+    def keys(self) -> list:
+        """All checkpointed job keys, sorted."""
+        return sorted(
+            p.name[: -len(".manifest.json")]
+            for p in self.directory.glob("*.manifest.json")
+        )
+
+    def __len__(self) -> int:
+        return len(self.keys())

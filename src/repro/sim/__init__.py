@@ -5,12 +5,14 @@
 * :mod:`repro.sim.results` — run results and comparisons.
 * :mod:`repro.sim.sweep` — parameter sweeps and scheme comparisons,
   the building blocks of every figure in the evaluation.
-* :mod:`repro.sim.parallel` — the process-pool job runner behind the
-  drivers' ``jobs=`` parameter.
+* :mod:`repro.sim.parallel` — the resilient process-pool job runner
+  behind the drivers' ``policy=`` parameter (retry, timeout,
+  checkpoint/resume, fault injection — see :mod:`repro.robust`).
 * :mod:`repro.sim.tracecache` — byte-budgeted LRU of materialized
   workload traces, shared by every scheme replay of one trace.
 """
 
+from repro.robust import ExecutionPolicy, FaultPlan, RetryPolicy
 from repro.sim.engine import simulate, simulate_native, prepare_sip_plan
 from repro.sim.multi import simulate_shared
 from repro.sim.parallel import JobSpec, WorkloadSpec, run_jobs
@@ -31,6 +33,9 @@ __all__ = [
     "JobSpec",
     "WorkloadSpec",
     "run_jobs",
+    "ExecutionPolicy",
+    "RetryPolicy",
+    "FaultPlan",
     "TraceCache",
     "shared_trace_cache",
 ]

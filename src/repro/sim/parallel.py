@@ -1,4 +1,4 @@
-"""Parallel experiment execution: the process-pool job runner.
+"""Parallel experiment execution: the resilient process-pool job runner.
 
 Every figure of the evaluation is an embarrassingly parallel set of
 independent simulations — same code, different ``(workload, config,
@@ -6,19 +6,33 @@ scheme, seed)`` coordinates — so the experiment drivers
 (:mod:`repro.sim.sweep`) fan their points out over a
 ``ProcessPoolExecutor`` here instead of running them one at a time.
 
-Three properties the drivers rely on:
+Properties the drivers rely on:
 
 * **Determinism** — a job is a picklable :class:`JobSpec` naming a
   *registry* workload (name + scale), never a live generator; the
   worker rebuilds the workload from the registry, so a job's result is
   a function of the spec alone and ``jobs=N`` reproduces ``jobs=1``
   byte for byte (proved by ``tests/sim/test_parallel.py`` against the
-  PR-2 run manifests).
+  PR-2 run manifests).  Retries re-run the same pure function, so
+  resilience never changes a result, only whether one arrives.
 * **Order** — results come back in submission order no matter which
   worker finished first.
-* **Failure attribution** — a worker exception is re-raised as a
-  typed :class:`~repro.errors.ParallelExecutionError` naming the job,
-  with the original exception chained.
+* **Failure attribution** — a job that fails its whole attempt budget
+  raises a typed :class:`~repro.errors.JobRetriesExhaustedError`
+  naming the job and the attempt count, with the last attempt's
+  failure chained.
+* **Resilience** (:mod:`repro.robust`, configured through one
+  :class:`~repro.robust.ExecutionPolicy`): failed attempts are retried
+  with exponential backoff; attempts exceeding the per-job timeout are
+  abandoned (:class:`~repro.errors.JobTimeoutError`) and retried;
+  every pool result must pass a replayed-manifest digest check before
+  it is accepted (:class:`~repro.errors.ResultIntegrityError`
+  otherwise); completed runs are checkpointed and resumable; and if
+  the pool itself dies (``BrokenProcessPool``) the runner degrades
+  gracefully to serial in-process execution of the unfinished jobs.
+  A deterministic :class:`~repro.robust.FaultPlan` can inject each of
+  these failure modes on schedule, which is how the machinery is
+  tested without real flakiness.
 
 Workers run *blind*: no metrics registry, no trace sink, no event
 recording.  Observability in this codebase is passive by contract
@@ -29,24 +43,46 @@ point they care about with :func:`repro.sim.engine.simulate` directly.
 
 This module is the single place in the tree allowed to touch
 ``concurrent.futures``/``multiprocessing`` (lint rule RL007): pool
-sizing, submission order and failure wrapping must stay in one spot
-for the determinism guarantee to be auditable.
+sizing, submission order, failure wrapping and timeout bookkeeping
+must stay in one spot for the determinism guarantee to be auditable.
 """
 
 from __future__ import annotations
 
+import dataclasses
 import multiprocessing  # repro-lint: disable=RL007  the sanctioned home
+import time
 from concurrent import futures  # repro-lint: disable=RL007  the sanctioned home
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, Set, Tuple
 
 from repro.core.config import SimConfig
 from repro.core.instrumentation import SipPlan
-from repro.errors import ConfigError, ParallelExecutionError
+from repro.errors import (
+    ConfigError,
+    JobRetriesExhaustedError,
+    JobTimeoutError,
+    ParallelExecutionError,
+    ResultIntegrityError,
+)
+from repro.robust import (
+    CheckpointStore,
+    ExecutionPolicy,
+    FaultKind,
+    FaultPlan,
+    checkpoint_key,
+    perform_worker_fault,
+    resolve_policy,
+)
 from repro.sim.results import RunResult
 from repro.workloads.base import Workload
 
 __all__ = ["WorkloadSpec", "JobSpec", "run_job", "run_jobs"]
+
+#: Parent-side retry budget for transient submission errors — a fixed
+#: small allowance, independent of the per-job attempt budget (a
+#: submission that never happened should not burn the job's attempts).
+_SUBMIT_TRIES = 3
 
 
 @dataclass(frozen=True)
@@ -95,6 +131,29 @@ class JobSpec:
             f"/{self.scheme}/seed={self.seed}/{self.input_set}"
         )
 
+    def checkpoint_key(self) -> str:
+        """Content address of this job for the checkpoint store.
+
+        Digests every run-defining coordinate, including the full
+        configuration snapshot — change any knob and the address
+        moves, so a resume can never serve a stale record.  The SIP
+        plan is excluded: it is a deterministic compile-time artifact
+        of coordinates already in the key.
+        """
+        return checkpoint_key(
+            {
+                "workload": {
+                    "name": self.workload.name,
+                    "scale": self.workload.scale,
+                },
+                "scheme": self.scheme,
+                "seed": self.seed,
+                "input_set": self.input_set,
+                "max_accesses": self.max_accesses,
+                "config": dataclasses.asdict(self.config),
+            }
+        )
+
 
 def run_job(spec: JobSpec) -> RunResult:
     """Execute one job in the current process.
@@ -119,7 +178,57 @@ def run_job(spec: JobSpec) -> RunResult:
         input_set=spec.input_set,
         sip_plan=spec.sip_plan,
         trace=trace,
+        max_accesses=spec.max_accesses,
     )
+
+
+@dataclass(frozen=True)
+class _Envelope:
+    """A worker's result plus the integrity digest it computed at source."""
+
+    result: RunResult
+    digest: str
+
+
+def _enveloped_run(
+    spec: JobSpec,
+    plan: Optional[FaultPlan],
+    job_index: int,
+    attempt: int,
+    *,
+    in_worker: bool,
+) -> _Envelope:
+    """Run one job attempt and wrap its result with a source digest.
+
+    Fault injection happens here, on both sides of the process
+    boundary: worker-side faults fire before the simulation, and
+    result corruption is applied *after* the digest was computed —
+    exactly the corrupted-in-transit scenario the integrity check
+    exists to catch.
+    """
+    from repro.obs.manifest import build_manifest, manifest_digest
+
+    fault = plan.fault_for(job_index, attempt) if plan is not None else None
+    if fault is not None:
+        perform_worker_fault(
+            fault,
+            in_worker=in_worker,
+            hang_s=plan.hang_s if plan is not None else 0.5,
+        )
+    result = run_job(spec)
+    digest = manifest_digest(build_manifest(result))
+    if fault is FaultKind.CORRUPT:
+        result = dataclasses.replace(
+            result, total_cycles=result.total_cycles + 1
+        )
+    return _Envelope(result=result, digest=digest)
+
+
+def _pool_entry(
+    spec: JobSpec, plan: Optional[FaultPlan], job_index: int, attempt: int
+) -> _Envelope:
+    """Top-level pool target (must be picklable by name)."""
+    return _enveloped_run(spec, plan, job_index, attempt, in_worker=True)
 
 
 def _warm_trace_cache(specs: Sequence[JobSpec]) -> None:
@@ -154,65 +263,389 @@ def _warm_trace_cache(specs: Sequence[JobSpec]) -> None:
             continue
 
 
+class _JobRunner:
+    """One ``run_jobs`` invocation's execution state.
+
+    Owns the slots (submission-order results), the delivered set (the
+    exactly-once ``on_result`` guard — a job that succeeds on a retry
+    must not fire twice, even if an abandoned earlier attempt
+    straggles in), the checkpoint store, and the retry bookkeeping.
+    """
+
+    def __init__(
+        self,
+        specs: List[JobSpec],
+        policy: ExecutionPolicy,
+        on_result: Optional[Callable[[int, JobSpec], None]],
+    ) -> None:
+        self.specs = specs
+        self.policy = policy
+        self.on_result = on_result
+        self.slots: List[Optional[RunResult]] = [None] * len(specs)
+        self.delivered: Set[int] = set()
+        self.store = (
+            CheckpointStore(policy.checkpoint_dir)
+            if policy.checkpoint_dir is not None
+            else None
+        )
+        self.plan = policy.fault_plan
+        self.retry = policy.retry
+        self.timeout = policy.effective_timeout
+        #: True once the pool broke and execution degraded to serial.
+        self.degraded = False
+
+    # -- delivery ----------------------------------------------------
+
+    def _accept(self, index: int, result: RunResult) -> None:
+        """Record a finished job: slot, checkpoint, one on_result."""
+        if index in self.delivered:
+            return
+        self.slots[index] = result
+        self.delivered.add(index)
+        if self.store is not None:
+            from repro.obs.manifest import build_manifest
+
+            self.store.store(
+                self.specs[index].checkpoint_key(), build_manifest(result)
+            )
+        if self.on_result is not None:
+            self.on_result(index, self.specs[index])
+
+    def _verify(self, index: int, envelope: _Envelope) -> RunResult:
+        """Replay the manifest digest; reject a corrupted result."""
+        from repro.obs.manifest import build_manifest, manifest_digest
+
+        replayed = manifest_digest(build_manifest(envelope.result))
+        if replayed != envelope.digest:
+            raise ResultIntegrityError(
+                f"job {self.specs[index].describe()} returned a result whose "
+                f"replayed manifest digest {replayed} does not match the "
+                f"digest computed at source {envelope.digest}",
+                job=self.specs[index].describe(),
+            )
+        return envelope.result
+
+    def _restore_from_checkpoints(self) -> None:
+        """Fill slots from the checkpoint store before executing."""
+        if self.store is None or not self.policy.resume:
+            return
+        from repro.obs.manifest import result_from_manifest
+
+        for index, spec in enumerate(self.specs):
+            record = self.store.load(spec.checkpoint_key())
+            if record is None:
+                continue
+            result = result_from_manifest(record)
+            # The key is a content address of the coordinates, but a
+            # hand-edited record could still disagree with its name.
+            if (
+                result.workload != spec.workload.name
+                or result.scheme != spec.scheme
+                or result.seed != spec.seed
+                or result.input_set != spec.input_set
+            ):
+                from repro.errors import CheckpointError
+
+                raise CheckpointError(
+                    f"checkpoint record for {spec.describe()} records a "
+                    f"different run ({result.workload}/{result.scheme}/"
+                    f"seed={result.seed}/{result.input_set})"
+                )
+            self._accept(index, result)
+
+    def _exhausted(
+        self, index: int, attempt: int, cause: BaseException
+    ) -> JobRetriesExhaustedError:
+        spec = self.specs[index]
+        return JobRetriesExhaustedError(
+            f"job {spec.describe()} failed on all {attempt} attempt(s); "
+            f"last failure: {cause}",
+            job=spec.describe(),
+            attempts=attempt,
+        )
+
+    def _pending_indices(self) -> List[int]:
+        return [i for i in range(len(self.specs)) if i not in self.delivered]
+
+    # -- submission faults -------------------------------------------
+
+    def _injected_submit_error(self, index: int, attempt: int) -> bool:
+        return (
+            self.plan is not None
+            and self.plan.fault_for(index, attempt) is FaultKind.SUBMIT_ERROR
+        )
+
+    # -- serial execution --------------------------------------------
+
+    def _run_one_serial(self, index: int) -> None:
+        """Full attempt loop for one job, in-process."""
+        spec = self.specs[index]
+        attempt = 0
+        # Injected dispatch failures fire once per attempt coordinate;
+        # the immediate re-dispatch of the same attempt must clear.
+        absorbed_submits: Set[Tuple[int, int]] = set()
+        while True:
+            attempt += 1
+            try:
+                fault = (
+                    self.plan.fault_for(index, attempt)
+                    if self.plan is not None
+                    else None
+                )
+                if (
+                    fault is FaultKind.SUBMIT_ERROR
+                    and (index, attempt) not in absorbed_submits
+                ):
+                    # Transient dispatch failure: retried below without
+                    # burning the job's attempt budget (a submission
+                    # that never happened is not a failed attempt).
+                    absorbed_submits.add((index, attempt))
+                    raise OSError("injected transient submission failure")
+                if fault is FaultKind.HANG and self.timeout is not None:
+                    # Sleeping out a hang in the only process there is
+                    # would turn a simulated hang into a real one; the
+                    # serial path converts it synchronously.
+                    raise JobTimeoutError(
+                        f"job {spec.describe()} exceeded its "
+                        f"{self.timeout}s timeout (injected hang)",
+                        job=spec.describe(),
+                        attempts=attempt,
+                    )
+                envelope = _enveloped_run(
+                    spec, self.plan, index, attempt, in_worker=False
+                )
+                self._accept(index, self._verify(index, envelope))
+                return
+            except OSError:
+                # Dispatch-level transient: does not consume an attempt.
+                attempt -= 1
+                self.retry.backoff(1)
+                continue
+            except ParallelExecutionError as exc:
+                if isinstance(exc, JobRetriesExhaustedError):
+                    raise
+                last: BaseException = exc
+            except Exception as exc:
+                last = exc
+            if attempt >= self.retry.max_attempts:
+                raise self._exhausted(index, attempt, last) from last
+            self.retry.backoff(attempt)
+
+    def _run_serial(self, indices: Sequence[int]) -> None:
+        for index in indices:
+            self._run_one_serial(index)
+
+    # -- pool execution ----------------------------------------------
+
+    def _submit(
+        self, pool: "futures.ProcessPoolExecutor", index: int, attempt: int
+    ) -> "futures.Future":
+        """Submit one attempt, absorbing transient submission errors."""
+        for submit_try in range(1, _SUBMIT_TRIES + 1):
+            try:
+                if submit_try == 1 and self._injected_submit_error(
+                    index, attempt
+                ):
+                    raise OSError("injected transient submission failure")
+                return pool.submit(
+                    _pool_entry, self.specs[index], self.plan, index, attempt
+                )
+            except futures.BrokenExecutor:
+                raise
+            except OSError as exc:
+                if submit_try >= _SUBMIT_TRIES:
+                    raise ParallelExecutionError(
+                        f"could not submit job "
+                        f"{self.specs[index].describe()} after "
+                        f"{_SUBMIT_TRIES} tries: {exc}",
+                        job=self.specs[index].describe(),
+                        attempts=attempt,
+                    ) from exc
+                self.retry.backoff(submit_try)
+        raise AssertionError("unreachable")
+
+    def _run_pool(self) -> None:
+        """Pool execution with per-job retries, timeouts and integrity.
+
+        ``pending`` maps each in-flight future to its job index,
+        attempt number and wall-clock deadline.  Abandoned (timed-out)
+        futures are dropped from ``pending`` and never consulted
+        again; their workers finish the stale attempt eventually and
+        the exactly-once guard in :meth:`_accept` discards whatever
+        they produce.
+        """
+        indices = self._pending_indices()
+        if not indices:
+            return
+        _warm_trace_cache([self.specs[i] for i in indices])
+        attempts: Dict[int, int] = {i: 1 for i in indices}
+        try:
+            with futures.ProcessPoolExecutor(
+                max_workers=self.policy.jobs
+            ) as pool:
+                pending: Dict["futures.Future", Tuple[int, int, float]] = {}
+                for index in indices:
+                    future = self._submit(pool, index, 1)
+                    pending[future] = (index, 1, self._deadline())
+                try:
+                    while pending:
+                        done = self._wait(pending)
+                        for future in done:
+                            index, attempt, _ = pending.pop(future)
+                            self._handle_completed(
+                                pool, pending, attempts, future, index, attempt
+                            )
+                        self._expire_deadlines(pool, pending, attempts)
+                except futures.BrokenExecutor:
+                    raise
+                except BaseException:
+                    for future in pending:
+                        future.cancel()
+                    raise
+        except futures.BrokenExecutor:
+            # The pool died under us (worker killed hard, fork bomb,
+            # OOM...).  The experiment is still perfectly computable —
+            # degrade to serial in-process execution of whatever has
+            # not finished yet.
+            self.degraded = True
+            self._run_serial(self._pending_indices())
+
+    def _deadline(self) -> float:
+        return (
+            time.monotonic() + self.timeout
+            if self.timeout is not None
+            else float("inf")
+        )
+
+    def _wait(
+        self, pending: Dict["futures.Future", Tuple[int, int, float]]
+    ) -> List["futures.Future"]:
+        """Wait for at least one completion or the nearest deadline."""
+        wait_s: Optional[float] = None
+        if self.timeout is not None:
+            nearest = min(deadline for _, _, deadline in pending.values())
+            wait_s = max(0.0, nearest - time.monotonic())
+        done, _ = futures.wait(
+            set(pending),
+            timeout=wait_s,
+            return_when=futures.FIRST_COMPLETED,
+        )
+        return list(done)
+
+    def _handle_completed(
+        self,
+        pool: "futures.ProcessPoolExecutor",
+        pending: Dict["futures.Future", Tuple[int, int, float]],
+        attempts: Dict[int, int],
+        future: "futures.Future",
+        index: int,
+        attempt: int,
+    ) -> None:
+        spec = self.specs[index]
+        try:
+            envelope = future.result()
+            self._accept(index, self._verify(index, envelope))
+            return
+        except futures.BrokenExecutor:
+            raise
+        except ResultIntegrityError as exc:
+            last: BaseException = exc
+        except Exception as exc:
+            last = ParallelExecutionError(
+                f"job {spec.describe()} failed in a worker: {exc}",
+                job=spec.describe(),
+                attempts=attempt,
+            )
+            last.__cause__ = exc
+        self._retry_or_raise(pool, pending, attempts, index, attempt, last)
+
+    def _expire_deadlines(
+        self,
+        pool: "futures.ProcessPoolExecutor",
+        pending: Dict["futures.Future", Tuple[int, int, float]],
+        attempts: Dict[int, int],
+    ) -> None:
+        if self.timeout is None:
+            return
+        now = time.monotonic()
+        expired = [
+            (future, index, attempt)
+            for future, (index, attempt, deadline) in pending.items()
+            if deadline <= now
+        ]
+        for future, index, attempt in expired:
+            future.cancel()
+            del pending[future]
+            timeout_error = JobTimeoutError(
+                f"job {self.specs[index].describe()} exceeded its "
+                f"{self.timeout}s timeout on attempt {attempt}",
+                job=self.specs[index].describe(),
+                attempts=attempt,
+            )
+            self._retry_or_raise(
+                pool, pending, attempts, index, attempt, timeout_error
+            )
+
+    def _retry_or_raise(
+        self,
+        pool: "futures.ProcessPoolExecutor",
+        pending: Dict["futures.Future", Tuple[int, int, float]],
+        attempts: Dict[int, int],
+        index: int,
+        attempt: int,
+        cause: BaseException,
+    ) -> None:
+        if attempt >= self.retry.max_attempts:
+            raise self._exhausted(index, attempt, cause) from cause
+        self.retry.backoff(attempt)
+        next_attempt = attempt + 1
+        attempts[index] = next_attempt
+        future = self._submit(pool, index, next_attempt)
+        pending[future] = (index, next_attempt, self._deadline())
+
+    # -- entry point -------------------------------------------------
+
+    def run(self) -> List[RunResult]:
+        self._restore_from_checkpoints()
+        remaining = self._pending_indices()
+        if self.policy.jobs == 1 or len(remaining) <= 1:
+            self._run_serial(remaining)
+        else:
+            self._run_pool()
+        assert all(result is not None for result in self.slots)
+        return self.slots  # type: ignore[return-value]
+
+
 def run_jobs(
     specs: Sequence[JobSpec],
     *,
-    jobs: int = 1,
+    policy: Optional[ExecutionPolicy] = None,
+    jobs: Optional[int] = None,
     on_result: Optional[Callable[[int, JobSpec], None]] = None,
 ) -> List[RunResult]:
-    """Run every job; return results in submission order.
+    """Run every job under ``policy``; return results in submission order.
 
-    ``jobs`` is the worker-process count; ``jobs=1`` (the default)
-    runs everything serially in-process with no pool at all, which is
-    both the fallback and the reference the determinism suite compares
-    against.  ``on_result`` fires once per finished job — in
-    *completion* order, with the job's submission index — and is how
-    the sweep drivers keep their progress ticks flowing while futures
-    resolve out of order.
+    ``policy`` (an :class:`~repro.robust.ExecutionPolicy`) is the
+    single execution-configuration path: worker count, retry/backoff,
+    per-job timeout, checkpoint/resume, and fault injection.  The
+    default policy runs everything serially in-process with no pool at
+    all, which is both the fallback and the reference the determinism
+    suite compares against.  ``jobs=`` is the deprecated PR-3 spelling
+    and maps onto ``ExecutionPolicy(jobs=...)`` with a
+    :class:`DeprecationWarning`.
 
-    A failing job raises :class:`~repro.errors.ParallelExecutionError`
-    naming it; remaining jobs are cancelled where possible (results of
-    jobs that already finished are discarded — a sweep with a poisoned
-    point has no meaningful partial answer).
+    ``on_result`` fires **exactly once** per finished job — in
+    *completion* order, with the job's submission index — including
+    jobs restored from checkpoints (they complete instantly).  A job
+    that only succeeds on a retry still fires exactly once; straggling
+    results of abandoned timed-out attempts are discarded.
+
+    A job that fails its whole attempt budget raises
+    :class:`~repro.errors.JobRetriesExhaustedError` naming it and the
+    attempt count; remaining jobs are cancelled where possible
+    (results of jobs that already finished are discarded — a sweep
+    with a poisoned point has no meaningful partial answer, though
+    with checkpointing on, their records survive for a resume).
     """
-    if jobs < 1:
-        raise ConfigError(f"jobs must be at least 1, got {jobs}")
-    specs = list(specs)
-    if jobs == 1 or len(specs) <= 1:
-        results: List[RunResult] = []
-        for index, spec in enumerate(specs):
-            try:
-                results.append(run_job(spec))
-            except Exception as exc:
-                raise ParallelExecutionError(
-                    f"job {spec.describe()} failed: {exc}", job=spec.describe()
-                ) from exc
-            if on_result is not None:
-                on_result(index, spec)
-        return results
-
-    _warm_trace_cache(specs)
-    slots: List[Optional[RunResult]] = [None] * len(specs)
-    with futures.ProcessPoolExecutor(max_workers=jobs) as pool:
-        index_of: Dict[futures.Future, int] = {
-            pool.submit(run_job, spec): index for index, spec in enumerate(specs)
-        }
-        try:
-            for future in futures.as_completed(index_of):
-                index = index_of[future]
-                spec = specs[index]
-                try:
-                    slots[index] = future.result()
-                except Exception as exc:
-                    raise ParallelExecutionError(
-                        f"job {spec.describe()} failed in a worker: {exc}",
-                        job=spec.describe(),
-                    ) from exc
-                if on_result is not None:
-                    on_result(index, spec)
-        except BaseException:
-            for future in index_of:
-                future.cancel()
-            raise
-    assert all(result is not None for result in slots)
-    return slots  # type: ignore[return-value]
+    policy = resolve_policy(policy, jobs, caller="run_jobs")
+    return _JobRunner(list(specs), policy, on_result).run()

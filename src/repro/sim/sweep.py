@@ -5,10 +5,15 @@ either a scheme comparison over workloads (Figures 8, 10–13) or a
 sweep of one configuration parameter (Figure 6: ``stream_list``
 length; Figure 7: ``LOADLENGTH``; Figure 9: the SIP threshold).
 
-Both drivers take ``jobs=`` and fan their independent simulations out
-over :func:`repro.sim.parallel.run_jobs` when ``jobs > 1`` (the
-default of 1 is the serial in-process path).  Two caches keep the hot
-path from repeating work the determinism contract makes repeatable:
+Both drivers take ``policy=`` — an
+:class:`~repro.robust.ExecutionPolicy` — and route their independent
+simulations through :func:`repro.sim.parallel.run_jobs` whenever the
+policy asks for anything beyond plain serial execution: worker
+processes, retries, per-job timeouts, checkpoint/resume, or fault
+injection.  The default policy is the serial in-process path, and the
+legacy ``jobs=`` kwarg still works behind a
+:class:`DeprecationWarning`.  Two caches keep the hot path from
+repeating work the determinism contract makes repeatable:
 
 * traces are materialized once per ``(workload, seed, input_set)`` and
   replayed for every scheme (:mod:`repro.sim.tracecache`);
@@ -30,6 +35,7 @@ from repro.core.config import SimConfig
 from repro.core.instrumentation import SipPlan, build_sip_plan
 from repro.core.profiler import WorkloadProfile, profile_workload
 from repro.errors import ConfigError
+from repro.robust import ExecutionPolicy, resolve_policy
 from repro.sim.engine import simulate
 from repro.sim.parallel import JobSpec, WorkloadSpec, run_jobs
 from repro.sim.results import RunResult
@@ -146,9 +152,11 @@ def _require_spec(source: WorkloadSource, caller: str) -> WorkloadSpec:
     if isinstance(source, WorkloadSpec):
         return source
     raise ConfigError(
-        f"{caller} with jobs > 1 needs a repro.sim.parallel.WorkloadSpec "
-        f"(registry name + scale) so jobs can be shipped to worker "
-        f"processes; got {type(source).__name__}"
+        f"{caller} with a resilient ExecutionPolicy (worker processes, "
+        f"retries, timeouts, checkpointing or fault injection) needs a "
+        f"repro.sim.parallel.WorkloadSpec (registry name + scale) so jobs "
+        f"can be re-run and shipped to worker processes; got "
+        f"{type(source).__name__}"
     )
 
 
@@ -205,7 +213,8 @@ def compare_schemes(
     seed: int = 0,
     input_set: str = "ref",
     sip_plan: Optional[SipPlan] = None,
-    jobs: int = 1,
+    policy: Optional[ExecutionPolicy] = None,
+    jobs: Optional[int] = None,
 ) -> Dict[str, RunResult]:
     """Run the workload under each scheme; return results by name.
 
@@ -213,12 +222,18 @@ def compare_schemes(
     shared across the SIP-bearing schemes, exactly as one compiled
     binary serves all the paper's runs; schemes without SIP never
     touch the profiler.  The workload trace is materialized once and
-    replayed per scheme.  ``jobs > 1`` runs the schemes in worker
-    processes (``workload`` must then be a
+    replayed per scheme.
+
+    ``policy`` (:class:`~repro.robust.ExecutionPolicy`) is the single
+    execution-configuration path: when it asks for anything beyond
+    plain serial execution — worker processes, retries, timeouts,
+    checkpointing, fault injection — the schemes route through the
+    resilient job runner (``workload`` must then be a
     :class:`~repro.sim.parallel.WorkloadSpec`); results are identical
-    to the serial path.
+    to the serial path.  ``jobs=`` is the deprecated PR-3 spelling.
     """
-    if jobs > 1:
+    resolved = resolve_policy(policy, jobs, caller="compare_schemes")
+    if resolved.is_resilient:
         spec = _require_spec(workload, "compare_schemes")
         if _needs_sip(schemes) and sip_plan is None:
             built = spec.build()
@@ -234,7 +249,7 @@ def compare_schemes(
             )
             for name in schemes
         ]
-        runs = run_jobs(specs, jobs=jobs)
+        runs = run_jobs(specs, policy=resolved)
         return dict(zip(schemes, runs))
 
     built = _build_workload(workload)
@@ -264,28 +279,38 @@ def sweep_config(
     seed: int = 0,
     input_set: str = "ref",
     progress: Optional[Callable[[SweepProgress], None]] = None,
-    jobs: int = 1,
+    policy: Optional[ExecutionPolicy] = None,
+    jobs: Optional[int] = None,
 ) -> List[SweepPoint]:
     """Run a scheme comparison at each configuration.
 
     ``values`` labels the sweep points (defaults to their index).  The
     workload is rebuilt per point via ``workload_factory`` so traces
     never share generator state (a :class:`~repro.sim.parallel.WorkloadSpec`
-    serves as the factory and is required when ``jobs > 1``).
+    serves as the factory, and is required whenever the policy is
+    resilient).
 
     SIP plans are compiled here, once per (workload, seed, threshold),
     and shared by every point whose coordinates match — a sweep that
     varies a non-SIP parameter profiles exactly once, and a sweep
     whose schemes carry no SIP at all never touches the profiler.
 
+    ``policy`` (:class:`~repro.robust.ExecutionPolicy`) configures
+    execution: worker count, retry/timeout, checkpoint/resume (each
+    completed run is persisted and skipped on a ``resume=True``
+    restart), and fault injection.  ``jobs=`` is the deprecated PR-3
+    spelling.
+
     ``progress`` is called after each completed point with a
     :class:`SweepProgress` tick (sweeps are the slow path — minutes at
-    paper scale — so the CLI surfaces an ETA through this hook); with
-    ``jobs > 1`` ticks fire as points complete, which may be out of
-    label order.
+    paper scale — so the CLI surfaces an ETA through this hook); the
+    ``policy.progress`` callback serves the same role when the kwarg
+    is not given.  Under parallel execution ticks fire as points
+    complete, which may be out of label order; on a resumed sweep,
+    checkpoint-restored points tick instantly.
     """
-    if jobs < 1:
-        raise ConfigError(f"jobs must be at least 1, got {jobs}")
+    resolved = resolve_policy(policy, jobs, caller="sweep_config")
+    report = progress if progress is not None else resolved.progress
     config_list = list(configs)
     if values is None:
         labels: List[object] = list(range(len(config_list)))
@@ -305,7 +330,7 @@ def sweep_config(
             return None
         return plan_cache.plan_for(workload, config, seed)
 
-    if jobs > 1:
+    if resolved.is_resilient:
         spec = _require_spec(workload_factory, "sweep_config")
         plan_probe = spec.build() if needs_sip else None
         specs: List[JobSpec] = []
@@ -330,9 +355,9 @@ def sweep_config(
             nonlocal points_done
             point = index // per_point
             remaining[point] -= 1
-            if remaining[point] == 0 and progress is not None:
+            if remaining[point] == 0 and report is not None:
                 points_done += 1
-                progress(
+                report(
                     SweepProgress.tick(
                         completed=points_done,
                         total=total,
@@ -341,7 +366,7 @@ def sweep_config(
                     )
                 )
 
-        runs = run_jobs(specs, jobs=jobs, on_result=on_result)
+        runs = run_jobs(specs, policy=resolved, on_result=on_result)
         points: List[SweepPoint] = []
         for point_index, label in enumerate(labels):
             base = point_index * per_point
@@ -365,8 +390,8 @@ def sweep_config(
             sip_plan=point_plan(workload, config),
         )
         points.append(SweepPoint(label, results))
-        if progress is not None:
-            progress(
+        if report is not None:
+            report(
                 SweepProgress.tick(
                     completed=len(points),
                     total=total,

@@ -13,6 +13,8 @@ def fan_out(jobs, fn, items):
 
 def run_jobs_is_fine(specs):
     # Going through the sanctioned runner never trips the rule.
+    from repro.robust import ExecutionPolicy
     from repro.sim.parallel import run_jobs
 
-    return run_jobs(specs, jobs=multiprocessing.cpu_count())
+    policy = ExecutionPolicy(jobs=multiprocessing.cpu_count())
+    return run_jobs(specs, policy=policy)

@@ -1,0 +1,21 @@
+"""RL008 fixture: the same shapes, silenced or sanctioned."""
+
+import time
+
+__all__ = ["wait_a_bit", "robust_sleep_is_fine"]
+
+
+def wait_a_bit():
+    time.sleep(0.1)  # repro-lint: disable=RL008  measured, sanctioned here
+
+
+def robust_sleep_is_fine(seconds):
+    # Going through the resilience layer never trips the rule.
+    from repro.robust import sleep
+
+    sleep(seconds)
+
+
+def other_sleeps_are_fine(pool):
+    # Only the time module's sleep is a wall-clock wait.
+    pool.sleep(5)

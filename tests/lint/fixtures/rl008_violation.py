@@ -1,0 +1,11 @@
+"""RL008 fixture: bare wall-clock sleeps outside repro.robust."""
+
+import time
+from time import sleep
+
+__all__ = ["wait_a_bit"]
+
+
+def wait_a_bit():
+    time.sleep(0.1)
+    sleep(0.1)

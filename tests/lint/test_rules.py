@@ -148,8 +148,27 @@ class TestRL007StrayMultiprocessing:
         assert lint_file(mod, select=["RL007"]) == []
 
 
+class TestRL008BareSleep:
+    def test_fires_on_imports_and_calls(self):
+        found = findings_for("rl008_violation.py", "RL008")
+        # from time import sleep, time.sleep(), sleep()
+        assert len(found) == 3
+        messages = " | ".join(f.message for f in found)
+        assert "repro.robust" in messages
+
+    def test_silent_under_pragma_and_on_robust_sleep(self):
+        assert findings_for("rl008_suppressed.py", "RL008") == []
+
+    def test_sanctioned_resilience_package_is_exempt(self, tmp_path):
+        mod = tmp_path / "repro" / "robust" / "faults.py"
+        mod.parent.mkdir(parents=True)
+        mod.write_text("__all__ = []\nimport time\ntime.sleep(0.01)\n")
+        assert lint_file(mod, select=["RL008"]) == []
+
+
 @pytest.mark.parametrize(
-    "code", ["RL001", "RL002", "RL003", "RL004", "RL005", "RL006", "RL007"]
+    "code",
+    ["RL001", "RL002", "RL003", "RL004", "RL005", "RL006", "RL007", "RL008"],
 )
 def test_clean_fixture_is_silent_under_every_rule(code):
     assert findings_for("clean.py", code) == []

@@ -1,0 +1,83 @@
+"""The content-addressed checkpoint store."""
+
+import json
+
+import pytest
+
+from repro.core.config import SimConfig
+from repro.errors import CheckpointError
+from repro.obs.manifest import MANIFEST_SCHEMA, build_manifest
+from repro.robust import CheckpointStore, checkpoint_key
+from repro.sim.parallel import JobSpec, WorkloadSpec, run_job
+
+SPEC = JobSpec(
+    workload=WorkloadSpec("microbenchmark", 64),
+    config=SimConfig.scaled(64),
+    scheme="baseline",
+)
+
+
+class TestCheckpointKey:
+    def test_stable_for_equal_coordinates(self):
+        assert checkpoint_key({"a": 1, "b": [2, 3]}) == checkpoint_key(
+            {"b": [2, 3], "a": 1}
+        )
+
+    def test_any_coordinate_change_moves_the_address(self):
+        base = {"scheme": "dfp", "seed": 0}
+        assert checkpoint_key(base) != checkpoint_key({**base, "seed": 1})
+
+    def test_unserializable_coordinates_rejected(self):
+        with pytest.raises(CheckpointError, match="serializable"):
+            checkpoint_key({"workload": object()})
+
+    def test_jobspec_key_covers_the_config(self):
+        moved = JobSpec(
+            workload=SPEC.workload,
+            config=SPEC.config.replace(load_length=SPEC.config.load_length + 1),
+            scheme=SPEC.scheme,
+        )
+        assert SPEC.checkpoint_key() != moved.checkpoint_key()
+
+    def test_jobspec_key_ignores_the_sip_plan(self):
+        # The plan is a deterministic artifact of coordinates already
+        # in the key; two spellings of the same job share an address.
+        assert SPEC.checkpoint_key() == JobSpec(
+            workload=SPEC.workload,
+            config=SPEC.config,
+            scheme=SPEC.scheme,
+            sip_plan=None,
+        ).checkpoint_key()
+
+
+class TestCheckpointStore:
+    def test_round_trips_a_manifest(self, tmp_path):
+        store = CheckpointStore(tmp_path / "ckpt")
+        manifest = build_manifest(run_job(SPEC))
+        key = SPEC.checkpoint_key()
+        store.store(key, manifest)
+        assert store.load(key) == manifest
+        assert store.keys() == [key]
+        assert len(store) == 1
+
+    def test_missing_record_is_none(self, tmp_path):
+        assert CheckpointStore(tmp_path).load("0" * 64) is None
+
+    def test_malformed_record_raises_not_reruns(self, tmp_path):
+        store = CheckpointStore(tmp_path)
+        key = "1" * 64
+        store.path_for(key).write_text("{ not json")
+        with pytest.raises(CheckpointError, match="unreadable or malformed"):
+            store.load(key)
+
+    def test_wrong_schema_refused_on_store(self, tmp_path):
+        store = CheckpointStore(tmp_path)
+        with pytest.raises(CheckpointError, match="schema"):
+            store.store("2" * 64, {"schema": "something-else/9"})
+
+    def test_records_are_stable_manifest_json(self, tmp_path):
+        store = CheckpointStore(tmp_path)
+        manifest = build_manifest(run_job(SPEC))
+        path = store.store(SPEC.checkpoint_key(), manifest)
+        document = json.loads(path.read_text())
+        assert document["schema"] == MANIFEST_SCHEMA

@@ -1,0 +1,86 @@
+"""The fault-injection plan: deterministic, picklable, scriptable."""
+
+import pickle
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.robust import FaultKind, FaultPlan, InjectedWorkerCrash, perform_worker_fault
+
+
+class TestFaultKind:
+    def test_coerce_accepts_names_values_and_kinds(self):
+        assert FaultKind.coerce("crash") is FaultKind.CRASH
+        assert FaultKind.coerce("pool-break") is FaultKind.POOL_BREAK
+        assert FaultKind.coerce(FaultKind.HANG) is FaultKind.HANG
+
+    def test_coerce_rejects_unknown(self):
+        with pytest.raises(ConfigError, match="unknown fault kind"):
+            FaultKind.coerce("explode")
+
+
+class TestFaultPlan:
+    def test_rates_validated(self):
+        with pytest.raises(ConfigError):
+            FaultPlan(crash_rate=1.5)
+        with pytest.raises(ConfigError):
+            FaultPlan(hang_rate=-0.1)
+        with pytest.raises(ConfigError):
+            FaultPlan(hang_s=0.0)
+
+    def test_scripted_faults_win(self):
+        plan = FaultPlan.script({(3, 1): FaultKind.CORRUPT})
+        assert plan.fault_for(3, 1) is FaultKind.CORRUPT
+        assert plan.fault_for(3, 2) is None
+        assert plan.fault_for(0, 1) is None
+
+    def test_script_accepts_string_kinds(self):
+        plan = FaultPlan.script({(0, 1): "hang"})
+        assert plan.fault_for(0, 1) is FaultKind.HANG
+
+    def test_seeded_draws_are_deterministic(self):
+        a = FaultPlan(seed=7, crash_rate=0.5, corrupt_rate=0.25)
+        b = FaultPlan(seed=7, crash_rate=0.5, corrupt_rate=0.25)
+        decisions = [(i, n, a.fault_for(i, n)) for i in range(64) for n in (1, 2)]
+        assert decisions == [
+            (i, n, b.fault_for(i, n)) for i in range(64) for n in (1, 2)
+        ]
+        # A certain rate always fires.
+        always = FaultPlan(seed=1, crash_rate=1.0)
+        assert all(always.fault_for(i, 1) is FaultKind.CRASH for i in range(16))
+
+    def test_different_seeds_differ_somewhere(self):
+        a = FaultPlan(seed=1, crash_rate=0.5)
+        b = FaultPlan(seed=2, crash_rate=0.5)
+        assert any(
+            a.fault_for(i, 1) is not b.fault_for(i, 1) for i in range(256)
+        )
+
+    def test_injects_anything(self):
+        assert not FaultPlan().injects_anything
+        assert FaultPlan(crash_rate=0.1).injects_anything
+        assert FaultPlan.script({(0, 1): FaultKind.CRASH}).injects_anything
+
+    def test_plan_is_picklable(self):
+        plan = FaultPlan.script(
+            {(0, 1): FaultKind.CRASH}, seed=3, hang_rate=0.5
+        )
+        assert pickle.loads(pickle.dumps(plan)) == plan
+
+
+class TestPerformWorkerFault:
+    def test_crash_raises_typed_error(self):
+        with pytest.raises(InjectedWorkerCrash):
+            perform_worker_fault(FaultKind.CRASH, in_worker=False)
+
+    def test_pool_break_downgrades_to_crash_in_process(self):
+        # os._exit in the parent would kill the experiment; serially
+        # the hard break degrades to an ordinary injected crash.
+        with pytest.raises(InjectedWorkerCrash):
+            perform_worker_fault(FaultKind.POOL_BREAK, in_worker=False)
+
+    def test_corrupt_and_submit_error_are_not_performed_here(self):
+        # Corruption tampers the result after digesting; submission
+        # errors fire parent-side.  Neither raises in the worker body.
+        perform_worker_fault(FaultKind.CORRUPT, in_worker=True)
+        perform_worker_fault(FaultKind.SUBMIT_ERROR, in_worker=True)

@@ -1,0 +1,179 @@
+"""The resilient job runner under every injected fault class.
+
+The contract: resilience changes *whether* a result arrives, never
+*what* it is.  Every scenario here asserts the faulted run's results
+are equal — and, for the acceptance-criteria case, byte-identical at
+the manifest level — to the plain serial run of the same jobs.
+"""
+
+import json
+
+import pytest
+
+from repro.core.config import SimConfig
+from repro.errors import (
+    JobRetriesExhaustedError,
+    JobTimeoutError,
+    ResultIntegrityError,
+)
+from repro.obs.manifest import build_manifest
+from repro.robust import ExecutionPolicy, FaultKind, FaultPlan, RetryPolicy
+from repro.sim.parallel import JobSpec, WorkloadSpec, run_jobs
+
+WORKLOAD = WorkloadSpec("microbenchmark", 64)
+CONFIG = SimConfig.scaled(64)
+
+#: Fast retries for tests: three chances, near-instant backoff.
+FAST_RETRY = RetryPolicy(max_attempts=3, base_delay=0.001)
+
+
+def make_specs(n=4):
+    schemes = ("baseline", "dfp-stop", "dfp", "baseline")
+    return [
+        JobSpec(
+            workload=WORKLOAD,
+            config=CONFIG,
+            scheme=schemes[i % len(schemes)],
+            seed=i % 2,
+        )
+        for i in range(n)
+    ]
+
+
+@pytest.fixture(scope="module")
+def serial_results():
+    return run_jobs(make_specs())
+
+
+def manifest_bytes(results):
+    return [
+        json.dumps(build_manifest(r), sort_keys=True).encode()
+        for r in results
+    ]
+
+
+class TestNoFaultEquivalence:
+    def test_resilient_parallel_run_is_byte_identical_to_serial(
+        self, serial_results
+    ):
+        # The acceptance criterion: a jobs=4 run with retries, timeout
+        # and integrity checking enabled — but no faults injected —
+        # produces byte-identical manifests to the plain serial run.
+        policy = ExecutionPolicy(jobs=4, retry=FAST_RETRY, timeout=60.0)
+        resilient = run_jobs(make_specs(), policy=policy)
+        assert manifest_bytes(resilient) == manifest_bytes(serial_results)
+
+
+class TestCrashFaults:
+    @pytest.mark.parametrize("jobs", [1, 2])
+    def test_crashed_attempt_is_retried_transparently(
+        self, jobs, serial_results
+    ):
+        plan = FaultPlan.script(
+            {(0, 1): FaultKind.CRASH, (2, 1): FaultKind.CRASH}
+        )
+        policy = ExecutionPolicy(jobs=jobs, retry=FAST_RETRY, fault_plan=plan)
+        assert run_jobs(make_specs(), policy=policy) == serial_results
+
+    def test_exhausted_attempts_raise_with_attempt_count(self):
+        plan = FaultPlan.script(
+            {(1, n): FaultKind.CRASH for n in (1, 2, 3)}
+        )
+        policy = ExecutionPolicy(retry=FAST_RETRY, fault_plan=plan)
+        with pytest.raises(JobRetriesExhaustedError) as excinfo:
+            run_jobs(make_specs(), policy=policy)
+        assert excinfo.value.attempts == 3
+        assert "dfp-stop" in excinfo.value.job
+
+    def test_rate_driven_crashes_still_converge(self, serial_results):
+        # With a generous attempt budget, even a high crash rate
+        # cannot change the results, only the wall-clock.
+        plan = FaultPlan(seed=11, crash_rate=0.4)
+        policy = ExecutionPolicy(
+            jobs=2,
+            retry=RetryPolicy(max_attempts=10, base_delay=0.001),
+            fault_plan=plan,
+        )
+        assert run_jobs(make_specs(), policy=policy) == serial_results
+
+
+class TestHangFaults:
+    def test_pool_hang_times_out_and_retries(self, serial_results):
+        plan = FaultPlan.script({(0, 1): FaultKind.HANG}, hang_s=30.0)
+        policy = ExecutionPolicy(
+            jobs=2, retry=FAST_RETRY, timeout=2.0, fault_plan=plan
+        )
+        assert run_jobs(make_specs(), policy=policy) == serial_results
+
+    def test_serial_hang_converts_synchronously(self, serial_results):
+        # Serially there is no second process to sleep in; the runner
+        # converts the injected hang straight into a timeout failure
+        # instead of actually stalling for hang_s.
+        plan = FaultPlan.script({(0, 1): FaultKind.HANG}, hang_s=300.0)
+        policy = ExecutionPolicy(
+            retry=FAST_RETRY, timeout=0.5, fault_plan=plan
+        )
+        assert run_jobs(make_specs(), policy=policy) == serial_results
+
+    def test_hang_without_retries_is_a_timeout_failure(self):
+        plan = FaultPlan.script({(0, 1): FaultKind.HANG}, hang_s=300.0)
+        policy = ExecutionPolicy(timeout=0.5, fault_plan=plan)
+        with pytest.raises(JobRetriesExhaustedError) as excinfo:
+            run_jobs(make_specs(1), policy=policy)
+        assert isinstance(excinfo.value.__cause__, JobTimeoutError)
+
+
+class TestCorruptionFaults:
+    @pytest.mark.parametrize("jobs", [1, 2])
+    def test_corrupted_result_is_rejected_and_retried(
+        self, jobs, serial_results
+    ):
+        plan = FaultPlan.script({(3, 1): FaultKind.CORRUPT})
+        policy = ExecutionPolicy(jobs=jobs, retry=FAST_RETRY, fault_plan=plan)
+        assert run_jobs(make_specs(), policy=policy) == serial_results
+
+    def test_corruption_without_retries_is_an_integrity_failure(self):
+        plan = FaultPlan.script({(0, 1): FaultKind.CORRUPT})
+        policy = ExecutionPolicy(jobs=2, fault_plan=plan)
+        with pytest.raises(JobRetriesExhaustedError) as excinfo:
+            run_jobs(make_specs(2), policy=policy)
+        assert isinstance(excinfo.value.__cause__, ResultIntegrityError)
+        assert "digest" in str(excinfo.value.__cause__)
+
+
+class TestSubmissionFaults:
+    @pytest.mark.parametrize("jobs", [1, 2])
+    def test_transient_submission_error_is_absorbed(
+        self, jobs, serial_results
+    ):
+        # A submission that never happened must not burn the job's
+        # attempt budget: no retries are configured here, yet the run
+        # completes because the dispatch itself is retried.
+        plan = FaultPlan.script({(1, 1): FaultKind.SUBMIT_ERROR})
+        policy = ExecutionPolicy(jobs=jobs, fault_plan=plan)
+        assert run_jobs(make_specs(), policy=policy) == serial_results
+
+
+class TestPoolBreak:
+    def test_dead_pool_degrades_to_serial_and_completes(
+        self, serial_results
+    ):
+        # The injected os._exit kills a worker hard enough to break
+        # the whole pool; the runner must finish the remaining jobs
+        # serially in-process, with identical results.
+        plan = FaultPlan.script({(1, 1): FaultKind.POOL_BREAK})
+        policy = ExecutionPolicy(jobs=2, retry=FAST_RETRY, fault_plan=plan)
+        assert run_jobs(make_specs(), policy=policy) == serial_results
+
+
+class TestDeliveryGuarantees:
+    def test_on_result_fires_exactly_once_despite_retries(self):
+        plan = FaultPlan.script(
+            {(0, 1): FaultKind.CRASH, (1, 1): FaultKind.CORRUPT}
+        )
+        policy = ExecutionPolicy(jobs=2, retry=FAST_RETRY, fault_plan=plan)
+        seen = []
+        run_jobs(
+            make_specs(3), policy=policy, on_result=lambda i, s: seen.append(i)
+        )
+        assert sorted(seen) == [0, 1, 2]

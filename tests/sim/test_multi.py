@@ -73,6 +73,32 @@ class TestAccounting:
         b = simulate_shared(workloads, config, ["dfp-stop", "baseline"])
         assert [r.total_cycles for r in a] == [r.total_cycles for r in b]
 
+    def test_deterministic_down_to_per_enclave_stats(self, config):
+        """Two identical shared runs agree on *every* counter of every
+        enclave, not just the headline cycle totals."""
+        schemes = ["dfp-stop", "sip"]
+        a = simulate_shared([seq_workload(), rand_workload()], config, schemes)
+        b = simulate_shared([seq_workload(), rand_workload()], config, schemes)
+        for first, second in zip(a, b):
+            assert first.stats.as_dict() == second.stats.as_dict()
+            assert first == second
+
+    def test_sanitized_shared_run_matches_unsanitized(self, config):
+        """The runtime sanitizer is passive for the multi-enclave path
+        too: same workloads, same schemes, same per-enclave stats."""
+        schemes = ["dfp-stop", "baseline"]
+        plain = simulate_shared(
+            [seq_workload(), rand_workload()], config, schemes
+        )
+        sanitized = simulate_shared(
+            [seq_workload(), rand_workload()],
+            config.replace(sanitize=True),
+            schemes,
+        )
+        for a, b in zip(plain, sanitized):
+            assert a.stats.as_dict() == b.stats.as_dict()
+            assert a.total_cycles == b.total_cycles
+
 
 class TestContention:
     def test_sharing_slows_everyone_down(self, config):

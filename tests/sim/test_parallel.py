@@ -14,6 +14,7 @@ import pytest
 from repro.core.config import SimConfig
 from repro.errors import ConfigError, ParallelExecutionError
 from repro.obs.manifest import build_manifest
+from repro.robust import ExecutionPolicy
 from repro.sim.parallel import JobSpec, WorkloadSpec, run_job, run_jobs
 from repro.sim.sweep import compare_schemes, sweep_config
 
@@ -68,7 +69,7 @@ class TestRunJobs:
             JobSpec(workload=SPEC, config=config, scheme=name)
             for name in ("dfp-stop", "baseline", "dfp")
         ]
-        results = run_jobs(specs, jobs=2)
+        results = run_jobs(specs, policy=ExecutionPolicy(jobs=2))
         assert [r.scheme for r in results] == ["dfp-stop", "baseline", "dfp"]
 
     def test_parallel_equals_serial_per_job(self):
@@ -77,7 +78,9 @@ class TestRunJobs:
             JobSpec(workload=SPEC, config=config, scheme=name)
             for name in SCHEMES
         ]
-        assert run_jobs(specs, jobs=2) == [run_job(s) for s in specs]
+        assert run_jobs(specs, policy=ExecutionPolicy(jobs=2)) == [
+            run_job(s) for s in specs
+        ]
 
     def test_on_result_fires_once_per_job(self):
         config = SimConfig.scaled(64)
@@ -86,7 +89,11 @@ class TestRunJobs:
             JobSpec(workload=SPEC, config=config, scheme="dfp"),
         ]
         seen = []
-        run_jobs(specs, jobs=2, on_result=lambda i, s: seen.append(i))
+        run_jobs(
+            specs,
+            policy=ExecutionPolicy(jobs=2),
+            on_result=lambda i, s: seen.append(i),
+        )
         assert sorted(seen) == [0, 1]
 
     def test_worker_failure_is_typed_and_names_the_job(self):
@@ -97,13 +104,45 @@ class TestRunJobs:
             scheme="baseline",
         )
         with pytest.raises(ParallelExecutionError) as excinfo:
-            run_jobs([JobSpec(workload=SPEC, config=config, scheme="baseline"), bad], jobs=2)
+            run_jobs(
+                [JobSpec(workload=SPEC, config=config, scheme="baseline"), bad],
+                policy=ExecutionPolicy(jobs=2),
+            )
         assert "no-such-workload" in str(excinfo.value)
         assert "no-such-workload" in excinfo.value.job
+        assert excinfo.value.attempts == 1
 
     def test_zero_jobs_rejected(self):
-        with pytest.raises(ConfigError):
+        with pytest.raises(ConfigError), pytest.warns(DeprecationWarning):
             run_jobs([], jobs=0)
+
+
+class TestLegacyJobsKwarg:
+    """The PR-3 ``jobs=`` spelling: still honoured, but deprecated."""
+
+    def test_run_jobs_jobs_kwarg_warns_and_still_works(self):
+        config = SimConfig.scaled(64)
+        specs = [JobSpec(workload=SPEC, config=config, scheme="baseline")]
+        with pytest.warns(DeprecationWarning, match="policy=ExecutionPolicy"):
+            results = run_jobs(specs, jobs=2)
+        assert results == [run_job(specs[0])]
+
+    def test_compare_schemes_jobs_kwarg_warns(self):
+        config = SimConfig.scaled(64)
+        with pytest.warns(DeprecationWarning, match="compare_schemes"):
+            results = compare_schemes(SPEC, config, list(SCHEMES), jobs=2)
+        assert set(results) == set(SCHEMES)
+
+    def test_sweep_config_jobs_kwarg_warns(self):
+        with pytest.warns(DeprecationWarning, match="sweep_config"):
+            points = sweep_config(
+                SPEC, sweep_configs()[:2], SCHEMES, values=[1, 2], jobs=2
+            )
+        assert len(points) == 2
+
+    def test_policy_and_jobs_together_rejected(self):
+        with pytest.raises(ConfigError, match="not both"):
+            run_jobs([], policy=ExecutionPolicy(), jobs=2)
 
 
 class TestSweepDeterminism:
@@ -112,7 +151,11 @@ class TestSweepDeterminism:
             SPEC, sweep_configs(), SCHEMES, values=list(VALUES)
         )
         parallel = sweep_config(
-            SPEC, sweep_configs(), SCHEMES, values=list(VALUES), jobs=4
+            SPEC,
+            sweep_configs(),
+            SCHEMES,
+            values=list(VALUES),
+            policy=ExecutionPolicy(jobs=4),
         )
         assert [p.value for p in serial] == [p.value for p in parallel]
         for a, b in zip(serial, parallel):
@@ -127,7 +170,7 @@ class TestSweepDeterminism:
             sweep_configs(sanitize=True),
             SCHEMES,
             values=list(VALUES),
-            jobs=4,
+            policy=ExecutionPolicy(jobs=4),
         )
         for a, b in zip(serial, parallel):
             assert manifest_bytes(a) == manifest_bytes(b)
@@ -135,19 +178,29 @@ class TestSweepDeterminism:
     def test_parallel_compare_equals_serial(self):
         config = SimConfig.scaled(64)
         serial = compare_schemes(SPEC, config, list(SCHEMES))
-        parallel = compare_schemes(SPEC, config, list(SCHEMES), jobs=2)
+        parallel = compare_schemes(
+            SPEC, config, list(SCHEMES), policy=ExecutionPolicy(jobs=2)
+        )
         for scheme in SCHEMES:
             assert serial[scheme] == parallel[scheme]
 
     def test_parallel_sweep_requires_a_workload_spec(self):
         with pytest.raises(ConfigError, match="WorkloadSpec"):
             sweep_config(
-                lambda: SPEC.build(), sweep_configs(), SCHEMES, jobs=2
+                lambda: SPEC.build(),
+                sweep_configs(),
+                SCHEMES,
+                policy=ExecutionPolicy(jobs=2),
             )
 
     def test_parallel_compare_requires_a_workload_spec(self):
         with pytest.raises(ConfigError, match="WorkloadSpec"):
-            compare_schemes(SPEC.build(), SimConfig.scaled(64), SCHEMES, jobs=2)
+            compare_schemes(
+                SPEC.build(),
+                SimConfig.scaled(64),
+                SCHEMES,
+                policy=ExecutionPolicy(jobs=2),
+            )
 
     def test_progress_ticks_cover_every_point(self):
         ticks = []
@@ -156,7 +209,7 @@ class TestSweepDeterminism:
             sweep_configs(),
             SCHEMES,
             values=list(VALUES),
-            jobs=4,
+            policy=ExecutionPolicy(jobs=4),
             progress=ticks.append,
         )
         assert len(ticks) == len(VALUES)

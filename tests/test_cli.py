@@ -42,6 +42,47 @@ class TestCompare:
         assert "1.000" in out  # baseline row
 
 
+class TestResilienceFlags:
+    """The shared --jobs/--retries/--timeout/--checkpoint/--resume flags."""
+
+    def test_run_with_retries_routes_through_the_runner(self, capsys):
+        assert main(["run", "leela", "--retries", "2", *SCALE]) == 0
+        out = capsys.readouterr().out
+        assert "time breakdown" in out
+
+    def test_run_rejects_metrics_with_resilience(self, capsys):
+        assert main(["run", "leela", "--jobs", "2", "--metrics", *SCALE]) == 2
+        err = capsys.readouterr().err
+        assert "blind" in err
+
+    def test_resume_without_checkpoint_rejected(self, capsys):
+        assert main(["run", "leela", "--resume", *SCALE]) == 2
+        assert "checkpoint" in capsys.readouterr().err
+
+    def test_compare_accepts_execution_flags(self, capsys):
+        assert main(
+            [
+                "compare", "lbm", "--schemes", "baseline,dfp-stop",
+                "--jobs", "2", "--retries", "1", "--timeout", "120", *SCALE,
+            ]
+        ) == 0
+        assert "vs baseline" in capsys.readouterr().out
+
+    def test_sweep_checkpoint_and_resume(self, tmp_path, capsys):
+        ckpt = str(tmp_path / "ckpt")
+        args = [
+            "sweep", "leela", "--param", "load_length", "--values", "1,4",
+            "--checkpoint", ckpt, *SCALE,
+        ]
+        assert main(args) == 0
+        first = capsys.readouterr().out
+        assert len(list((tmp_path / "ckpt").glob("*.manifest.json"))) == 2
+        # The resumed invocation serves both points from the records
+        # and renders the identical table.
+        assert main([*args, "--resume"]) == 0
+        assert capsys.readouterr().out == first
+
+
 class TestProfile:
     def test_profile_prints_plan(self, capsys):
         assert main(["profile", "MSER", *SCALE]) == 0

@@ -14,6 +14,11 @@ from repro import errors
         errors.WorkloadError,
         errors.InstrumentationError,
         errors.SimulationError,
+        errors.ParallelExecutionError,
+        errors.JobTimeoutError,
+        errors.JobRetriesExhaustedError,
+        errors.ResultIntegrityError,
+        errors.CheckpointError,
     ],
 )
 def test_all_errors_derive_from_base(exc):
@@ -24,3 +29,27 @@ def test_all_errors_derive_from_base(exc):
 def test_catching_base_catches_specific():
     with pytest.raises(errors.ReproError):
         raise errors.EpcError("boom")
+
+
+@pytest.mark.parametrize(
+    "exc",
+    [
+        errors.JobTimeoutError,
+        errors.JobRetriesExhaustedError,
+        errors.ResultIntegrityError,
+    ],
+)
+def test_job_failures_are_parallel_execution_errors(exc):
+    # Pre-resilience callers catching ParallelExecutionError keep
+    # working: every per-job failure mode stays inside the family.
+    assert issubclass(exc, errors.ParallelExecutionError)
+
+
+def test_parallel_errors_carry_job_and_attempts():
+    err = errors.JobRetriesExhaustedError(
+        "gave up", job="lbm/dfp", attempts=3
+    )
+    assert err.job == "lbm/dfp"
+    assert err.attempts == 3
+    # The attempt count defaults to one for single-shot failures.
+    assert errors.ParallelExecutionError("boom").attempts == 1

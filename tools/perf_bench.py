@@ -15,7 +15,8 @@ future PR has a perf trajectory to compare against:
   The *reference* leg replicates the pre-PR serial driver's cost
   model point by point — a full profiling run and plan compilation
   per point, a fresh generator walk per scheme run, no caches — and
-  the *optimized* leg is ``sweep_config(..., jobs=N)``.  Both legs
+  the *optimized* leg is ``sweep_config`` under an
+  ``ExecutionPolicy(jobs=N)``.  Both legs
   run the same experiment (plans compile once per (workload, seed,
   threshold) — a compile-time artifact — so the reference profiles
   against the sweep's first configuration) and the harness asserts
@@ -35,6 +36,7 @@ import time
 from repro.core.config import SimConfig
 from repro.core.instrumentation import build_sip_plan
 from repro.core.profiler import profile_workload
+from repro.robust import ExecutionPolicy
 from repro.sim.engine import prepare_sip_plan, simulate
 from repro.sim.parallel import WorkloadSpec
 from repro.sim.sweep import SIP_SCHEMES, sweep_config
@@ -152,7 +154,11 @@ def measure_sweep(scale: int, jobs: int) -> dict:
     shared_trace_cache().clear()
     t0 = time.perf_counter()
     optimized = sweep_config(
-        spec, configs, SWEEP_SCHEMES, values=list(SWEEP_VALUES), jobs=jobs
+        spec,
+        configs,
+        SWEEP_SCHEMES,
+        values=list(SWEEP_VALUES),
+        policy=ExecutionPolicy(jobs=jobs),
     )
     optimized_s = time.perf_counter() - t0
 
