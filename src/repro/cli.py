@@ -242,12 +242,18 @@ def _cmd_run(args: argparse.Namespace) -> int:
     config = _config(args)
     workload = build_workload(args.workload, scale=args.scale)
     policy = _policy_from_args(args)
-    observed = args.show_metrics or args.trace is not None
+    observed = (
+        args.show_metrics
+        or args.trace is not None
+        or args.manifest is not None
+    )
     if policy.is_resilient and observed:
         raise ConfigError(
-            "run: --metrics/--trace need an in-process observed run and "
-            "cannot combine with --jobs/--retries/--timeout/--checkpoint "
-            "(resilient jobs run blind; re-run the point without them)"
+            "run: --metrics/--trace/--manifest need an in-process observed "
+            "run and cannot combine with --jobs/--retries/--timeout/"
+            "--checkpoint (resilient jobs run blind; a manifest written "
+            "from one would lack the metrics section a serial run records "
+            "— re-run the point without them)"
         )
     metrics = (
         MetricsRegistry()

@@ -23,8 +23,13 @@ Properties the drivers rely on:
   failure chained.
 * **Resilience** (:mod:`repro.robust`, configured through one
   :class:`~repro.robust.ExecutionPolicy`): failed attempts are retried
-  with exponential backoff; attempts exceeding the per-job timeout are
-  abandoned (:class:`~repro.errors.JobTimeoutError`) and retried;
+  with exponential backoff; attempts exceeding the per-job timeout —
+  measured from when the attempt starts executing (submission is
+  throttled to free workers), so a job queued behind busy workers does
+  not burn its budget waiting for a slot — are abandoned
+  (:class:`~repro.errors.JobTimeoutError`) and retried, and a worker
+  still wedged on an abandoned attempt when the sweep finishes is
+  detached rather than waited for;
   every pool result must pass a replayed-manifest digest check before
   it is accepted (:class:`~repro.errors.ResultIntegrityError`
   otherwise); completed runs are checkpointed and resumable; and if
@@ -49,12 +54,13 @@ must stay in one spot for the determinism guarantee to be auditable.
 
 from __future__ import annotations
 
+import collections
 import dataclasses
 import multiprocessing  # repro-lint: disable=RL007  the sanctioned home
 import time
 from concurrent import futures  # repro-lint: disable=RL007  the sanctioned home
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Sequence, Set, Tuple
+from typing import Callable, Deque, Dict, List, Optional, Sequence, Set, Tuple
 
 from repro.core.config import SimConfig
 from repro.core.instrumentation import SipPlan
@@ -83,6 +89,16 @@ __all__ = ["WorkloadSpec", "JobSpec", "run_job", "run_jobs"]
 #: small allowance, independent of the per-job attempt budget (a
 #: submission that never happened should not burn the job's attempts).
 _SUBMIT_TRIES = 3
+
+class _InjectedDispatchError(Exception):
+    """Private sentinel for an injected serial-path dispatch failure.
+
+    The serial attempt loop absorbs *only* this type when
+    :attr:`~repro.robust.FaultKind.SUBMIT_ERROR` is injected.  A real
+    ``OSError`` escaping the simulation (or a broken-pipe from a
+    delivery callback) is a genuine failure and must never be mistaken
+    for the injected transient and retried without bound.
+    """
 
 
 @dataclass(frozen=True)
@@ -293,6 +309,10 @@ class _JobRunner:
         self.timeout = policy.effective_timeout
         #: True once the pool broke and execution degraded to serial.
         self.degraded = False
+        #: Timed-out futures whose attempt was already executing when
+        #: abandoned — ``cancel()`` cannot stop them, and a genuinely
+        #: wedged one must not be waited for at pool shutdown.
+        self.abandoned: List["futures.Future"] = []
 
     # -- delivery ----------------------------------------------------
 
@@ -400,7 +420,9 @@ class _JobRunner:
                     # burning the job's attempt budget (a submission
                     # that never happened is not a failed attempt).
                     absorbed_submits.add((index, attempt))
-                    raise OSError("injected transient submission failure")
+                    raise _InjectedDispatchError(
+                        "injected transient submission failure"
+                    )
                 if fault is FaultKind.HANG and self.timeout is not None:
                     # Sleeping out a hang in the only process there is
                     # would turn a simulated hang into a real one; the
@@ -414,10 +436,12 @@ class _JobRunner:
                 envelope = _enveloped_run(
                     spec, self.plan, index, attempt, in_worker=False
                 )
-                self._accept(index, self._verify(index, envelope))
-                return
-            except OSError:
+                result = self._verify(index, envelope)
+            except _InjectedDispatchError:
                 # Dispatch-level transient: does not consume an attempt.
+                # Only the injected sentinel is absorbed — a real
+                # OSError out of the simulation is a job failure with a
+                # bounded attempt budget like any other exception.
                 attempt -= 1
                 self.retry.backoff(1)
                 continue
@@ -427,6 +451,12 @@ class _JobRunner:
                 last: BaseException = exc
             except Exception as exc:
                 last = exc
+            else:
+                # Delivery sits outside the try: a failure in the
+                # on_result callback must propagate to the caller, not
+                # masquerade as a job failure and burn its attempts.
+                self._accept(index, result)
+                return
             if attempt >= self.retry.max_attempts:
                 raise self._exhausted(index, attempt, last) from last
             self.retry.backoff(attempt)
@@ -467,41 +497,75 @@ class _JobRunner:
     def _run_pool(self) -> None:
         """Pool execution with per-job retries, timeouts and integrity.
 
+        Attempts wait in a parent-side ``queue`` and are submitted to
+        the executor only while a worker slot is free (workers wedged
+        on abandoned attempts count as occupied), so a submitted
+        attempt starts executing immediately and its wall-clock
+        deadline — armed at submission — is a budget on the attempt
+        itself.  A job queued behind busy workers accrues nothing
+        while it waits for a slot.
+
         ``pending`` maps each in-flight future to its job index,
-        attempt number and wall-clock deadline.  Abandoned (timed-out)
-        futures are dropped from ``pending`` and never consulted
-        again; their workers finish the stale attempt eventually and
-        the exactly-once guard in :meth:`_accept` discards whatever
-        they produce.
+        attempt number and deadline.  Abandoned (timed-out) futures
+        are dropped from ``pending`` and never consulted again; their
+        workers finish the stale attempt eventually and the
+        exactly-once guard in :meth:`_accept` discards whatever they
+        produce.  If such a worker is still wedged when the job loop
+        finishes, the pool is released without waiting for it —
+        ``cancel()`` cannot stop a running attempt, and blocking
+        ``run_jobs`` on a hung process would re-create the very
+        failure the timeout recovered from.  (A *permanently* hung
+        worker is only detached, not killed: it still occupies its
+        slot until it dies, and if every worker wedges permanently the
+        remaining jobs can never be scheduled — finite hangs recover,
+        permanent ones are documented as unrecoverable.)
         """
         indices = self._pending_indices()
         if not indices:
             return
         _warm_trace_cache([self.specs[i] for i in indices])
         attempts: Dict[int, int] = {i: 1 for i in indices}
+        queue: Deque[Tuple[int, int]] = collections.deque(
+            (index, 1) for index in indices
+        )
+        pool = futures.ProcessPoolExecutor(max_workers=self.policy.jobs)
         try:
-            with futures.ProcessPoolExecutor(
-                max_workers=self.policy.jobs
-            ) as pool:
-                pending: Dict["futures.Future", Tuple[int, int, float]] = {}
-                for index in indices:
-                    future = self._submit(pool, index, 1)
-                    pending[future] = (index, 1, self._deadline())
+            try:
+                pending: Dict[
+                    "futures.Future", Tuple[int, int, Optional[float]]
+                ] = {}
                 try:
-                    while pending:
+                    self._fill(pool, pending, queue)
+                    while pending or queue:
+                        if not pending:
+                            # Every worker is wedged on an abandoned
+                            # attempt; the only way forward is one of
+                            # them finishing its stale work.
+                            self._await_wedged()
+                            self._fill(pool, pending, queue)
+                            continue
                         done = self._wait(pending)
                         for future in done:
                             index, attempt, _ = pending.pop(future)
                             self._handle_completed(
-                                pool, pending, attempts, future, index, attempt
+                                queue, attempts, future, index, attempt
                             )
-                        self._expire_deadlines(pool, pending, attempts)
+                        self._expire_deadlines(pending, queue, attempts)
+                        self._fill(pool, pending, queue)
                 except futures.BrokenExecutor:
                     raise
                 except BaseException:
                     for future in pending:
                         future.cancel()
                     raise
+            finally:
+                # Wait only if no abandoned attempt is still running in
+                # a worker; a wedged worker would block shutdown(True)
+                # forever and run_jobs with it.
+                wedged = any(
+                    not future.done() for future in self.abandoned
+                )
+                pool.shutdown(wait=not wedged, cancel_futures=True)
         except futures.BrokenExecutor:
             # The pool died under us (worker killed hard, fork bomb,
             # OOM...).  The experiment is still perfectly computable —
@@ -510,15 +574,43 @@ class _JobRunner:
             self.degraded = True
             self._run_serial(self._pending_indices())
 
-    def _deadline(self) -> float:
+    def _capacity(self, pending: Dict) -> int:
+        """Free worker slots: pool width minus in-flight and wedged."""
+        wedged = sum(1 for future in self.abandoned if not future.done())
+        return self.policy.jobs - len(pending) - wedged
+
+    def _fill(
+        self,
+        pool: "futures.ProcessPoolExecutor",
+        pending: Dict["futures.Future", Tuple[int, int, Optional[float]]],
+        queue: Deque[Tuple[int, int]],
+    ) -> None:
+        """Submit queued attempts while worker slots are free."""
+        while queue and self._capacity(pending) > 0:
+            index, attempt = queue.popleft()
+            future = self._submit(pool, index, attempt)
+            pending[future] = (index, attempt, self._deadline())
+
+    def _deadline(self) -> Optional[float]:
         return (
             time.monotonic() + self.timeout
             if self.timeout is not None
-            else float("inf")
+            else None
         )
 
+    def _await_wedged(self) -> None:
+        """Block until a worker wedged on an abandoned attempt frees up.
+
+        Reached only when every slot is lost to abandoned attempts and
+        jobs are still queued.  A finite hang ends here; a permanent
+        hang on every worker cannot be recovered from (there is nowhere
+        left to run anything) and blocks until the process dies.
+        """
+        stuck = [future for future in self.abandoned if not future.done()]
+        futures.wait(stuck, return_when=futures.FIRST_COMPLETED)
+
     def _wait(
-        self, pending: Dict["futures.Future", Tuple[int, int, float]]
+        self, pending: Dict["futures.Future", Tuple[int, int, Optional[float]]]
     ) -> List["futures.Future"]:
         """Wait for at least one completion or the nearest deadline."""
         wait_s: Optional[float] = None
@@ -534,8 +626,7 @@ class _JobRunner:
 
     def _handle_completed(
         self,
-        pool: "futures.ProcessPoolExecutor",
-        pending: Dict["futures.Future", Tuple[int, int, float]],
+        queue: Deque[Tuple[int, int]],
         attempts: Dict[int, int],
         future: "futures.Future",
         index: int,
@@ -544,8 +635,7 @@ class _JobRunner:
         spec = self.specs[index]
         try:
             envelope = future.result()
-            self._accept(index, self._verify(index, envelope))
-            return
+            result = self._verify(index, envelope)
         except futures.BrokenExecutor:
             raise
         except ResultIntegrityError as exc:
@@ -557,12 +647,18 @@ class _JobRunner:
                 attempts=attempt,
             )
             last.__cause__ = exc
-        self._retry_or_raise(pool, pending, attempts, index, attempt, last)
+        else:
+            # Delivery sits outside the try: an on_result failure must
+            # propagate, not be wrapped as a worker failure and retried
+            # (the job itself already succeeded).
+            self._accept(index, result)
+            return
+        self._retry_or_raise(queue, attempts, index, attempt, last)
 
     def _expire_deadlines(
         self,
-        pool: "futures.ProcessPoolExecutor",
-        pending: Dict["futures.Future", Tuple[int, int, float]],
+        pending: Dict["futures.Future", Tuple[int, int, Optional[float]]],
+        queue: Deque[Tuple[int, int]],
         attempts: Dict[int, int],
     ) -> None:
         if self.timeout is None:
@@ -571,10 +667,15 @@ class _JobRunner:
         expired = [
             (future, index, attempt)
             for future, (index, attempt, deadline) in pending.items()
-            if deadline <= now
+            if deadline is not None and deadline <= now
         ]
         for future, index, attempt in expired:
-            future.cancel()
+            if not future.cancel():
+                # Already executing: the worker cannot be stopped, only
+                # abandoned.  Remember the future so its slot counts as
+                # occupied and pool shutdown does not wait on a worker
+                # that may be wedged forever.
+                self.abandoned.append(future)
             del pending[future]
             timeout_error = JobTimeoutError(
                 f"job {self.specs[index].describe()} exceeded its "
@@ -582,14 +683,11 @@ class _JobRunner:
                 job=self.specs[index].describe(),
                 attempts=attempt,
             )
-            self._retry_or_raise(
-                pool, pending, attempts, index, attempt, timeout_error
-            )
+            self._retry_or_raise(queue, attempts, index, attempt, timeout_error)
 
     def _retry_or_raise(
         self,
-        pool: "futures.ProcessPoolExecutor",
-        pending: Dict["futures.Future", Tuple[int, int, float]],
+        queue: Deque[Tuple[int, int]],
         attempts: Dict[int, int],
         index: int,
         attempt: int,
@@ -600,8 +698,7 @@ class _JobRunner:
         self.retry.backoff(attempt)
         next_attempt = attempt + 1
         attempts[index] = next_attempt
-        future = self._submit(pool, index, next_attempt)
-        pending[future] = (index, next_attempt, self._deadline())
+        queue.append((index, next_attempt))
 
     # -- entry point -------------------------------------------------
 

@@ -7,6 +7,7 @@ the manifest level — to the plain serial run of the same jobs.
 """
 
 import json
+import time
 
 import pytest
 
@@ -99,11 +100,35 @@ class TestCrashFaults:
 
 class TestHangFaults:
     def test_pool_hang_times_out_and_retries(self, serial_results):
-        plan = FaultPlan.script({(0, 1): FaultKind.HANG}, hang_s=30.0)
+        # The hang outlives the whole sweep: the runner must abandon
+        # the attempt, retry it on a free worker, and — because a
+        # running attempt cannot be cancelled — release the pool
+        # without waiting for the wedged worker.  run_jobs returning
+        # well before hang_s elapses proves both.
+        plan = FaultPlan.script({(0, 1): FaultKind.HANG}, hang_s=8.0)
         policy = ExecutionPolicy(
-            jobs=2, retry=FAST_RETRY, timeout=2.0, fault_plan=plan
+            jobs=2, retry=FAST_RETRY, timeout=1.0, fault_plan=plan
         )
+        start = time.monotonic()
         assert run_jobs(make_specs(), policy=policy) == serial_results
+        assert time.monotonic() - start < plan.hang_s
+
+    def test_queued_jobs_do_not_expire_while_waiting_for_a_worker(self):
+        # The timeout is a budget on the attempt, not on queue wait:
+        # with both workers hung longer than the timeout, the jobs
+        # queued behind them must not have their deadlines running —
+        # one attempt budget each is enough once the workers free up.
+        specs = make_specs(8)
+        plan = FaultPlan.script(
+            {(0, 1): FaultKind.HANG, (1, 1): FaultKind.HANG}, hang_s=3.0
+        )
+        policy = ExecutionPolicy(
+            jobs=2,
+            retry=RetryPolicy(max_attempts=2, base_delay=0.001),
+            timeout=1.0,
+            fault_plan=plan,
+        )
+        assert run_jobs(specs, policy=policy) == run_jobs(specs)
 
     def test_serial_hang_converts_synchronously(self, serial_results):
         # Serially there is no second process to sleep in; the runner
@@ -164,6 +189,40 @@ class TestPoolBreak:
         plan = FaultPlan.script({(1, 1): FaultKind.POOL_BREAK})
         policy = ExecutionPolicy(jobs=2, retry=FAST_RETRY, fault_plan=plan)
         assert run_jobs(make_specs(), policy=policy) == serial_results
+
+
+class TestCallbackFailures:
+    """A failing on_result callback is the caller's bug, not the job's.
+
+    It must propagate to the run_jobs caller — in particular a real
+    OSError (e.g. BrokenPipeError from a progress pipe) must never be
+    mistaken for the injected transient dispatch fault and absorbed in
+    an unbounded retry loop, nor burn the job's attempt budget.
+    """
+
+    @staticmethod
+    def _boom(seen):
+        def on_result(index, spec):
+            seen.append(index)
+            raise BrokenPipeError("downstream progress pipe closed")
+
+        return on_result
+
+    def test_serial_callback_oserror_propagates_without_retry(self):
+        seen = []
+        policy = ExecutionPolicy(retry=FAST_RETRY)
+        with pytest.raises(BrokenPipeError):
+            run_jobs(make_specs(2), policy=policy, on_result=self._boom(seen))
+        # Fired once for the job that completed; the failure was not
+        # retried into re-running the simulation or exhaustion.
+        assert seen == [0]
+
+    def test_pool_callback_oserror_propagates(self):
+        seen = []
+        policy = ExecutionPolicy(jobs=2, retry=FAST_RETRY)
+        with pytest.raises(BrokenPipeError):
+            run_jobs(make_specs(4), policy=policy, on_result=self._boom(seen))
+        assert len(seen) == 1
 
 
 class TestDeliveryGuarantees:

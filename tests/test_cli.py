@@ -55,6 +55,19 @@ class TestResilienceFlags:
         err = capsys.readouterr().err
         assert "blind" in err
 
+    def test_run_rejects_manifest_with_resilience(self, tmp_path, capsys):
+        # A resilient run is blind, so its manifest would lack the
+        # metrics section a serial --manifest run records — the two
+        # would spuriously diff under 'repro report'.  Rejected like
+        # --metrics/--trace rather than silently divergent.
+        manifest = str(tmp_path / "m.json")
+        assert main(
+            ["run", "leela", "--jobs", "2", "--manifest", manifest, *SCALE]
+        ) == 2
+        err = capsys.readouterr().err
+        assert "blind" in err
+        assert not (tmp_path / "m.json").exists()
+
     def test_resume_without_checkpoint_rejected(self, capsys):
         assert main(["run", "leela", "--resume", *SCALE]) == 2
         assert "checkpoint" in capsys.readouterr().err
