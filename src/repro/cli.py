@@ -8,16 +8,18 @@ Thin, scriptable access to the library's main flows:
   Chrome ``trace_event`` file (load it in Perfetto), ``--manifest``
   writes the run's self-describing JSON record;
 * ``report`` — diff two run manifests: cycle attribution of the delta
-  plus every counter that moved (:mod:`repro.obs.diff`);
+  plus every counter that moved (:mod:`repro.obs.diff`); with a single
+  manifest, render it — including the execution-telemetry fleet table
+  when the record carries one;
 * ``compare`` — several schemes on one workload, normalized;
 * ``profile`` — the SIP profiling run and instrumentation plan;
 * ``classify`` — the Table 1 classification of the models;
 * ``sweep`` — a one-parameter sweep (e.g. LOADLENGTH, Figure 7 style),
-  with ``--progress`` ETA ticks on stderr;
-* ``lint`` — the repo-specific static-analysis pass (rules RL001–RL008,
+  with ``--progress`` ETA + fleet-health ticks on stderr;
+* ``lint`` — the repo-specific static-analysis pass (rules RL001–RL009,
   see :mod:`repro.lint`).
 
-Flags are shared through two argparse *parent parsers* rather than
+Flags are shared through three argparse *parent parsers* rather than
 re-declared per command:
 
 * the **simulation parent** — ``--scale`` (default 16: EPC and
@@ -32,7 +34,18 @@ re-declared per command:
   byte-identical to the serial run; ``--retries``/``--timeout`` bound
   flaky or wedged jobs; ``--checkpoint DIR`` persists each completed
   run as a manifest record and ``--resume`` skips the ones already
-  there, so an interrupted sweep restarts where it died.
+  there, so an interrupted sweep restarts where it died;
+* the **observation parent** (``run``/``compare``/``sweep``) —
+  ``--metrics/--trace/--trace-capacity/--manifest``.  Since PR 5 these
+  compose with any execution policy: resilient jobs ship their metric
+  and trace dumps back with the digest-checked result envelope, the
+  parent merges them deterministically, and the execution layer itself
+  is recorded (attempts, retries, timeouts, injected faults,
+  checkpoint I/O) as the ``repro.exec-telemetry/1`` manifest block and
+  per-worker Chrome tracks.  The one genuinely unsupported combination
+  is ``--resume`` with any observation flag: checkpoint-restored runs
+  never executed, so they have no telemetry to ship, and a partially
+  observed record would silently diverge from a fully computed one.
 """
 
 from __future__ import annotations
@@ -117,6 +130,25 @@ def build_parser() -> argparse.ArgumentParser:
                              help="print per-point progress and ETA to "
                                   "stderr")
 
+    obs_parent = argparse.ArgumentParser(add_help=False)
+    obs_parent.add_argument("--metrics", action="store_true",
+                            dest="show_metrics",
+                            help="collect and print the metrics registry "
+                                 "dump (merged across workers under --jobs)")
+    obs_parent.add_argument("--trace", default=None, metavar="FILE",
+                            help="write a Chrome trace_event JSON of the run "
+                                 "(open in Perfetto or chrome://tracing); "
+                                 "under a resilient policy the export also "
+                                 "carries per-worker execution tracks")
+    obs_parent.add_argument("--trace-capacity", type=int, default=None,
+                            metavar="N",
+                            help="bound the trace ring buffer to the most "
+                                 "recent N events (default 1048576)")
+    obs_parent.add_argument("--manifest", default=None, metavar="FILE",
+                            help="write the run manifest JSON (config "
+                                 "snapshot, stats, metrics, execution "
+                                 "telemetry; inspect with 'repro report')")
+
     def add_common(p: argparse.ArgumentParser, workload: bool = True) -> None:
         if workload:
             p.add_argument("workload", choices=WORKLOAD_NAMES)
@@ -124,32 +156,24 @@ def build_parser() -> argparse.ArgumentParser:
     sub.add_parser("list", help="list workload models")
 
     p_run = sub.add_parser("run", help="run one workload under one scheme",
-                           parents=[sim_parent, exec_parent])
+                           parents=[sim_parent, exec_parent, obs_parent])
     add_common(p_run)
     p_run.add_argument("--scheme", choices=SCHEME_NAMES, default="baseline")
-    p_run.add_argument("--metrics", action="store_true", dest="show_metrics",
-                       help="collect and print the metrics registry dump")
-    p_run.add_argument("--trace", default=None, metavar="FILE",
-                       help="write a Chrome trace_event JSON of the run "
-                            "(open in Perfetto or chrome://tracing)")
-    p_run.add_argument("--trace-capacity", type=int, default=None,
-                       metavar="N",
-                       help="bound the trace ring buffer to the most "
-                            "recent N events (default 1048576)")
-    p_run.add_argument("--manifest", default=None, metavar="FILE",
-                       help="write the run manifest JSON (config snapshot, "
-                            "stats, metrics; diff two with 'repro report')")
 
     p_rep = sub.add_parser(
-        "report", help="diff two run manifests (cycle attribution)"
+        "report",
+        help="diff two run manifests, or render one (incl. exec telemetry)",
     )
     p_rep.add_argument("manifest_a", help="baseline manifest (A)")
-    p_rep.add_argument("manifest_b", help="comparison manifest (B)")
+    p_rep.add_argument("manifest_b", nargs="?", default=None,
+                       help="comparison manifest (B); omit to render A "
+                            "alone, with its execution-telemetry fleet "
+                            "table when present")
     p_rep.add_argument("--format", choices=("text", "json"), default="text",
                        dest="output_format")
 
     p_cmp = sub.add_parser("compare", help="compare schemes on one workload",
-                           parents=[sim_parent, exec_parent])
+                           parents=[sim_parent, exec_parent, obs_parent])
     add_common(p_cmp)
     p_cmp.add_argument(
         "--schemes",
@@ -172,7 +196,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_cls.add_argument("--seed", type=int, default=0)
 
     p_swp = sub.add_parser("sweep", help="sweep one config parameter",
-                           parents=[sim_parent, exec_parent])
+                           parents=[sim_parent, exec_parent, obs_parent])
     add_common(p_swp)
     p_swp.add_argument("--param", choices=SWEEPABLE, required=True)
     p_swp.add_argument("--values", required=True,
@@ -180,7 +204,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_swp.add_argument("--scheme", choices=SCHEME_NAMES, default="dfp-stop")
 
     p_lint = sub.add_parser(
-        "lint", help="repo-specific static analysis (rules RL001-RL008)"
+        "lint", help="repo-specific static analysis (rules RL001-RL009)"
     )
     p_lint.add_argument(
         "paths", nargs="*", default=["src"],
@@ -219,6 +243,59 @@ def _policy_from_args(args: argparse.Namespace) -> ExecutionPolicy:
     )
 
 
+def _wants_observation(args: argparse.Namespace) -> bool:
+    """Whether any of the shared observation flags was given."""
+    return (
+        args.show_metrics
+        or args.trace is not None
+        or args.manifest is not None
+    )
+
+
+def _guard_obs_flags(args: argparse.Namespace, command: str) -> None:
+    """Reject the one genuinely unsupported flag combination.
+
+    ``--resume`` serves completed jobs from checkpoint records, which
+    record results, not telemetry — a resumed "observed" run would
+    ship metrics/traces for the re-executed jobs only and silently
+    present the partial merge as the whole fleet's.  Everything else
+    (any ``--jobs/--retries/--timeout/--checkpoint`` combination)
+    composes with observation since PR 5.
+    """
+    if args.resume and _wants_observation(args):
+        raise ConfigError(
+            f"{command}: --metrics/--trace/--manifest cannot combine with "
+            "--resume: checkpoint-restored jobs never re-execute, so they "
+            "have no telemetry to ship and the merged dump would silently "
+            "cover only the re-run jobs — drop --resume to observe the "
+            "full fleet, or resume blind"
+        )
+
+
+def _telemetry_from_args(args: argparse.Namespace, *, ship_events: bool):
+    """Build the run's :class:`~repro.obs.ExecTelemetry` collector.
+
+    ``ship_events`` decides whether workers ship their full event ring
+    (single ``run`` wants the simulation timeline; ``compare``/``sweep``
+    traces carry the execution-layer tracks only — shipping N jobs'
+    event buffers is single-run tooling).
+    """
+    from repro.obs.exec_telemetry import ExecTelemetry, TelemetryConfig
+    from repro.obs.trace import DEFAULT_EVENT_CAPACITY
+
+    return ExecTelemetry(
+        TelemetryConfig(
+            metrics=args.show_metrics or args.manifest is not None,
+            trace=ship_events and args.trace is not None,
+            trace_capacity=(
+                args.trace_capacity
+                if args.trace_capacity is not None
+                else DEFAULT_EVENT_CAPACITY
+            ),
+        )
+    )
+
+
 def _cmd_list(_args: argparse.Namespace) -> int:
     groups = (
         ("large working set, regular", LARGE_REGULAR),
@@ -234,40 +311,32 @@ def _cmd_list(_args: argparse.Namespace) -> int:
 
 
 def _cmd_run(args: argparse.Namespace) -> int:
+    import dataclasses
+
     from repro.obs.chrome import write_chrome_trace
     from repro.obs.manifest import build_manifest, write_manifest
     from repro.obs.metrics import MetricsRegistry
-    from repro.obs.trace import DEFAULT_EVENT_CAPACITY, RingBufferSink
+    from repro.obs.trace import (
+        DEFAULT_EVENT_CAPACITY,
+        RingBufferSink,
+        event_from_dict,
+        register_sink_metrics,
+    )
 
     config = _config(args)
     workload = build_workload(args.workload, scale=args.scale)
     policy = _policy_from_args(args)
-    observed = (
-        args.show_metrics
-        or args.trace is not None
-        or args.manifest is not None
-    )
-    if policy.is_resilient and observed:
-        raise ConfigError(
-            "run: --metrics/--trace/--manifest need an in-process observed "
-            "run and cannot combine with --jobs/--retries/--timeout/"
-            "--checkpoint (resilient jobs run blind; a manifest written "
-            "from one would lack the metrics section a serial run records "
-            "— re-run the point without them)"
-        )
-    metrics = (
-        MetricsRegistry()
-        if args.show_metrics or args.manifest is not None
-        else None
-    )
+    observed = _wants_observation(args)
+    _guard_obs_flags(args, "run")
+    telemetry = None
     capture: Optional[RingBufferSink] = None
-    if args.trace is not None:
-        capture = RingBufferSink(
-            args.trace_capacity
-            if args.trace_capacity is not None
-            else DEFAULT_EVENT_CAPACITY
-        )
+    trace_events = ()
+    trace_dropped = 0
+    exec_spans = None
+    exec_block = None
     if policy.is_resilient:
+        if observed:
+            telemetry = _telemetry_from_args(args, ship_events=True)
         result = run_jobs(
             [
                 JobSpec(
@@ -279,8 +348,35 @@ def _cmd_run(args: argparse.Namespace) -> int:
                 )
             ],
             policy=policy,
+            telemetry=telemetry,
         )[0]
+        if telemetry is not None:
+            # The worker stripped its dumps off the result before
+            # digesting (passivity across the process boundary);
+            # re-attach the merged view for display and the manifest.
+            merged = telemetry.merged_metrics()
+            if merged:
+                result = dataclasses.replace(result, metrics=merged)
+            trace_events = tuple(
+                event_from_dict(record) for record in telemetry.events_for(0)
+            )
+            trace_dropped = telemetry.total_dropped
+            exec_spans = telemetry.spans
+            exec_block = telemetry.as_dict()
     else:
+        metrics = (
+            MetricsRegistry()
+            if args.show_metrics or args.manifest is not None
+            else None
+        )
+        if args.trace is not None:
+            capture = RingBufferSink(
+                args.trace_capacity
+                if args.trace_capacity is not None
+                else DEFAULT_EVENT_CAPACITY
+            )
+            if metrics is not None:
+                register_sink_metrics(metrics, capture)
         result = simulate(
             workload,
             config,
@@ -290,6 +386,9 @@ def _cmd_run(args: argparse.Namespace) -> int:
             metrics=metrics,
             tracer=capture,
         )
+        if capture is not None:
+            trace_events = tuple(capture.events)
+            trace_dropped = capture.dropped
     print(result.describe())
     tb = result.stats.time
     rows = [
@@ -310,13 +409,21 @@ def _cmd_run(args: argparse.Namespace) -> int:
             for name, value in result.metrics.items()
         ]
         print(format_table(["metric", "value"], metric_rows, title="metrics"))
-    if capture is not None:
-        records = write_chrome_trace(args.trace, capture.events)
-        note = f" ({capture.dropped:,} early events dropped)" if capture.dropped else ""
+    if args.trace is not None:
+        records = write_chrome_trace(
+            args.trace,
+            trace_events,
+            exec_spans=exec_spans,
+            dropped_events=trace_dropped,
+        )
+        note = f" ({trace_dropped:,} early events dropped)" if trace_dropped else ""
         print(f"\ntrace: {records} records -> {args.trace}{note}")
     if args.manifest is not None:
         write_manifest(
-            args.manifest, build_manifest(result, workload=workload)
+            args.manifest,
+            build_manifest(
+                result, workload=workload, exec_telemetry=exec_block
+            ),
         )
         print(f"manifest -> {args.manifest}")
     return 0
@@ -336,6 +443,8 @@ def _cmd_report(args: argparse.Namespace) -> int:
     from repro.obs.diff import diff_manifests, render_diff
     from repro.obs.manifest import load_manifest
 
+    if args.manifest_b is None:
+        return _report_single(load_manifest(args.manifest_a), args)
     diff = diff_manifests(
         load_manifest(args.manifest_a), load_manifest(args.manifest_b)
     )
@@ -346,9 +455,48 @@ def _cmd_report(args: argparse.Namespace) -> int:
     return 0
 
 
+def _report_single(manifest: dict, args: argparse.Namespace) -> int:
+    """Render one manifest: run summary, metrics health, exec telemetry."""
+    import json
+
+    from repro.obs.exec_telemetry import render_exec_report
+
+    if args.output_format == "json":
+        print(json.dumps(manifest, indent=2, sort_keys=True))
+        return 0
+    run = manifest.get("run", {})
+    runs = run.get("runs")
+    fleet = f", {runs} run(s)" if runs else ""
+    print(
+        f"{run.get('workload')} / {run.get('scheme')} "
+        f"[{run.get('input_set')}] seed={run.get('seed')}{fleet}"
+    )
+    print(f"total cycles: {run.get('total_cycles', 0):,}")
+    metrics = manifest.get("metrics") or {}
+    if metrics:
+        dropped = metrics.get("trace.dropped_events", 0)
+        dropped_note = (
+            f"; {dropped:,} trace event(s) dropped at capacity"
+            if dropped
+            else ""
+        )
+        print(f"metrics: {len(metrics)} recorded{dropped_note}")
+    block = manifest.get("exec_telemetry")
+    if block is not None:
+        print()
+        print(render_exec_report(block))
+    return 0
+
+
 def _cmd_compare(args: argparse.Namespace) -> int:
     config = _config(args)
     schemes = [s.strip() for s in args.schemes.split(",") if s.strip()]
+    _guard_obs_flags(args, "compare")
+    telemetry = (
+        _telemetry_from_args(args, ship_events=False)
+        if _wants_observation(args)
+        else None
+    )
     results = compare_schemes(
         WorkloadSpec(args.workload, args.scale),
         config,
@@ -356,6 +504,7 @@ def _cmd_compare(args: argparse.Namespace) -> int:
         seed=args.seed,
         input_set=args.input_set,
         policy=_policy_from_args(args),
+        telemetry=telemetry,
     )
     baseline_name = "baseline" if "baseline" in results else schemes[0]
     table = summarize_results(
@@ -373,7 +522,59 @@ def _cmd_compare(args: argparse.Namespace) -> int:
             title=f"{args.workload} @ scale {args.scale}",
         )
     )
+    _emit_fleet_outputs(
+        args, telemetry, [results[name] for name in schemes], schemes
+    )
     return 0
+
+
+def _emit_fleet_outputs(
+    args: argparse.Namespace, telemetry, results, labels
+) -> None:
+    """Shared ``--metrics/--trace/--manifest`` emission (compare/sweep).
+
+    ``results``/``labels`` are in job submission order.  The trace is
+    execution-layer only (runner + worker-lane tracks): fleet commands
+    do not ship per-job simulation event buffers, that is single-run
+    tooling (``repro run --trace``).
+    """
+    if telemetry is None:
+        return
+    from repro.obs.chrome import write_chrome_trace
+    from repro.obs.exec_telemetry import build_fleet_manifest
+    from repro.obs.manifest import write_manifest
+
+    if args.show_metrics:
+        merged = telemetry.merged_metrics()
+        if merged:
+            print()
+            metric_rows = [
+                [name, _render_metric_value(value)]
+                for name, value in merged.items()
+            ]
+            print(
+                format_table(
+                    ["metric", "value"],
+                    metric_rows,
+                    title="metrics (merged across jobs)",
+                )
+            )
+    if args.trace is not None:
+        records = write_chrome_trace(
+            args.trace,
+            (),
+            exec_spans=telemetry.spans,
+            dropped_events=telemetry.total_dropped,
+        )
+        print(f"\nexec trace: {records} records -> {args.trace}")
+    if args.manifest is not None:
+        write_manifest(
+            args.manifest,
+            build_fleet_manifest(
+                list(results), telemetry=telemetry, labels=list(labels)
+            ),
+        )
+        print(f"fleet manifest -> {args.manifest}")
 
 
 def _cmd_profile(args: argparse.Namespace) -> int:
@@ -444,6 +645,12 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     config = _config(args)
     values = [_parse_value(args.param, v) for v in args.values.split(",")]
     workload = build_workload(args.workload, scale=args.scale)
+    _guard_obs_flags(args, "sweep")
+    telemetry = (
+        _telemetry_from_args(args, ship_events=False)
+        if _wants_observation(args)
+        else None
+    )
     base = simulate(
         workload, config, "baseline", seed=args.seed, input_set=args.input_set
     )
@@ -459,6 +666,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         input_set=args.input_set,
         progress=progress,
         policy=_policy_from_args(args),
+        telemetry=telemetry,
     )
     series = [
         (
@@ -475,6 +683,9 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
                 f"(normalized to baseline, lower is better)"
             ),
         )
+    )
+    _emit_fleet_outputs(
+        args, telemetry, [point.results[args.scheme] for point in points], values
     )
     return 0
 

@@ -1,4 +1,4 @@
-"""The repo-specific lint rules, RL001–RL008.
+"""The repo-specific lint rules, RL001–RL009.
 
 Each rule mechanizes one invariant the reproduction depends on:
 
@@ -35,6 +35,13 @@ Each rule mechanizes one invariant the reproduction depends on:
   resilience layer's :func:`repro.robust.sleep` is the one sanctioned
   delay primitive (retry backoff, injected hangs), so every real wait
   in the tree is greppable in one package.
+* **RL009** — execution-layer spans go through
+  :mod:`repro.obs.exec_telemetry`.  An ad-hoc ``{"kind": ...,
+  "job": ...}`` event dict built inside ``repro.robust`` or the job
+  runner bypasses the ``ExecTelemetry`` collector, so the span never
+  reaches the manifest block, the fleet report or the Chrome export —
+  and its shape drifts from the ``repro.exec-telemetry/1`` schema the
+  consumers validate.
 """
 
 from __future__ import annotations
@@ -55,6 +62,7 @@ __all__ = [
     "DirectPrint",
     "StrayMultiprocessing",
     "BareSleep",
+    "AdHocExecSpan",
 ]
 
 #: Byte values that re-encode the platform's EPC geometry.
@@ -536,4 +544,61 @@ class BareSleep(LintRule):
             self._flag(node, "time.sleep() call")
         elif isinstance(func, ast.Name) and func.id in self._sleep_aliases:
             self._flag(node, f"call of {func.id}() (imported from time)")
+        self.generic_visit(node)
+
+
+#: Key sets that mark a dict literal as a hand-rolled execution span.
+_SPAN_MARKER_KEY = "kind"
+_SPAN_CONTEXT_KEYS = {"job", "attempt"}
+
+
+@register_rule
+class AdHocExecSpan(LintRule):
+    """RL009: hand-rolled execution-span dicts in the execution layer."""
+
+    code = "RL009"
+    name = "ad-hoc-exec-span"
+    description = (
+        "ad-hoc {'kind': ..., 'job'/'attempt': ...} event dict in "
+        "repro.robust or the job runner — execution-layer spans must go "
+        "through repro.obs.exec_telemetry (ExecTelemetry) so they reach "
+        "the manifest block, fleet report and Chrome export"
+    )
+
+    @classmethod
+    def applies_to(cls, path: Path) -> bool:
+        # Only the execution layer is policed: the resilience package
+        # and the deterministic job runner.  exec_telemetry itself (in
+        # repro.obs) is the sanctioned producer of these shapes.
+        parts = path.parts
+        if "repro" not in parts:
+            return False
+        if "robust" in parts:
+            return True
+        return path.name == "parallel.py" and len(parts) >= 2 and parts[-2] == "sim"
+
+    def _flag(self, node: ast.AST) -> None:
+        self.report(
+            node,
+            "ad-hoc execution-span dict; emit spans through the "
+            "repro.obs.exec_telemetry API (ExecTelemetry.attempt_started "
+            "and friends) so the schema stays uniform",
+        )
+
+    def visit_Dict(self, node: ast.Dict) -> None:
+        keys = {
+            key.value
+            for key in node.keys
+            if isinstance(key, ast.Constant) and isinstance(key.value, str)
+        }
+        if _SPAN_MARKER_KEY in keys and keys & _SPAN_CONTEXT_KEYS:
+            self._flag(node)
+        self.generic_visit(node)
+
+    def visit_Call(self, node: ast.Call) -> None:
+        func = node.func
+        if isinstance(func, ast.Name) and func.id == "dict":
+            keywords = {kw.arg for kw in node.keywords if kw.arg is not None}
+            if _SPAN_MARKER_KEY in keywords and keywords & _SPAN_CONTEXT_KEYS:
+                self._flag(node)
         self.generic_visit(node)

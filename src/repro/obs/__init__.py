@@ -17,7 +17,12 @@ bit-identical with observability on or off):
 * **run manifests** (:mod:`repro.obs.manifest`, :mod:`repro.obs.diff`)
   — self-describing JSON records of one run (provenance, config,
   stats, metrics) and the ``repro report`` cycle-attribution diff
-  between two of them.
+  between two of them;
+* **execution telemetry** (:mod:`repro.obs.exec_telemetry`) —
+  worker-shipped metric/trace payloads and the parent-side collector
+  of execution-layer spans (attempts, retries, timeouts, faults,
+  checkpoint I/O), exported as the ``repro.exec-telemetry/1`` manifest
+  block, the fleet report table and per-worker Chrome tracks.
 """
 
 from repro.obs.chrome import (
@@ -27,6 +32,18 @@ from repro.obs.chrome import (
     write_chrome_trace,
 )
 from repro.obs.diff import diff_manifests, render_diff
+from repro.obs.exec_telemetry import (
+    EXEC_TELEMETRY_SCHEMA,
+    ExecSpan,
+    ExecTelemetry,
+    SpanKind,
+    TelemetryConfig,
+    WorkerTelemetry,
+    build_fleet_manifest,
+    merge_metric_dumps,
+    render_exec_report,
+    validate_exec_telemetry,
+)
 from repro.obs.manifest import (
     MANIFEST_SCHEMA,
     build_manifest,
@@ -51,7 +68,9 @@ from repro.obs.trace import (
     RingBufferSink,
     Tracer,
     TraceSink,
+    event_from_dict,
     event_to_dict,
+    register_sink_metrics,
 )
 
 __all__ = [
@@ -68,6 +87,18 @@ __all__ = [
     "Tracer",
     "DEFAULT_EVENT_CAPACITY",
     "event_to_dict",
+    "event_from_dict",
+    "register_sink_metrics",
+    "EXEC_TELEMETRY_SCHEMA",
+    "TelemetryConfig",
+    "WorkerTelemetry",
+    "SpanKind",
+    "ExecSpan",
+    "ExecTelemetry",
+    "merge_metric_dumps",
+    "render_exec_report",
+    "validate_exec_telemetry",
+    "build_fleet_manifest",
     "chrome_trace",
     "write_chrome_trace",
     "validate_chrome_trace",

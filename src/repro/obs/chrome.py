@@ -18,6 +18,15 @@ Timestamps: the trace format counts microseconds, so virtual cycles
 are converted at the paper platform's clock (3.5 GHz by default) and
 rounded to nanosecond precision; each event also carries its raw
 cycle stamps in ``args`` so nothing is lost to rounding.
+
+Execution-layer spans (:class:`~repro.obs.exec_telemetry.ExecSpan`,
+PR 5) export next to the simulation tracks: one ``exec-runner`` track
+(tid 10) for runner bookkeeping — queue waits, retry backoffs,
+checkpoint writes, resume hits, pool degradation — and one
+``worker-N`` track per occupied worker lane (tid 11 + lane) carrying
+attempt spans with timeout-abandon and injected-fault instants.  Those
+spans are wall-clock seconds, not virtual cycles; they are normalized
+to the earliest span start so both timelines begin near zero.
 """
 
 from __future__ import annotations
@@ -61,6 +70,11 @@ _TID_OF_KIND: Dict[EventKind, int] = {
     EventKind.SCAN: _SCAN_TID,
 }
 
+#: Execution-layer track (tid) assignment: the runner's bookkeeping
+#: track, then one track per worker lane above it.
+_EXEC_RUNNER_TID = 10
+_EXEC_WORKER_TID0 = 11
+
 #: Keys every emitted trace event must carry (spec minimum).
 _REQUIRED_KEYS = ("name", "ph", "pid", "tid", "ts")
 
@@ -70,17 +84,93 @@ def _cycles_to_us(cycles: int, ghz: float) -> float:
     return round(cycles / (ghz * 1_000.0), 3)
 
 
+def _exec_records(exec_spans, pid: int) -> List[Dict[str, object]]:
+    """Render execution spans as runner/worker-lane track records."""
+    from repro.obs.exec_telemetry import SpanKind
+
+    spans = list(exec_spans)
+    records: List[Dict[str, object]] = [
+        {
+            "name": "thread_name",
+            "ph": "M",
+            "pid": pid,
+            "tid": _EXEC_RUNNER_TID,
+            "ts": 0,
+            "args": {"name": "exec-runner"},
+        }
+    ]
+    worker_kinds = (
+        SpanKind.ATTEMPT,
+        SpanKind.TIMEOUT_ABANDON,
+        SpanKind.FAULT_INJECTED,
+    )
+    lanes = sorted({s.lane for s in spans if s.kind in worker_kinds})
+    for lane in lanes:
+        records.append(
+            {
+                "name": "thread_name",
+                "ph": "M",
+                "pid": pid,
+                "tid": _EXEC_WORKER_TID0 + lane,
+                "ts": 0,
+                "args": {"name": f"worker-{lane}"},
+            }
+        )
+    if not spans:
+        return records
+    origin = min(s.start_s for s in spans)
+    interval_kinds = (
+        SpanKind.QUEUE_WAIT,
+        SpanKind.ATTEMPT,
+        SpanKind.RETRY_BACKOFF,
+    )
+    for span in spans:
+        tid = (
+            _EXEC_WORKER_TID0 + span.lane
+            if span.kind in worker_kinds
+            else _EXEC_RUNNER_TID
+        )
+        args: Dict[str, object] = {"job": span.job, "attempt": span.attempt}
+        if span.outcome:
+            args["outcome"] = span.outcome
+        if span.detail:
+            args["detail"] = span.detail
+        record: Dict[str, object] = {
+            "name": span.kind.value,
+            "cat": "exec",
+            "pid": pid,
+            "tid": tid,
+            "ts": round((span.start_s - origin) * 1e6, 3),
+            "args": args,
+        }
+        if span.kind in interval_kinds:
+            record["ph"] = "X"
+            record["dur"] = round(max(span.duration_s, 0.0) * 1e6, 3)
+        else:
+            record["ph"] = "i"
+            record["s"] = "t"
+        records.append(record)
+    return records
+
+
 def chrome_trace(
     events: Iterable[TimelineEvent],
     *,
     pid: int = 1,
     ghz: float = 3.5,
     process_name: str = "repro-sim",
+    exec_spans=None,
+    dropped_events: int = 0,
 ) -> Dict[str, object]:
     """Render ``events`` as a Chrome trace_event JSON document.
 
     Thread-name metadata for all three tracks is always emitted so
     the track layout is stable regardless of which kinds occurred.
+    ``exec_spans`` (a sequence of
+    :class:`~repro.obs.exec_telemetry.ExecSpan`) adds the
+    execution-layer runner/worker tracks; ``dropped_events`` surfaces a
+    ring buffer's eviction count in ``otherData`` so a truncated trace
+    says so in the artifact itself.
     """
     if ghz <= 0:
         raise ObsError(f"clock rate must be positive, got {ghz}")
@@ -128,10 +218,18 @@ def chrome_trace(
             record["ph"] = "i"
             record["s"] = "t"  # thread-scoped instant
         trace_events.append(record)
+    if exec_spans is not None:
+        trace_events.extend(_exec_records(exec_spans, pid))
+    other_data: Dict[str, object] = {
+        "clock_ghz": ghz,
+        "format": "repro.chrome-trace/1",
+    }
+    if dropped_events:
+        other_data["dropped_events"] = dropped_events
     return {
         "traceEvents": trace_events,
         "displayTimeUnit": "ms",
-        "otherData": {"clock_ghz": ghz, "format": "repro.chrome-trace/1"},
+        "otherData": other_data,
     }
 
 
@@ -141,13 +239,21 @@ def write_chrome_trace(
     *,
     pid: int = 1,
     ghz: float = 3.5,
+    exec_spans=None,
+    dropped_events: int = 0,
 ) -> int:
     """Write the Chrome trace for ``events`` to ``path``.
 
     Returns the number of trace records written (including the
     metadata records).
     """
-    document = chrome_trace(events, pid=pid, ghz=ghz)
+    document = chrome_trace(
+        events,
+        pid=pid,
+        ghz=ghz,
+        exec_spans=exec_spans,
+        dropped_events=dropped_events,
+    )
     payload = json.dumps(document, sort_keys=True, indent=1)
     Path(path).write_text(payload + "\n", encoding="utf-8")
     return len(document["traceEvents"])  # type: ignore[arg-type]

@@ -76,12 +76,15 @@ def build_manifest(
     *,
     workload: Optional["Workload"] = None,
     extra: Optional[Dict[str, object]] = None,
+    exec_telemetry: Optional[Dict[str, object]] = None,
 ) -> Dict[str, object]:
     """Build the manifest dict for one :class:`~repro.sim.results.RunResult`.
 
     ``workload`` enriches the record with the workload's shape;
     ``extra`` is carried through verbatim (experiment labels, sweep
-    coordinates, ...).
+    coordinates, ...); ``exec_telemetry`` embeds the deterministic
+    ``repro.exec-telemetry/1`` block of the run's execution
+    (:meth:`~repro.obs.exec_telemetry.ExecTelemetry.as_dict`).
     """
     from repro import __version__
 
@@ -110,6 +113,8 @@ def build_manifest(
         }
     if extra:
         manifest["extra"] = dict(extra)
+    if exec_telemetry is not None:
+        manifest["exec_telemetry"] = dict(exec_telemetry)
     return manifest
 
 
@@ -123,8 +128,11 @@ def write_manifest(path: Union[str, Path], manifest: Dict[str, object]) -> Path:
 
 
 #: Sections excluded from the integrity digest: provenance varies
-#: with the checkout (git SHA), not with what the run computed.
-_DIGEST_EXCLUDE: Tuple[str, ...] = ("generator",)
+#: with the checkout (git SHA), not with what the run computed — and
+#: execution telemetry records how a run *executed* (real timeouts or
+#: pool breaks legitimately vary the tallies across machines), never
+#: what it computed.
+_DIGEST_EXCLUDE: Tuple[str, ...] = ("generator", "exec_telemetry")
 
 
 def manifest_digest(
@@ -230,4 +238,8 @@ def load_manifest(path: Union[str, Path]) -> Dict[str, object]:
     for key in ("run", "stats", "time_breakdown"):
         if key not in document:
             raise ObsError(f"manifest {target} lacks required section {key!r}")
+    if "exec_telemetry" in document:
+        from repro.obs.exec_telemetry import validate_exec_telemetry
+
+        validate_exec_telemetry(document["exec_telemetry"])
     return document

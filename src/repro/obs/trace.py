@@ -27,7 +27,7 @@ from collections import deque
 from pathlib import Path
 from typing import IO, Deque, Iterable, Iterator, List, Optional, Union
 
-from repro.enclave.events import TimelineEvent
+from repro.enclave.events import EventKind, TimelineEvent
 from repro.errors import ObsError
 
 __all__ = [
@@ -37,6 +37,8 @@ __all__ = [
     "Tracer",
     "DEFAULT_EVENT_CAPACITY",
     "event_to_dict",
+    "event_from_dict",
+    "register_sink_metrics",
 ]
 
 #: Default capacity of the driver's event ring buffer: large enough for
@@ -54,6 +56,44 @@ def event_to_dict(event: TimelineEvent) -> dict:
     if event.page >= 0:
         record["page"] = event.page
     return record
+
+
+def event_from_dict(record: dict) -> TimelineEvent:
+    """Rebuild a :class:`TimelineEvent` from its ``event_to_dict`` form.
+
+    The inverse used when events cross a process boundary (a worker's
+    shipped ring-buffer contents) and the parent wants to feed them to
+    the Chrome writer as if it had captured them locally.
+    """
+    try:
+        return TimelineEvent(
+            kind=EventKind(record["kind"]),
+            start=record["start"],
+            end=record["end"],
+            page=record.get("page", -1),
+        )
+    except (KeyError, ValueError) as exc:
+        raise ObsError(f"malformed serialized event {record!r}: {exc}") from exc
+
+
+def register_sink_metrics(registry, sink: "RingBufferSink") -> None:
+    """Expose a ring buffer's capture/drop counts as callback gauges.
+
+    Wires ``trace.captured_events`` and ``trace.dropped_events`` into
+    ``registry`` (a :class:`~repro.obs.metrics.MetricsRegistry`), so a
+    dump taken at any time — including a worker's end-of-job dump —
+    says how complete its shipped trace is.
+    """
+    registry.gauge(
+        "trace.captured_events",
+        "events currently held by the trace ring buffer",
+        fn=lambda: len(sink),
+    )
+    registry.gauge(
+        "trace.dropped_events",
+        "events evicted from the trace ring buffer at capacity",
+        fn=lambda: sink.dropped,
+    )
 
 
 class TraceSink:

@@ -99,6 +99,23 @@ class ExecutionPolicy:
             or self.fault_plan is not None
         )
 
+    def summary(self) -> dict:
+        """Deterministic policy fingerprint for telemetry manifests.
+
+        Plain JSON-able values only (no paths, no callables): the
+        checkpoint directory is summarized as a boolean because its
+        absolute path would vary across machines and break manifest
+        byte-identity.
+        """
+        return {
+            "jobs": self.jobs,
+            "max_attempts": self.max_attempts,
+            "timeout_s": self.effective_timeout,
+            "checkpointing": self.checkpoint_dir is not None,
+            "resume": self.resume,
+            "fault_plan": self.fault_plan is not None,
+        }
+
     def with_progress(
         self, progress: Optional[Callable[..., None]]
     ) -> "ExecutionPolicy":

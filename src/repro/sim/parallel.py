@@ -39,12 +39,22 @@ Properties the drivers rely on:
   these failure modes on schedule, which is how the machinery is
   tested without real flakiness.
 
-Workers run *blind*: no metrics registry, no trace sink, no event
-recording.  Observability in this codebase is passive by contract
-(observed and blind runs compare equal), so attaching instruments in
-workers would only produce N disconnected registries that cannot be
-merged meaningfully; callers who want an observed run re-run the one
-point they care about with :func:`repro.sim.engine.simulate` directly.
+Workers run blind by default, but an observed run is one kwarg away:
+``run_jobs(..., telemetry=ExecTelemetry(TelemetryConfig(...)))`` ships
+a picklable :class:`~repro.obs.exec_telemetry.TelemetryConfig` with
+every submission, each worker runs its job under a private metrics
+registry and/or bounded event ring, and the dumps come back as a
+:class:`~repro.obs.exec_telemetry.WorkerTelemetry` payload beside the
+result.  Passivity survives the process boundary: the worker strips
+the dumps off the :class:`~repro.sim.results.RunResult` *before*
+computing the integrity digest, so results, digests and checkpoint
+records are byte-identical to a blind run, and the parent merges
+payloads deterministically in submission order.  The runner also
+narrates its own schedule (queue waits, attempts, backoffs, timeout
+abandons, injected faults, checkpoint I/O) into the same collector as
+typed execution spans — emitted only through the
+:mod:`repro.obs.exec_telemetry` API (lint rule RL009), never as
+ad-hoc event dicts.
 
 This module is the single place in the tree allowed to touch
 ``concurrent.futures``/``multiprocessing`` (lint rule RL007): pool
@@ -70,6 +80,11 @@ from repro.errors import (
     JobTimeoutError,
     ParallelExecutionError,
     ResultIntegrityError,
+)
+from repro.obs.exec_telemetry import (
+    ExecTelemetry,
+    TelemetryConfig,
+    WorkerTelemetry,
 )
 from repro.robust import (
     CheckpointStore,
@@ -171,13 +186,17 @@ class JobSpec:
         )
 
 
-def run_job(spec: JobSpec) -> RunResult:
+def run_job(spec: JobSpec, *, metrics=None, tracer=None) -> RunResult:
     """Execute one job in the current process.
 
     This is the pool's target function and the ``jobs=1`` fallback.
     The workload's trace is served from this process's shared
     materialization cache, so a worker running several schemes of the
-    same point walks the generator once.
+    same point walks the generator once.  ``metrics``/``tracer`` are
+    the engine's passive observers
+    (:class:`~repro.obs.metrics.MetricsRegistry`,
+    :class:`~repro.obs.trace.TraceSink`); attaching them changes no
+    result byte.
     """
     from repro.sim.engine import simulate
     from repro.sim.tracecache import shared_trace_cache
@@ -195,15 +214,24 @@ def run_job(spec: JobSpec) -> RunResult:
         sip_plan=spec.sip_plan,
         trace=trace,
         max_accesses=spec.max_accesses,
+        metrics=metrics,
+        tracer=tracer,
     )
 
 
 @dataclass(frozen=True)
 class _Envelope:
-    """A worker's result plus the integrity digest it computed at source."""
+    """A worker's result plus the integrity digest it computed at source.
+
+    ``telemetry`` rides along *outside* the digest: the worker strips
+    the observability dumps off the result before digesting, so an
+    observed result's digest (and any checkpoint record built from it)
+    is byte-identical to a blind run's.
+    """
 
     result: RunResult
     digest: str
+    telemetry: Optional[WorkerTelemetry] = None
 
 
 def _enveloped_run(
@@ -213,6 +241,7 @@ def _enveloped_run(
     attempt: int,
     *,
     in_worker: bool,
+    obs: Optional[TelemetryConfig] = None,
 ) -> _Envelope:
     """Run one job attempt and wrap its result with a source digest.
 
@@ -221,6 +250,11 @@ def _enveloped_run(
     result corruption is applied *after* the digest was computed —
     exactly the corrupted-in-transit scenario the integrity check
     exists to catch.
+
+    With an enabled ``obs`` config the job runs under a private
+    metrics registry / bounded event ring; the dumps are detached from
+    the result (and so excluded from the digest) and shipped as a
+    :class:`~repro.obs.exec_telemetry.WorkerTelemetry` payload.
     """
     from repro.obs.manifest import build_manifest, manifest_digest
 
@@ -231,20 +265,57 @@ def _enveloped_run(
             in_worker=in_worker,
             hang_s=plan.hang_s if plan is not None else 0.5,
         )
-    result = run_job(spec)
+    registry = sink = None
+    if obs is not None and obs.enabled:
+        if obs.metrics:
+            from repro.obs.metrics import MetricsRegistry
+
+            registry = MetricsRegistry()
+        if obs.trace:
+            from repro.obs.trace import RingBufferSink
+
+            sink = RingBufferSink(obs.trace_capacity)
+        if registry is not None and sink is not None:
+            from repro.obs.trace import register_sink_metrics
+
+            register_sink_metrics(registry, sink)
+    result = run_job(spec, metrics=registry, tracer=sink)
+    telemetry: Optional[WorkerTelemetry] = None
+    if registry is not None or sink is not None:
+        from repro.obs.trace import event_to_dict
+
+        telemetry = WorkerTelemetry(
+            metrics=result.metrics,
+            events=(
+                tuple(event_to_dict(event) for event in sink.events)
+                if sink is not None
+                else ()
+            ),
+            dropped=sink.dropped if sink is not None else 0,
+        )
+        # Strip the observability payload before digesting: passivity
+        # means the observed result — and therefore its digest and any
+        # checkpoint record — must be the blind run's bytes.
+        result = dataclasses.replace(result, metrics=None, events=None)
     digest = manifest_digest(build_manifest(result))
     if fault is FaultKind.CORRUPT:
         result = dataclasses.replace(
             result, total_cycles=result.total_cycles + 1
         )
-    return _Envelope(result=result, digest=digest)
+    return _Envelope(result=result, digest=digest, telemetry=telemetry)
 
 
 def _pool_entry(
-    spec: JobSpec, plan: Optional[FaultPlan], job_index: int, attempt: int
+    spec: JobSpec,
+    plan: Optional[FaultPlan],
+    job_index: int,
+    attempt: int,
+    obs: Optional[TelemetryConfig] = None,
 ) -> _Envelope:
     """Top-level pool target (must be picklable by name)."""
-    return _enveloped_run(spec, plan, job_index, attempt, in_worker=True)
+    return _enveloped_run(
+        spec, plan, job_index, attempt, in_worker=True, obs=obs
+    )
 
 
 def _warm_trace_cache(specs: Sequence[JobSpec]) -> None:
@@ -293,10 +364,22 @@ class _JobRunner:
         specs: List[JobSpec],
         policy: ExecutionPolicy,
         on_result: Optional[Callable[[int, JobSpec], None]],
+        telemetry: Optional[ExecTelemetry] = None,
     ) -> None:
         self.specs = specs
         self.policy = policy
         self.on_result = on_result
+        #: Span/tally collector.  A private throwaway one keeps every
+        #: narration site unconditional; workers are asked to observe
+        #: only when the *caller's* collector requests it.
+        self.telemetry = telemetry if telemetry is not None else ExecTelemetry()
+        self.worker_obs: Optional[TelemetryConfig] = (
+            self.telemetry.config
+            if telemetry is not None and self.telemetry.config.enabled
+            else None
+        )
+        #: Worker-lane assignment per in-flight future (Chrome tracks).
+        self._lane: Dict["futures.Future", int] = {}
         self.slots: List[Optional[RunResult]] = [None] * len(specs)
         self.delivered: Set[int] = set()
         self.store = (
@@ -316,18 +399,32 @@ class _JobRunner:
 
     # -- delivery ----------------------------------------------------
 
-    def _accept(self, index: int, result: RunResult) -> None:
-        """Record a finished job: slot, checkpoint, one on_result."""
+    def _accept(
+        self,
+        index: int,
+        result: RunResult,
+        worker: Optional[WorkerTelemetry] = None,
+    ) -> None:
+        """Record a finished job: slot, checkpoint, one on_result.
+
+        The delivered-set guard also bounds telemetry delivery: a
+        straggling result of an abandoned attempt never merges its
+        shipped metrics/events, so observed runs are exactly-once in
+        the same sense results are.
+        """
         if index in self.delivered:
             return
         self.slots[index] = result
         self.delivered.add(index)
+        if worker is not None:
+            self.telemetry.deliver_worker(index, worker)
         if self.store is not None:
             from repro.obs.manifest import build_manifest
 
             self.store.store(
                 self.specs[index].checkpoint_key(), build_manifest(result)
             )
+            self.telemetry.checkpoint_written(index)
         if self.on_result is not None:
             self.on_result(index, self.specs[index])
 
@@ -371,6 +468,7 @@ class _JobRunner:
                     f"different run ({result.workload}/{result.scheme}/"
                     f"seed={result.seed}/{result.input_set})"
                 )
+            self.telemetry.resume_hit(index)
             self._accept(index, result)
 
     def _exhausted(
@@ -400,6 +498,7 @@ class _JobRunner:
     def _run_one_serial(self, index: int) -> None:
         """Full attempt loop for one job, in-process."""
         spec = self.specs[index]
+        self.telemetry.job_enqueued(index, 1)
         attempt = 0
         # Injected dispatch failures fire once per attempt coordinate;
         # the immediate re-dispatch of the same attempt must clear.
@@ -412,6 +511,8 @@ class _JobRunner:
                     if self.plan is not None
                     else None
                 )
+                if fault is not None:
+                    self.telemetry.fault_injected(index, attempt, fault)
                 if (
                     fault is FaultKind.SUBMIT_ERROR
                     and (index, attempt) not in absorbed_submits
@@ -423,10 +524,14 @@ class _JobRunner:
                     raise _InjectedDispatchError(
                         "injected transient submission failure"
                     )
+                self.telemetry.attempt_started(index, attempt, 0)
                 if fault is FaultKind.HANG and self.timeout is not None:
                     # Sleeping out a hang in the only process there is
                     # would turn a simulated hang into a real one; the
                     # serial path converts it synchronously.
+                    self.telemetry.attempt_abandoned(
+                        index, attempt, detail="injected hang"
+                    )
                     raise JobTimeoutError(
                         f"job {spec.describe()} exceeded its "
                         f"{self.timeout}s timeout (injected hang)",
@@ -434,7 +539,8 @@ class _JobRunner:
                         attempts=attempt,
                     )
                 envelope = _enveloped_run(
-                    spec, self.plan, index, attempt, in_worker=False
+                    spec, self.plan, index, attempt, in_worker=False,
+                    obs=self.worker_obs,
                 )
                 result = self._verify(index, envelope)
             except _InjectedDispatchError:
@@ -443,6 +549,7 @@ class _JobRunner:
                 # OSError out of the simulation is a job failure with a
                 # bounded attempt budget like any other exception.
                 attempt -= 1
+                self.telemetry.backoff(index, attempt, self.retry.delay_for(1))
                 self.retry.backoff(1)
                 continue
             except ParallelExecutionError as exc:
@@ -455,10 +562,17 @@ class _JobRunner:
                 # Delivery sits outside the try: a failure in the
                 # on_result callback must propagate to the caller, not
                 # masquerade as a job failure and burn its attempts.
-                self._accept(index, result)
+                self.telemetry.attempt_finished(index, attempt, "ok")
+                self._accept(index, result, worker=envelope.telemetry)
                 return
+            self.telemetry.attempt_finished(
+                index, attempt, "failed", detail=str(last)
+            )
             if attempt >= self.retry.max_attempts:
                 raise self._exhausted(index, attempt, last) from last
+            self.telemetry.backoff(
+                index, attempt, self.retry.delay_for(attempt)
+            )
             self.retry.backoff(attempt)
 
     def _run_serial(self, indices: Sequence[int]) -> None:
@@ -478,7 +592,12 @@ class _JobRunner:
                 ):
                     raise OSError("injected transient submission failure")
                 return pool.submit(
-                    _pool_entry, self.specs[index], self.plan, index, attempt
+                    _pool_entry,
+                    self.specs[index],
+                    self.plan,
+                    index,
+                    attempt,
+                    self.worker_obs,
                 )
             except futures.BrokenExecutor:
                 raise
@@ -528,6 +647,8 @@ class _JobRunner:
         queue: Deque[Tuple[int, int]] = collections.deque(
             (index, 1) for index in indices
         )
+        for index in indices:
+            self.telemetry.job_enqueued(index, 1)
         pool = futures.ProcessPoolExecutor(max_workers=self.policy.jobs)
         try:
             try:
@@ -572,12 +693,34 @@ class _JobRunner:
             # degrade to serial in-process execution of whatever has
             # not finished yet.
             self.degraded = True
+            self.telemetry.degraded()
             self._run_serial(self._pending_indices())
 
     def _capacity(self, pending: Dict) -> int:
         """Free worker slots: pool width minus in-flight and wedged."""
         wedged = sum(1 for future in self.abandoned if not future.done())
         return self.policy.jobs - len(pending) - wedged
+
+    def _free_lane(self, pending: Dict) -> int:
+        """Lowest worker lane not occupied by an in-flight or wedged attempt.
+
+        Lanes are a parent-side fiction for the Chrome trace (one track
+        per concurrently-occupied slot, not per OS process), but they
+        obey the same occupancy rule as :meth:`_capacity`: a worker
+        wedged on an abandoned attempt keeps its lane until it finishes.
+        """
+        occupied = {
+            self._lane[future] for future in pending if future in self._lane
+        }
+        occupied.update(
+            self._lane[future]
+            for future in self.abandoned
+            if not future.done() and future in self._lane
+        )
+        lane = 0
+        while lane in occupied:
+            lane += 1
+        return lane
 
     def _fill(
         self,
@@ -588,7 +731,16 @@ class _JobRunner:
         """Submit queued attempts while worker slots are free."""
         while queue and self._capacity(pending) > 0:
             index, attempt = queue.popleft()
+            fault = (
+                self.plan.fault_for(index, attempt)
+                if self.plan is not None
+                else None
+            )
+            if fault is not None:
+                self.telemetry.fault_injected(index, attempt, fault)
             future = self._submit(pool, index, attempt)
+            self._lane[future] = lane = self._free_lane(pending)
+            self.telemetry.attempt_started(index, attempt, lane)
             pending[future] = (index, attempt, self._deadline())
 
     def _deadline(self) -> Optional[float]:
@@ -651,8 +803,12 @@ class _JobRunner:
             # Delivery sits outside the try: an on_result failure must
             # propagate, not be wrapped as a worker failure and retried
             # (the job itself already succeeded).
-            self._accept(index, result)
+            self.telemetry.attempt_finished(index, attempt, "ok")
+            self._accept(index, result, worker=envelope.telemetry)
             return
+        self.telemetry.attempt_finished(
+            index, attempt, "failed", detail=str(last)
+        )
         self._retry_or_raise(queue, attempts, index, attempt, last)
 
     def _expire_deadlines(
@@ -677,6 +833,9 @@ class _JobRunner:
                 # that may be wedged forever.
                 self.abandoned.append(future)
             del pending[future]
+            self.telemetry.attempt_abandoned(
+                index, attempt, detail=f"exceeded {self.timeout}s deadline"
+            )
             timeout_error = JobTimeoutError(
                 f"job {self.specs[index].describe()} exceeded its "
                 f"{self.timeout}s timeout on attempt {attempt}",
@@ -695,14 +854,17 @@ class _JobRunner:
     ) -> None:
         if attempt >= self.retry.max_attempts:
             raise self._exhausted(index, attempt, cause) from cause
+        self.telemetry.backoff(index, attempt, self.retry.delay_for(attempt))
         self.retry.backoff(attempt)
         next_attempt = attempt + 1
         attempts[index] = next_attempt
         queue.append((index, next_attempt))
+        self.telemetry.job_enqueued(index, next_attempt)
 
     # -- entry point -------------------------------------------------
 
     def run(self) -> List[RunResult]:
+        self.telemetry.begin(self.policy, len(self.specs))
         self._restore_from_checkpoints()
         remaining = self._pending_indices()
         if self.policy.jobs == 1 or len(remaining) <= 1:
@@ -719,6 +881,7 @@ def run_jobs(
     policy: Optional[ExecutionPolicy] = None,
     jobs: Optional[int] = None,
     on_result: Optional[Callable[[int, JobSpec], None]] = None,
+    telemetry: Optional[ExecTelemetry] = None,
 ) -> List[RunResult]:
     """Run every job under ``policy``; return results in submission order.
 
@@ -730,6 +893,14 @@ def run_jobs(
     suite compares against.  ``jobs=`` is the deprecated PR-3 spelling
     and maps onto ``ExecutionPolicy(jobs=...)`` with a
     :class:`DeprecationWarning`.
+
+    ``telemetry`` (an :class:`~repro.obs.exec_telemetry.ExecTelemetry`)
+    turns the run into an observed one: the runner narrates execution
+    spans and tallies into it, and — when its config enables worker
+    observation — every job runs under a private metrics registry /
+    event ring whose dumps are shipped back and merged
+    deterministically.  Results are byte-identical either way
+    (passivity); ``None`` keeps workers fully blind.
 
     ``on_result`` fires **exactly once** per finished job — in
     *completion* order, with the job's submission index — including
@@ -745,4 +916,4 @@ def run_jobs(
     with checkpointing on, their records survive for a resume).
     """
     policy = resolve_policy(policy, jobs, caller="run_jobs")
-    return _JobRunner(list(specs), policy, on_result).run()
+    return _JobRunner(list(specs), policy, on_result, telemetry).run()

@@ -35,6 +35,7 @@ from repro.core.config import SimConfig
 from repro.core.instrumentation import SipPlan, build_sip_plan
 from repro.core.profiler import WorkloadProfile, profile_workload
 from repro.errors import ConfigError
+from repro.obs.exec_telemetry import ExecTelemetry
 from repro.robust import ExecutionPolicy, resolve_policy
 from repro.sim.engine import simulate
 from repro.sim.parallel import JobSpec, WorkloadSpec, run_jobs
@@ -74,10 +75,24 @@ class SweepProgress:
     label: object
     elapsed_s: float
     eta_s: float
+    #: Fleet-health tallies so far (cumulative across the sweep) —
+    #: populated when execution routes through the job runner, zero on
+    #: the plain serial path where none of them can occur.
+    retries: int = 0
+    timeouts: int = 0
+    faults: int = 0
 
     @classmethod
     def tick(
-        cls, *, completed: int, total: int, label: object, elapsed_s: float
+        cls,
+        *,
+        completed: int,
+        total: int,
+        label: object,
+        elapsed_s: float,
+        retries: int = 0,
+        timeouts: int = 0,
+        faults: int = 0,
     ) -> "SweepProgress":
         """Build a tick, deriving the ETA with the zero-duration guard.
 
@@ -99,6 +114,9 @@ class SweepProgress:
             label=label,
             elapsed_s=elapsed_s,
             eta_s=eta,
+            retries=retries,
+            timeouts=timeouts,
+            faults=faults,
         )
 
     @property
@@ -107,12 +125,23 @@ class SweepProgress:
         return self.completed / self.total if self.total else 1.0
 
     def render(self) -> str:
-        """One-line human-readable progress report."""
-        return (
+        """One-line human-readable progress report.
+
+        A healthy fleet renders exactly as before PR 5; the health
+        segment appears only once something went wrong, so the common
+        case stays scannable.
+        """
+        line = (
             f"[{self.completed}/{self.total}] {self.label} done "
             f"({self.fraction:.0%}, {self.elapsed_s:.1f}s elapsed, "
             f"~{self.eta_s:.1f}s left)"
         )
+        if self.retries or self.timeouts or self.faults:
+            line += (
+                f" [health: {self.retries} retr{'y' if self.retries == 1 else 'ies'}, "
+                f"{self.timeouts} timeout(s), {self.faults} fault(s)]"
+            )
+        return line
 
 
 class SweepPoint:
@@ -153,10 +182,10 @@ def _require_spec(source: WorkloadSource, caller: str) -> WorkloadSpec:
         return source
     raise ConfigError(
         f"{caller} with a resilient ExecutionPolicy (worker processes, "
-        f"retries, timeouts, checkpointing or fault injection) needs a "
-        f"repro.sim.parallel.WorkloadSpec (registry name + scale) so jobs "
-        f"can be re-run and shipped to worker processes; got "
-        f"{type(source).__name__}"
+        f"retries, timeouts, checkpointing or fault injection) or with "
+        f"execution telemetry needs a repro.sim.parallel.WorkloadSpec "
+        f"(registry name + scale) so jobs can be re-run and shipped to "
+        f"worker processes; got {type(source).__name__}"
     )
 
 
@@ -215,6 +244,7 @@ def compare_schemes(
     sip_plan: Optional[SipPlan] = None,
     policy: Optional[ExecutionPolicy] = None,
     jobs: Optional[int] = None,
+    telemetry: Optional[ExecTelemetry] = None,
 ) -> Dict[str, RunResult]:
     """Run the workload under each scheme; return results by name.
 
@@ -231,9 +261,16 @@ def compare_schemes(
     resilient job runner (``workload`` must then be a
     :class:`~repro.sim.parallel.WorkloadSpec`); results are identical
     to the serial path.  ``jobs=`` is the deprecated PR-3 spelling.
+
+    ``telemetry`` (an :class:`~repro.obs.exec_telemetry.ExecTelemetry`)
+    makes the comparison an observed one: execution routes through the
+    runner even under the default serial policy, the runner narrates
+    its schedule into the collector, and — when the collector's config
+    enables it — each scheme's run ships its metric/trace dumps back
+    for deterministic merging.  Results are unchanged (passivity).
     """
     resolved = resolve_policy(policy, jobs, caller="compare_schemes")
-    if resolved.is_resilient:
+    if resolved.is_resilient or telemetry is not None:
         spec = _require_spec(workload, "compare_schemes")
         if _needs_sip(schemes) and sip_plan is None:
             built = spec.build()
@@ -249,7 +286,7 @@ def compare_schemes(
             )
             for name in schemes
         ]
-        runs = run_jobs(specs, policy=resolved)
+        runs = run_jobs(specs, policy=resolved, telemetry=telemetry)
         return dict(zip(schemes, runs))
 
     built = _build_workload(workload)
@@ -281,6 +318,7 @@ def sweep_config(
     progress: Optional[Callable[[SweepProgress], None]] = None,
     policy: Optional[ExecutionPolicy] = None,
     jobs: Optional[int] = None,
+    telemetry: Optional[ExecTelemetry] = None,
 ) -> List[SweepPoint]:
     """Run a scheme comparison at each configuration.
 
@@ -307,7 +345,15 @@ def sweep_config(
     ``policy.progress`` callback serves the same role when the kwarg
     is not given.  Under parallel execution ticks fire as points
     complete, which may be out of label order; on a resumed sweep,
-    checkpoint-restored points tick instantly.
+    checkpoint-restored points tick instantly.  Ticks of a
+    runner-routed sweep carry the cumulative retry/timeout/fault
+    tallies so a progress line shows fleet health, not just ETA.
+
+    ``telemetry`` (an :class:`~repro.obs.exec_telemetry.ExecTelemetry`)
+    makes this an observed sweep: execution routes through the runner
+    even under the default serial policy and the collector accumulates
+    execution spans, tallies, and (when its config enables it) each
+    job's shipped metric/trace dumps.  Results are unchanged.
     """
     resolved = resolve_policy(policy, jobs, caller="sweep_config")
     report = progress if progress is not None else resolved.progress
@@ -330,8 +376,16 @@ def sweep_config(
             return None
         return plan_cache.plan_for(workload, config, seed)
 
-    if resolved.is_resilient:
+    if resolved.is_resilient or telemetry is not None:
         spec = _require_spec(workload_factory, "sweep_config")
+        # Health counts ride the progress ticks even when the caller
+        # did not ask for telemetry: a private collector costs nothing
+        # and keeps the progress line honest about retries/faults.
+        collector = (
+            telemetry
+            if telemetry is not None
+            else (ExecTelemetry() if report is not None else None)
+        )
         plan_probe = spec.build() if needs_sip else None
         specs: List[JobSpec] = []
         for config in config_list:
@@ -357,16 +411,26 @@ def sweep_config(
             remaining[point] -= 1
             if remaining[point] == 0 and report is not None:
                 points_done += 1
+                retries, timeouts, faults = (
+                    collector.health_counts()
+                    if collector is not None
+                    else (0, 0, 0)
+                )
                 report(
                     SweepProgress.tick(
                         completed=points_done,
                         total=total,
                         label=labels[point],
                         elapsed_s=time.monotonic() - started,
+                        retries=retries,
+                        timeouts=timeouts,
+                        faults=faults,
                     )
                 )
 
-        runs = run_jobs(specs, policy=resolved, on_result=on_result)
+        runs = run_jobs(
+            specs, policy=resolved, on_result=on_result, telemetry=collector
+        )
         points: List[SweepPoint] = []
         for point_index, label in enumerate(labels):
             base = point_index * per_point

@@ -4,4 +4,4 @@ The fixture files contain deliberate rule violations; they exist to be
 *parsed* by the linter, never imported.
 """
 
-collect_ignore_glob = ["fixtures/*", "fixtures/*/*"]
+collect_ignore_glob = ["fixtures/*", "fixtures/*/*", "fixtures/*/*/*"]

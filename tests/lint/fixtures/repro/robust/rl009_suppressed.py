@@ -1,0 +1,16 @@
+"""RL009 fixture: the same shapes, silenced or out of scope."""
+
+__all__ = ["narrate_attempt", "unrelated_dicts_are_fine"]
+
+
+def narrate_attempt(job, attempt, events):
+    events.append(
+        {"kind": "attempt", "job": job}  # repro-lint: disable=RL009  legacy shim
+    )
+
+
+def unrelated_dicts_are_fine(job):
+    # No "kind" marker key, or no job/attempt context: not a span.
+    summary = {"job": job, "state": "done"}
+    style = {"kind": "bar-chart", "color": "blue"}
+    return summary, style

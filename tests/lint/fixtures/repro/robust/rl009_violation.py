@@ -1,0 +1,11 @@
+"""RL009 fixture: hand-rolled execution-span dicts in the execution layer."""
+
+__all__ = ["narrate_attempt", "narrate_retry"]
+
+
+def narrate_attempt(job, attempt, events):
+    events.append({"kind": "attempt", "job": job, "attempt": attempt})
+
+
+def narrate_retry(job, delay, events):
+    events.append(dict(kind="retry_backoff", job=job, delay_s=delay))

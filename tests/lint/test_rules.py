@@ -166,9 +166,36 @@ class TestRL008BareSleep:
         assert lint_file(mod, select=["RL008"]) == []
 
 
+class TestRL009AdHocExecSpan:
+    def test_fires_on_dict_literal_and_dict_call(self):
+        found = findings_for("repro/robust/rl009_violation.py", "RL009")
+        # {"kind": ..., "job": ..., "attempt": ...} and dict(kind=, job=)
+        assert len(found) == 2
+        messages = " | ".join(f.message for f in found)
+        assert "exec_telemetry" in messages
+
+    def test_silent_under_pragma_and_on_unrelated_dicts(self):
+        assert findings_for("repro/robust/rl009_suppressed.py", "RL009") == []
+
+    def test_job_runner_module_is_in_scope(self, tmp_path):
+        mod = tmp_path / "repro" / "sim" / "parallel.py"
+        mod.parent.mkdir(parents=True)
+        mod.write_text('__all__ = []\nspan = {"kind": "attempt", "job": 0}\n')
+        assert len(lint_file(mod, select=["RL009"])) == 1
+
+    def test_code_outside_the_execution_layer_is_exempt(self, tmp_path):
+        mod = tmp_path / "repro" / "obs" / "exec_telemetry.py"
+        mod.parent.mkdir(parents=True)
+        mod.write_text('__all__ = []\nspan = {"kind": "attempt", "job": 0}\n')
+        assert lint_file(mod, select=["RL009"]) == []
+
+
 @pytest.mark.parametrize(
     "code",
-    ["RL001", "RL002", "RL003", "RL004", "RL005", "RL006", "RL007", "RL008"],
+    [
+        "RL001", "RL002", "RL003", "RL004", "RL005", "RL006", "RL007",
+        "RL008", "RL009",
+    ],
 )
 def test_clean_fixture_is_silent_under_every_rule(code):
     assert findings_for("clean.py", code) == []

@@ -176,6 +176,46 @@ class TestSweepProgress:
         tick = SweepProgress.tick(completed=2, total=6, label=1, elapsed_s=3.0)
         assert tick.eta_s == pytest.approx(6.0)
 
+    def test_render_omits_health_segment_when_all_is_well(self):
+        tick = SweepProgress(
+            completed=1, total=4, label="load_length=2", elapsed_s=1.5, eta_s=4.5
+        )
+        assert "health" not in tick.render()
+
+    def test_render_shows_health_segment_once_something_went_wrong(self):
+        tick = SweepProgress(
+            completed=1, total=4, label="load_length=2", elapsed_s=1.5,
+            eta_s=4.5, retries=2, timeouts=1, faults=3,
+        )
+        line = tick.render()
+        assert "[health: 2 retries, 1 timeout(s), 3 fault(s)]" in line
+
+    def test_ticks_carry_cumulative_health_under_faults(self):
+        from repro.robust import (
+            ExecutionPolicy,
+            FaultKind,
+            FaultPlan,
+            RetryPolicy,
+        )
+        from repro.sim.parallel import WorkloadSpec
+
+        base = SimConfig.scaled(64)
+        configs = [base.replace(load_length=n) for n in (1, 4)]
+        ticks = []
+        sweep_config(
+            WorkloadSpec("microbenchmark", 64),
+            configs,
+            ["dfp-stop"],
+            values=[1, 4],
+            policy=ExecutionPolicy(
+                retry=RetryPolicy(max_attempts=2, base_delay=0.01),
+                fault_plan=FaultPlan.script({(0, 1): FaultKind.CRASH}),
+            ),
+            progress=ticks.append,
+        )
+        assert [(t.retries, t.faults) for t in ticks] == [(1, 1), (1, 1)]
+        assert "health" in ticks[-1].render()
+
     def test_progress_does_not_change_results(self, config):
         configs = [config.replace(load_length=4)]
         quiet = sweep_config(make_workload, configs, ["dfp-stop"], values=[4])

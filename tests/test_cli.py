@@ -50,23 +50,78 @@ class TestResilienceFlags:
         out = capsys.readouterr().out
         assert "time breakdown" in out
 
-    def test_run_rejects_metrics_with_resilience(self, capsys):
-        assert main(["run", "leela", "--jobs", "2", "--metrics", *SCALE]) == 2
-        err = capsys.readouterr().err
-        assert "blind" in err
+    def test_run_metrics_compose_with_resilience(self, capsys):
+        # PR 5: resilient jobs ship their metric dumps back with the
+        # result envelope, so --metrics works under any policy.
+        assert main(["run", "leela", "--jobs", "2", "--metrics", *SCALE]) == 0
+        out = capsys.readouterr().out
+        assert "metrics" in out
+        assert "app.accesses" in out
 
-    def test_run_rejects_manifest_with_resilience(self, tmp_path, capsys):
-        # A resilient run is blind, so its manifest would lack the
-        # metrics section a serial --manifest run records — the two
-        # would spuriously diff under 'repro report'.  Rejected like
-        # --metrics/--trace rather than silently divergent.
-        manifest = str(tmp_path / "m.json")
+    def test_run_manifest_composes_with_resilience(self, tmp_path, capsys):
+        # An observed resilient run's manifest records the same metrics
+        # section a serial observed run records, plus the execution-
+        # telemetry block — 'repro report' renders both.
+        import json
+
+        manifest = tmp_path / "m.json"
         assert main(
-            ["run", "leela", "--jobs", "2", "--manifest", manifest, *SCALE]
+            ["run", "leela", "--jobs", "2", "--retries", "1",
+             "--manifest", str(manifest), *SCALE]
+        ) == 0
+        document = json.loads(manifest.read_text())
+        assert document["metrics"]
+        assert document["exec_telemetry"]["schema"] == "repro.exec-telemetry/1"
+
+    def test_run_resilient_manifest_matches_serial_observed(
+        self, tmp_path, capsys
+    ):
+        # Passivity across the process boundary: the run-defining
+        # manifest sections of an observed resilient run are byte-
+        # identical to a serial observed run's (the exec_telemetry
+        # block is extra and digest-excluded).
+        import json
+
+        serial = tmp_path / "serial.json"
+        resilient = tmp_path / "resilient.json"
+        assert main(["run", "leela", "--manifest", str(serial), *SCALE]) == 0
+        assert main(
+            ["run", "leela", "--jobs", "2", "--retries", "1",
+             "--manifest", str(resilient), *SCALE]
+        ) == 0
+        a = json.loads(serial.read_text())
+        b = json.loads(resilient.read_text())
+        b.pop("exec_telemetry")
+        assert a == b
+
+    def test_run_rejects_resume_with_observation(self, tmp_path, capsys):
+        # The one genuinely unsupported combination: checkpoint-
+        # restored jobs never re-execute, so they ship no telemetry
+        # and the merged dump would silently cover a partial fleet.
+        ckpt = str(tmp_path / "ckpt")
+        assert main(
+            ["run", "leela", "--checkpoint", ckpt, "--resume",
+             "--metrics", *SCALE]
         ) == 2
-        err = capsys.readouterr().err
-        assert "blind" in err
-        assert not (tmp_path / "m.json").exists()
+        assert "--resume" in capsys.readouterr().err
+
+    def test_sweep_rejects_resume_with_observation(self, tmp_path, capsys):
+        ckpt = str(tmp_path / "ckpt")
+        manifest = str(tmp_path / "fleet.json")
+        assert main(
+            ["sweep", "leela", "--param", "load_length", "--values", "1,4",
+             "--checkpoint", ckpt, "--resume", "--manifest", manifest, *SCALE]
+        ) == 2
+        assert "--resume" in capsys.readouterr().err
+        assert not (tmp_path / "fleet.json").exists()
+
+    def test_compare_rejects_resume_with_observation(self, tmp_path, capsys):
+        ckpt = str(tmp_path / "ckpt")
+        assert main(
+            ["compare", "lbm", "--schemes", "baseline,dfp-stop",
+             "--checkpoint", ckpt, "--resume", "--metrics", *SCALE]
+        ) == 2
+        assert "--resume" in capsys.readouterr().err
 
     def test_resume_without_checkpoint_rejected(self, capsys):
         assert main(["run", "leela", "--resume", *SCALE]) == 2
@@ -145,3 +200,58 @@ class TestSweep:
                 *SCALE,
             ]
         ) == 0
+
+
+class TestFleetObservation:
+    """--metrics/--trace/--manifest on compare/sweep (PR 5)."""
+
+    def test_compare_metrics_merged_across_schemes(self, capsys):
+        assert main(
+            ["compare", "lbm", "--schemes", "baseline,dfp-stop",
+             "--jobs", "2", "--metrics", *SCALE]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "vs baseline" in out
+        assert "metrics (merged across jobs)" in out
+
+    def test_sweep_writes_fleet_manifest_and_exec_trace(self, tmp_path, capsys):
+        import json
+
+        manifest = tmp_path / "fleet.json"
+        trace = tmp_path / "exec.trace.json"
+        assert main(
+            ["sweep", "leela", "--param", "load_length", "--values", "1,4",
+             "--jobs", "2", "--retries", "1", "--metrics",
+             "--trace", str(trace), "--manifest", str(manifest), *SCALE]
+        ) == 0
+        from repro.obs import load_manifest, validate_chrome_trace
+
+        document = load_manifest(manifest)  # validates both schemas
+        assert document["run"]["runs"] == 2
+        assert document["exec_telemetry"]["jobs"]["total"] == 2
+        counts = validate_chrome_trace(json.loads(trace.read_text()))
+        assert counts["tracks"] >= 5  # app/channel/scan + runner + worker(s)
+
+    def test_report_renders_single_fleet_manifest(self, tmp_path, capsys):
+        manifest = tmp_path / "fleet.json"
+        assert main(
+            ["sweep", "leela", "--param", "load_length", "--values", "1,4",
+             "--jobs", "2", "--manifest", str(manifest), *SCALE]
+        ) == 0
+        capsys.readouterr()
+        assert main(["report", str(manifest)]) == 0
+        out = capsys.readouterr().out
+        assert "execution telemetry (fleet)" in out
+        assert "totals:" in out
+
+    def test_sweep_fleet_manifest_deterministic(self, tmp_path, capsys):
+        args = lambda name: [
+            "sweep", "leela", "--param", "load_length", "--values", "1,4",
+            "--jobs", "2", "--retries", "1", "--metrics",
+            "--manifest", str(tmp_path / name), *SCALE,
+        ]
+        assert main(args("a.json")) == 0
+        assert main(args("b.json")) == 0
+        assert (tmp_path / "a.json").read_bytes() == (
+            tmp_path / "b.json"
+        ).read_bytes()

@@ -2,7 +2,7 @@
 """Chaos smoke: kill a checkpointed sweep, resume it, demand identity.
 
 The CI-facing end-to-end proof of the resilience layer
-(:mod:`repro.robust`).  Four phases:
+(:mod:`repro.robust`).  Five phases:
 
 1. **Reference** — an uninterrupted serial sweep; its manifests are
    the ground truth.
@@ -17,6 +17,12 @@ The CI-facing end-to-end proof of the resilience layer
 4. **Resume** — ``repro sweep --checkpoint DIR --resume`` (through the
    real CLI) finishes the job; every checkpoint record must then be
    byte-identical to a manifest of the reference run.
+5. **Observed chaos** — the phase-2 sweep again with execution
+   telemetry collecting (worker-shipped metrics on): observation must
+   be passive (manifests still byte-identical to the reference), the
+   collector's fault/retry tallies must match the scripted
+   ``CHAOS_PLAN``, and the fleet manifest plus per-worker Chrome exec
+   trace written to the artifact directory must both validate.
 
 Exit status is non-zero on any mismatch; a JSON report and the
 checkpoint records are left in the artifact directory for upload.
@@ -34,6 +40,15 @@ from pathlib import Path
 from repro.cli import main as repro_main
 from repro.core.config import SimConfig
 from repro.errors import JobRetriesExhaustedError
+from repro.obs import (
+    ExecTelemetry,
+    TelemetryConfig,
+    build_fleet_manifest,
+    load_manifest,
+    validate_chrome_trace,
+    write_chrome_trace,
+    write_manifest,
+)
 from repro.obs.manifest import build_manifest
 from repro.robust import (
     CheckpointStore,
@@ -65,7 +80,7 @@ CHAOS_PLAN = FaultPlan.script(
 )
 
 
-def sweep_points(scale, policy=None):
+def sweep_points(scale, policy=None, telemetry=None):
     base = SimConfig.scaled(scale)
     configs = [base.replace(**{PARAM: value}) for value in VALUES]
     return sweep_config(
@@ -74,6 +89,7 @@ def sweep_points(scale, policy=None):
         [SCHEME],
         values=list(VALUES),
         policy=policy,
+        telemetry=telemetry,
     )
 
 
@@ -175,6 +191,64 @@ def main(argv=None):
         "resumed checkpoint records are byte-identical to the reference",
         actual == expected,
     )
+
+    # Phase 5: the chaos leg again, observed — telemetry must be
+    # passive, tally the scripted faults, and export validating
+    # fleet-manifest and Chrome-trace artifacts.
+    telemetry = ExecTelemetry(TelemetryConfig(metrics=True))
+    observed = sweep_points(args.scale, policy=chaos_policy, telemetry=telemetry)
+    ok &= check(
+        report,
+        "observed chaos leg is byte-identical to the reference",
+        manifest_blobs(observed) == reference_blobs,
+        "telemetry collection is passive",
+    )
+    kinds = [kind for _, kind in CHAOS_PLAN.scripted]
+    # A submit-error is absorbed at dispatch without burning the job's
+    # attempt budget, so it injects a fault but not a retry; every
+    # other scripted fault costs one attempt (the hang via a timeout).
+    expected_retries = sum(
+        1 for kind in kinds if kind is not FaultKind.SUBMIT_ERROR
+    )
+    expected_timeouts = sum(1 for kind in kinds if kind is FaultKind.HANG)
+    ok &= check(
+        report,
+        "telemetry tallies match the scripted fault plan",
+        telemetry.total_faults == len(kinds)
+        and telemetry.total_retries == expected_retries
+        and telemetry.total_timeouts == expected_timeouts
+        and telemetry.submit_errors == 1,
+        f"faults={telemetry.total_faults} retries={telemetry.total_retries} "
+        f"timeouts={telemetry.total_timeouts} "
+        f"submit_errors={telemetry.submit_errors}",
+    )
+
+    fleet_path = artifacts / "chaos_fleet.manifest.json"
+    write_manifest(
+        fleet_path,
+        build_fleet_manifest(
+            [point.results[SCHEME] for point in observed],
+            telemetry=telemetry,
+            labels=list(VALUES),
+        ),
+    )
+    try:
+        fleet = load_manifest(fleet_path)  # validates both schemas
+        fleet_ok = fleet["run"]["runs"] == len(VALUES)
+        fleet_detail = f"{fleet_path}"
+    except Exception as exc:  # pragma: no cover - failure path
+        fleet_ok, fleet_detail = False, str(exc)
+    ok &= check(report, "fleet manifest validates", fleet_ok, fleet_detail)
+
+    trace_path = artifacts / "chaos_exec.trace.json"
+    write_chrome_trace(trace_path, [], exec_spans=telemetry.spans)
+    try:
+        counts = validate_chrome_trace(json.loads(trace_path.read_text()))
+        trace_ok = counts["tracks"] >= 2  # exec-runner + worker lane(s)
+        trace_detail = f"{counts['tracks']} tracks, {trace_path}"
+    except Exception as exc:  # pragma: no cover - failure path
+        trace_ok, trace_detail = False, str(exc)
+    ok &= check(report, "chrome exec trace validates", trace_ok, trace_detail)
 
     report["ok"] = bool(ok)
     (artifacts / "chaos_report.json").write_text(

@@ -22,7 +22,17 @@ future PR has a perf trajectory to compare against:
   against the sweep's first configuration) and the harness asserts
   their results are equal before reporting the speedup.
 
+With ``--compare OLD.json`` the harness additionally gates against a
+previous snapshot (typically the committed ``BENCH_perf.json``): after
+measuring, it prints an old-vs-new table for the engine per-scheme
+throughput, the trace-cache figures and the sweep speedup, and exits
+nonzero when any figure regressed by more than ``--compare-tolerance``
+(a fraction; default 0.5, i.e. new may not fall below half of old —
+wide because CI machines are noisy, tight enough to catch a lost
+fast path).
+
 Usage: python tools/perf_bench.py [--quick] [--jobs N] [--out PATH]
+       [--compare OLD.json] [--compare-tolerance FRAC]
 """
 
 from __future__ import annotations
@@ -181,6 +191,67 @@ def measure_sweep(scale: int, jobs: int) -> dict:
     }
 
 
+def compare_reports(old: dict, new: dict, tolerance: float) -> list:
+    """Old-vs-new rows: ``(label, old_value, new_value, regressed)``.
+
+    Higher is better for every compared figure.  A row regresses when
+    the new value falls below ``old * (1 - tolerance)``.
+    """
+    floor = 1.0 - tolerance
+    rows = []
+
+    def add(label: str, old_value, new_value) -> None:
+        if old_value is None or new_value is None:
+            return
+        regressed = old_value > 0 and new_value < old_value * floor
+        rows.append((label, old_value, new_value, regressed))
+
+    old_engine = old.get("engine", {})
+    new_engine = new.get("engine", {})
+    for scheme in sorted(set(old_engine) & set(new_engine)):
+        add(
+            f"engine.{scheme}.runs_per_sec",
+            old_engine[scheme].get("runs_per_sec"),
+            new_engine[scheme].get("runs_per_sec"),
+        )
+
+    old_cache = old.get("trace_cache", {})
+    new_cache = new.get("trace_cache", {})
+    add(
+        "trace_cache.cached_runs_per_sec",
+        old_cache.get("cached_runs_per_sec"),
+        new_cache.get("cached_runs_per_sec"),
+    )
+    add("trace_cache.speedup", old_cache.get("speedup"), new_cache.get("speedup"))
+
+    add(
+        "sweep.speedup",
+        old.get("sweep", {}).get("speedup"),
+        new.get("sweep", {}).get("speedup"),
+    )
+    return rows
+
+
+def print_comparison(rows: list, tolerance: float) -> int:
+    """Render the comparison table; return the regression count."""
+    if not rows:
+        print("compare: no overlapping figures between snapshots")
+        return 0
+    width = max(len(label) for label, *_ in rows)
+    regressions = 0
+    print(f"comparison vs previous snapshot (tolerance {tolerance:.0%}):")
+    for label, old_value, new_value, regressed in rows:
+        ratio = new_value / old_value if old_value else float("inf")
+        verdict = "REGRESSED" if regressed else "ok"
+        if regressed:
+            regressions += 1
+        print(
+            f"  {label:<{width}}  {old_value:>10.3f} -> {new_value:>10.3f}"
+            f"  ({ratio:.2f}x)  {verdict}"
+        )
+    return regressions
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
@@ -195,9 +266,33 @@ def main(argv=None) -> int:
     parser.add_argument(
         "--out", default="BENCH_perf.json", help="output path (default: %(default)s)"
     )
+    parser.add_argument(
+        "--compare",
+        metavar="OLD.json",
+        default=None,
+        help="previous snapshot to gate against; exit 1 on regression",
+    )
+    parser.add_argument(
+        "--compare-tolerance",
+        type=float,
+        default=0.5,
+        metavar="FRAC",
+        help="allowed fractional drop before a figure counts as a "
+        "regression (default: %(default)s)",
+    )
     args = parser.parse_args(argv)
     if args.jobs < 1:
         parser.error("--jobs must be at least 1")
+    if not 0.0 <= args.compare_tolerance < 1.0:
+        parser.error("--compare-tolerance must be in [0, 1)")
+
+    # Read the old snapshot up front: --out may point at the same file
+    # (the committed BENCH_perf.json), and the gate must compare
+    # against what was there before this run overwrites it.
+    previous = None
+    if args.compare is not None:
+        with open(args.compare, "r", encoding="utf-8") as handle:
+            previous = json.load(handle)
 
     # Scale 8 (SimConfig.scaled divides the paper-scale geometry, so
     # smaller scale = larger traces) keeps runs big enough that pool
@@ -231,6 +326,13 @@ def main(argv=None) -> int:
         f"trace cache: {cache['uncached_runs_per_sec']} -> "
         f"{cache['cached_runs_per_sec']} runs/sec ({cache['speedup']}x)"
     )
+
+    if previous is not None:
+        rows = compare_reports(previous, report, args.compare_tolerance)
+        regressions = print_comparison(rows, args.compare_tolerance)
+        if regressions:
+            print(f"FAIL: {regressions} figure(s) regressed beyond tolerance")
+            return 1
     return 0
 
 
