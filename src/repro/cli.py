@@ -16,8 +16,11 @@ Thin, scriptable access to the library's main flows:
 * ``classify`` — the Table 1 classification of the models;
 * ``sweep`` — a one-parameter sweep (e.g. LOADLENGTH, Figure 7 style),
   with ``--progress`` ETA + fleet-health ticks on stderr;
-* ``lint`` — the repo-specific static-analysis pass (rules RL001–RL009,
-  see :mod:`repro.lint`).
+* ``lint`` — the repo-specific static-analysis pass: per-file rules
+  RL001–RL009, plus (with ``--deep``) the whole-program rules
+  RL101–RL104 over a shared AST cache; ``--sarif`` exports SARIF
+  2.1.0, ``--baseline`` absorbs known findings, ``--changed`` reports
+  only files touched vs. a git ref (see :mod:`repro.lint`).
 
 Flags are shared through three argparse *parent parsers* rather than
 re-declared per command:
@@ -204,7 +207,23 @@ def build_parser() -> argparse.ArgumentParser:
     p_swp.add_argument("--scheme", choices=SCHEME_NAMES, default="dfp-stop")
 
     p_lint = sub.add_parser(
-        "lint", help="repo-specific static analysis (rules RL001-RL009)"
+        "lint",
+        help="repo-specific static analysis (RL001-RL009, deep RL101-RL104)",
+        description=(
+            "Repo-specific static analysis.  Per-file rules RL001-RL009 "
+            "run by default; --deep adds the whole-program rules "
+            "RL101-RL104 (cross-module seed provenance, pickle-safety of "
+            "values shipped to workers, wall-clock taint into manifests, "
+            "unordered-iteration hazards), which parse the whole tree "
+            "once into a shared AST cache and trace dataflow across "
+            "function and module boundaries.  Silence a finding in place "
+            "with '# repro-lint: disable=RL001' (inline: that line only; "
+            "on its own line: whole file; codes comma-separated; "
+            "disable=all silences everything) — this works for deep "
+            "RL1xx findings too.  --select/--ignore accept any mix of "
+            "per-file and RL1xx codes; selecting an RL1xx code enables "
+            "the deep pass for it even without --deep."
+        ),
     )
     p_lint.add_argument(
         "paths", nargs="*", default=["src"],
@@ -212,10 +231,35 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_lint.add_argument("--format", choices=("text", "json"), default="text",
                         dest="output_format")
-    p_lint.add_argument("--select", default=None,
-                        help="comma-separated rule codes to run (default: all)")
+    p_lint.add_argument("--select", default=None, metavar="CODES",
+                        help="comma-separated rule codes to run, per-file "
+                             "and/or RL1xx (default: all per-file rules, "
+                             "plus all deep rules under --deep)")
+    p_lint.add_argument("--ignore", default=None, metavar="CODES",
+                        help="comma-separated rule codes to skip (applies "
+                             "after --select)")
+    p_lint.add_argument("--deep", action="store_true",
+                        help="also run the whole-program rules RL101-RL104 "
+                             "(cross-module taint over one shared AST "
+                             "cache)")
+    p_lint.add_argument("--changed", nargs="?", const="origin/main",
+                        default=None, metavar="REF",
+                        help="only report findings in files changed vs. REF "
+                             "(default origin/main); deep rules still "
+                             "analyze the whole program")
+    p_lint.add_argument("--baseline", default=None, metavar="FILE",
+                        help="silence findings recorded in FILE "
+                             "(repro.lint-baseline/1); stale entries are "
+                             "reported")
+    p_lint.add_argument("--write-baseline", default=None, metavar="FILE",
+                        help="write the run's findings to FILE as a fresh "
+                             "baseline and exit 0")
+    p_lint.add_argument("--sarif", default=None, metavar="FILE",
+                        help="also write the findings as SARIF 2.1.0 to "
+                             "FILE (for GitHub code scanning)")
     p_lint.add_argument("--list-rules", action="store_true",
-                        help="list the rule catalogue and exit")
+                        help="list the rule catalogue (per-file + deep) "
+                             "and exit")
     return parser
 
 
@@ -691,25 +735,64 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
 
 
 def _cmd_lint(args: argparse.Namespace) -> int:
-    from repro.lint import lint_paths, render_json, render_text, rule_catalog
+    from repro.lint import (
+        deep_rule_catalog,
+        load_baseline,
+        render_json,
+        render_sarif,
+        render_text,
+        rule_catalog,
+        run_lint,
+        write_baseline,
+    )
 
     if args.list_rules:
-        rows = [[r["code"], r["name"], r["description"]] for r in rule_catalog()]
+        catalog = rule_catalog() + deep_rule_catalog()
+        rows = [[r["code"], r["name"], r["description"]] for r in catalog]
         print(format_table(["code", "name", "checks for"], rows))
         return 0
-    select = (
-        [c.strip() for c in args.select.split(",") if c.strip()]
-        if args.select
-        else None
+
+    def codes(raw: Optional[str]) -> Optional[List[str]]:
+        if raw is None:
+            return None
+        return [c.strip() for c in raw.split(",") if c.strip()]
+
+    baseline = load_baseline(args.baseline) if args.baseline else None
+    report = run_lint(
+        args.paths,
+        select=codes(args.select),
+        ignore=codes(args.ignore),
+        deep=args.deep,
+        changed_ref=args.changed,
+        baseline=baseline,
     )
-    findings = lint_paths(args.paths, select=select)
+    if args.write_baseline:
+        target = write_baseline(args.write_baseline, report.findings)
+        print(
+            f"baseline: {len(report.findings)} finding(s) -> {target} "
+            "(fill in the justifications before committing)"
+        )
+        return 0
+    if args.sarif is not None:
+        from pathlib import Path as _Path
+
+        from repro import __version__ as _version
+
+        _Path(args.sarif).write_text(
+            render_sarif(
+                report.findings,
+                catalog=rule_catalog() + deep_rule_catalog(),
+                tool_version=_version,
+            )
+            + "\n",
+            encoding="utf-8",
+        )
+        print(f"sarif: {len(report.findings)} result(s) -> {args.sarif}")
     if args.output_format == "json":
-        print(render_json(findings))
-    elif findings:
-        print(render_text(findings))
+        print(render_json(report.findings, report))
     else:
-        print("0 findings")
-    return 1 if findings else 0
+        print(render_text(report.findings, report))
+    return 1 if report.findings else 0
 
 
 _COMMANDS = {

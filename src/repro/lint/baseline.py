@@ -1,0 +1,154 @@
+"""Finding baselines: accept the past, fail the future.
+
+A baseline file records the findings a tree is *known* to carry so a
+newly introduced rule can gate CI immediately: baselined findings are
+silenced, anything not in the file fails the build, and a baselined
+finding that gets **fixed** leaves a stale entry behind (reported so
+the file can be trimmed — entries are a debt register, not a dumping
+ground; each carries a human justification).
+
+Matching is deliberately line-number free: a finding is identified by
+``(path, code, message)`` with multiset semantics, so reflowing a file
+neither silences a new finding nor resurfaces an old one, while a
+*second* identical finding in the same file correctly fails (only as
+many findings are absorbed as the baseline holds entries for).
+
+Schema (``repro.lint-baseline/1``)::
+
+    {
+      "schema": "repro.lint-baseline/1",
+      "findings": [
+        {"path": "src/repro/x.py", "code": "RL103",
+         "message": "...", "justification": "why this one is accepted"}
+      ]
+    }
+"""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, List, Sequence, Tuple, Union
+
+from repro.errors import LintError
+from repro.lint.findings import Finding
+
+__all__ = [
+    "BASELINE_SCHEMA",
+    "BaselineResult",
+    "load_baseline",
+    "apply_baseline",
+    "write_baseline",
+]
+
+#: Schema identifier carried by every baseline file.
+BASELINE_SCHEMA = "repro.lint-baseline/1"
+
+#: Placeholder written by ``--write-baseline``; CI should never merge
+#: one — every accepted finding deserves a real sentence.
+_TODO_JUSTIFICATION = "TODO: justify why this finding is accepted"
+
+_Key = Tuple[str, str, str]
+
+
+def _key(path: str, code: str, message: str) -> _Key:
+    return (Path(path).as_posix(), code, message)
+
+
+@dataclass(frozen=True)
+class BaselineResult:
+    """Outcome of matching findings against a baseline."""
+
+    #: Findings not absorbed by the baseline (these fail the build).
+    findings: List[Finding]
+    #: Number of findings the baseline silenced.
+    suppressed: int
+    #: Baseline entries that matched nothing — fixed findings whose
+    #: entries should now be deleted from the file.
+    stale: List[Dict[str, str]]
+
+
+def load_baseline(path: Union[str, Path]) -> List[Dict[str, str]]:
+    """Load and schema-check one baseline file; return its entries."""
+    target = Path(path)
+    try:
+        document = json.loads(target.read_text(encoding="utf-8"))
+    except OSError as exc:
+        raise LintError(f"cannot read baseline {target}: {exc}") from exc
+    except json.JSONDecodeError as exc:
+        raise LintError(f"baseline {target} is not valid JSON: {exc}") from exc
+    if (
+        not isinstance(document, dict)
+        or document.get("schema") != BASELINE_SCHEMA
+    ):
+        raise LintError(
+            f"baseline {target} lacks schema {BASELINE_SCHEMA!r} "
+            "(regenerate it with --write-baseline)"
+        )
+    entries = document.get("findings")
+    if not isinstance(entries, list):
+        raise LintError(f"baseline {target} has no findings list")
+    for entry in entries:
+        if not isinstance(entry, dict) or not {
+            "path", "code", "message"
+        } <= set(entry):
+            raise LintError(
+                f"baseline {target} entry {entry!r} lacks "
+                "path/code/message"
+            )
+    return entries
+
+
+def apply_baseline(
+    findings: Sequence[Finding], entries: Sequence[Dict[str, str]]
+) -> BaselineResult:
+    """Split findings into fresh vs. baselined; report stale entries."""
+    budget: Counter = Counter(
+        _key(entry["path"], entry["code"], entry["message"])
+        for entry in entries
+    )
+    kept: List[Finding] = []
+    suppressed = 0
+    for finding in findings:
+        key = _key(finding.path, finding.code, finding.message)
+        if budget[key] > 0:
+            budget[key] -= 1
+            suppressed += 1
+        else:
+            kept.append(finding)
+    stale: List[Dict[str, str]] = []
+    for entry in entries:
+        key = _key(entry["path"], entry["code"], entry["message"])
+        if budget[key] > 0:
+            budget[key] -= 1
+            stale.append(entry)
+    return BaselineResult(findings=kept, suppressed=suppressed, stale=stale)
+
+
+def write_baseline(
+    path: Union[str, Path], findings: Sequence[Finding]
+) -> Path:
+    """Write ``findings`` as a fresh baseline file; return its path.
+
+    Entries are deduplicated into the multiset form, sorted, and given
+    the TODO justification placeholder — the human committing the file
+    replaces each with the actual reason the finding is accepted.
+    """
+    entries = [
+        {
+            "path": Path(finding.path).as_posix(),
+            "code": finding.code,
+            "message": finding.message,
+            "justification": _TODO_JUSTIFICATION,
+        }
+        for finding in sorted(findings)
+    ]
+    document = {"schema": BASELINE_SCHEMA, "findings": entries}
+    target = Path(path)
+    target.write_text(
+        json.dumps(document, indent=2, sort_keys=True) + "\n",
+        encoding="utf-8",
+    )
+    return target

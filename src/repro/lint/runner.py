@@ -14,6 +14,19 @@ A finding can be silenced with a comment naming its code::
   opts out of a structural rule such as RL005.
 * ``disable=all`` silences every rule.
 
+Pragmas apply to the per-file rules (RL001–RL009) and the deep
+whole-program rules (RL101–RL104) alike: a deep finding is anchored to
+a file and line like any other, and that file's pragmas govern it.
+
+One invocation, one parse
+-------------------------
+
+All passes share one :class:`~repro.lint.graph.ASTCache`: the per-file
+rules and the ``--deep`` program graph read every file through it, so
+each file is parsed exactly once per invocation no matter how many
+rules inspect it.  :class:`LintReport` carries the wall-clock cost and
+file/parse counts so ``--format json`` output shows what a pass spent.
+
 Directories named ``fixtures`` (plus caches and VCS internals) are
 skipped when a directory is walked, so lint-rule test fixtures do not
 trip CI; linting a fixture *explicitly by path* still works, which is
@@ -24,16 +37,30 @@ from __future__ import annotations
 
 import ast
 import re
+import subprocess
+import time
+from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Set, Type
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Set, Tuple, Type
 
 from repro.errors import LintError
 from repro.lint.findings import PARSE_ERROR_CODE, RULES, Finding, LintRule
+from repro.lint.graph import ASTCache
 
-# Importing the rules module populates the registry.
+# Importing the rule modules populates the registries.
 from repro.lint import rules as _rules  # noqa: F401  (import for side effect)
+from repro.lint.deep import DEEP_RULES, run_deep_rules
 
-__all__ = ["lint_file", "lint_paths", "iter_python_files", "render_text", "render_json"]
+__all__ = [
+    "LintReport",
+    "lint_file",
+    "lint_paths",
+    "run_lint",
+    "iter_python_files",
+    "changed_files",
+    "render_text",
+    "render_json",
+]
 
 #: Directory names never descended into when walking a tree.
 SKIP_DIRS = {"fixtures", "__pycache__", ".git", ".venv", "build", "dist", ".hypothesis"}
@@ -97,43 +124,98 @@ def iter_python_files(paths: Sequence[Path]) -> Iterator[Path]:
             raise LintError(f"no such file or directory: {path}")
 
 
-def _select_rules(select: Optional[Iterable[str]]) -> List[Type[LintRule]]:
+def _split_selection(
+    select: Optional[Iterable[str]],
+    ignore: Optional[Iterable[str]] = None,
+    *,
+    deep: bool = False,
+) -> Tuple[List[Type[LintRule]], List[str]]:
+    """Resolve ``--select``/``--ignore`` over both rule registries.
+
+    Returns the per-file rule classes to run and the deep rule *codes*
+    to run.  Selecting an RL1xx code explicitly enables that deep rule
+    even without ``--deep``; ``deep=True`` enables all of them.  An
+    unknown code in either list raises :class:`LintError`.
+    """
+    known = set(RULES) | set(DEEP_RULES)
+
+    def check(codes: Iterable[str]) -> List[str]:
+        upper = [code.upper() for code in codes]
+        for code in upper:
+            if code not in known:
+                raise LintError(
+                    f"unknown rule {code!r}; known rules: "
+                    f"{', '.join(sorted(known))}"
+                )
+        return upper
+
     if select is None:
-        return [RULES[code] for code in sorted(RULES)]
-    chosen = []
-    for code in select:
-        code = code.upper()
-        if code not in RULES:
-            raise LintError(
-                f"unknown rule {code!r}; known rules: {', '.join(sorted(RULES))}"
-            )
-        chosen.append(RULES[code])
-    return chosen
+        file_codes = sorted(RULES)
+        deep_codes = sorted(DEEP_RULES) if deep else []
+    else:
+        chosen = check(select)
+        file_codes = [code for code in chosen if code in RULES]
+        deep_codes = [code for code in chosen if code in DEEP_RULES]
+        if deep and not deep_codes:
+            deep_codes = sorted(DEEP_RULES)
+    ignored = set(check(ignore)) if ignore is not None else set()
+    file_codes = [code for code in file_codes if code not in ignored]
+    deep_codes = [code for code in deep_codes if code not in ignored]
+    return [RULES[code] for code in file_codes], deep_codes
+
+
+def _apply_suppressions(
+    findings: Iterable[Finding], cache: ASTCache
+) -> List[Finding]:
+    """Drop findings silenced by their file's pragmas."""
+    by_path: Dict[str, Tuple[Dict[int, Set[str]], Set[str]]] = {}
+    kept: List[Finding] = []
+    for finding in findings:
+        marks = by_path.get(finding.path)
+        if marks is None:
+            try:
+                source = cache.source(Path(finding.path))
+            except LintError:
+                source = ""
+            marks = by_path[finding.path] = _suppressions(source)
+        if not _is_suppressed(finding, *marks):
+            kept.append(finding)
+    return kept
 
 
 def lint_file(
-    path: Path, *, select: Optional[Iterable[str]] = None
+    path: Path,
+    *,
+    select: Optional[Iterable[str]] = None,
+    cache: Optional[ASTCache] = None,
 ) -> List[Finding]:
-    """Lint one file; return its (unsuppressed) findings, sorted."""
-    try:
-        source = path.read_text(encoding="utf-8")
-    except OSError as exc:
-        raise LintError(f"cannot read {path}: {exc}") from exc
-    try:
-        tree = ast.parse(source, filename=str(path))
-    except SyntaxError as exc:
+    """Run the per-file rules on one file; return unsuppressed findings."""
+    cache = cache if cache is not None else ASTCache()
+    rule_classes, _ = _split_selection(select)
+    return _lint_one(path, rule_classes, cache)
+
+
+def _lint_one(
+    path: Path, rule_classes: Sequence[Type[LintRule]], cache: ASTCache
+) -> List[Finding]:
+    source, tree, error = cache.load(path)
+    if error is not None or tree is None:
+        exc = error
         return [
             Finding(
                 path=str(path),
-                line=exc.lineno or 1,
-                col=(exc.offset or 1) - 1,
+                line=(exc.lineno or 1) if exc else 1,
+                col=((exc.offset or 1) - 1) if exc else 0,
                 code=PARSE_ERROR_CODE,
-                message=f"file does not parse: {exc.msg}",
+                message=(
+                    f"file does not parse: {exc.msg}" if exc
+                    else "file does not parse"
+                ),
             )
         ]
     per_line, file_wide = _suppressions(source)
     findings: List[Finding] = []
-    for rule_cls in _select_rules(select):
+    for rule_cls in rule_classes:
         if not rule_cls.applies_to(path):
             continue
         findings.extend(rule_cls(path).run(tree))
@@ -143,28 +225,194 @@ def lint_file(
 
 
 def lint_paths(
-    paths: Sequence[str], *, select: Optional[Iterable[str]] = None
+    paths: Sequence[str],
+    *,
+    select: Optional[Iterable[str]] = None,
+    cache: Optional[ASTCache] = None,
 ) -> List[Finding]:
-    """Lint every Python file under ``paths``; return all findings."""
+    """Run the per-file rules under ``paths``; return all findings."""
+    cache = cache if cache is not None else ASTCache()
+    rule_classes, _ = _split_selection(select)
     findings: List[Finding] = []
     for path in iter_python_files([Path(p) for p in paths]):
-        findings.extend(lint_file(path, select=select))
+        findings.extend(_lint_one(path, rule_classes, cache))
     return findings
 
 
-def render_text(findings: Sequence[Finding]) -> str:
+@dataclass
+class LintReport:
+    """Everything one full lint invocation produced and cost."""
+
+    findings: List[Finding]
+    #: Files inspected (per-file pass; the deep graph sees the same set).
+    files: int = 0
+    #: Files actually parsed — equals ``files`` when the cache is cold,
+    #: and stays there even with ``--deep`` (the point of sharing it).
+    parsed: int = 0
+    #: Wall-clock cost of the whole pass, in seconds (operator-facing
+    #: only; never reaches a manifest).
+    elapsed_s: float = 0.0
+    deep: bool = False
+    #: Findings silenced by the baseline file.
+    baselined: int = 0
+    #: Baseline entries that matched nothing (fixed findings).
+    stale_baseline: List[Dict[str, str]] = field(default_factory=list)
+    #: Files the ``--changed`` filter restricted reporting to, or None.
+    changed_only: Optional[int] = None
+
+
+def changed_files(
+    ref: str = "origin/main", *, cwd: Optional[Path] = None
+) -> Set[Path]:
+    """Files changed vs. ``ref``: committed, staged, unstaged, untracked.
+
+    Resolved against the repository's top level so the answer is
+    independent of the directory the linter was launched from.  Raises
+    :class:`LintError` when git or the ref is unavailable.
+    """
+    base = Path(cwd) if cwd is not None else Path.cwd()
+
+    def git(*args: str) -> str:
+        proc = subprocess.run(
+            ["git", *args],
+            cwd=base,
+            capture_output=True,
+            text=True,
+            timeout=30,
+            check=False,
+        )
+        if proc.returncode != 0:
+            raise LintError(
+                f"git {' '.join(args)} failed: {proc.stderr.strip() or 'n/a'}"
+            )
+        return proc.stdout
+
+    toplevel = Path(git("rev-parse", "--show-toplevel").strip())
+    changed = git("diff", "--name-only", "--diff-filter=d", ref)
+    untracked = git("ls-files", "--others", "--exclude-standard")
+    paths: Set[Path] = set()
+    for line in (changed + untracked).splitlines():
+        line = line.strip()
+        if line:
+            paths.add((toplevel / line).resolve())
+    return paths
+
+
+def _filter_changed(
+    findings: Sequence[Finding], changed: Set[Path]
+) -> List[Finding]:
+    return [
+        f for f in findings if Path(f.path).resolve() in changed
+    ]
+
+
+def run_lint(
+    paths: Sequence[str],
+    *,
+    select: Optional[Iterable[str]] = None,
+    ignore: Optional[Iterable[str]] = None,
+    deep: bool = False,
+    changed_ref: Optional[str] = None,
+    baseline: Optional[Sequence[Dict[str, str]]] = None,
+    cache: Optional[ASTCache] = None,
+) -> LintReport:
+    """One full lint invocation: per-file pass, deep pass, filters.
+
+    The per-file rules run on every file under ``paths``; with ``deep``
+    (or any RL1xx code in ``select``) the whole-program graph is built
+    over the *same* files through the *same* AST cache and the deep
+    rules run after.  ``changed_ref`` restricts **reporting** to files
+    changed vs. that git ref — the deep rules still see the whole
+    program, so a cross-module regression caused by a changed file but
+    manifesting in an unchanged one is only reported when the changed
+    file carries the flagged expression (findings follow the
+    expression, which is where the fix goes).  ``baseline`` entries
+    (see :mod:`repro.lint.baseline`) absorb known findings last, after
+    suppression and the changed filter.
+    """
+    from repro.lint.baseline import apply_baseline
+
+    started = time.perf_counter()
+    cache = cache if cache is not None else ASTCache()
+    rule_classes, deep_codes = _split_selection(select, ignore, deep=deep)
+    files = list(iter_python_files([Path(p) for p in paths]))
+    findings: List[Finding] = []
+    for path in files:
+        findings.extend(_lint_one(path, rule_classes, cache))
+    if deep_codes:
+        deep_findings = run_deep_rules(
+            [p for p in files], codes=deep_codes, cache=cache
+        )
+        findings.extend(_apply_suppressions(deep_findings, cache))
+    findings = sorted(set(findings))
+    report = LintReport(
+        findings=findings,
+        files=len(files),
+        deep=bool(deep_codes),
+    )
+    if changed_ref is not None:
+        changed = changed_files(changed_ref)
+        report.changed_only = len(changed)
+        report.findings = _filter_changed(report.findings, changed)
+    if baseline is not None:
+        matched = apply_baseline(report.findings, baseline)
+        report.findings = matched.findings
+        report.baselined = matched.suppressed
+        report.stale_baseline = matched.stale
+    report.parsed = cache.parse_count
+    report.elapsed_s = time.perf_counter() - started
+    return report
+
+
+def render_text(
+    findings: Sequence[Finding], report: Optional[LintReport] = None
+) -> str:
     """Human-readable report: one line per finding plus a summary."""
     lines = [str(f) for f in findings]
     noun = "finding" if len(findings) == 1 else "findings"
-    lines.append(f"{len(findings)} {noun}")
+    summary = f"{len(findings)} {noun}"
+    if report is not None:
+        extras = [f"{report.files} file(s)", f"{report.elapsed_s:.2f}s"]
+        if report.baselined:
+            extras.append(f"{report.baselined} baselined")
+        if report.stale_baseline:
+            extras.append(
+                f"{len(report.stale_baseline)} stale baseline entr"
+                f"{'y' if len(report.stale_baseline) == 1 else 'ies'}"
+            )
+        summary += f" ({', '.join(extras)})"
+    lines.append(summary)
     return "\n".join(lines)
 
 
-def render_json(findings: Sequence[Finding]) -> str:
-    """Machine-readable report (stable key order)."""
+def render_json(
+    findings: Sequence[Finding], report: Optional[LintReport] = None
+) -> str:
+    """Machine-readable report (stable key order).
+
+    With a :class:`LintReport`, the document also carries the pass's
+    own runtime and parse economy (``files``, ``parsed``,
+    ``elapsed_s``) plus baseline accounting — the measurable face of
+    the shared-AST-cache work.
+    """
     import json
 
-    return json.dumps(
-        {"findings": [f.to_dict() for f in findings], "count": len(findings)},
-        indent=2,
-    )
+    document: Dict[str, object] = {
+        "findings": [f.to_dict() for f in findings],
+        "count": len(findings),
+    }
+    if report is not None:
+        document["timing"] = {
+            "elapsed_s": round(report.elapsed_s, 6),
+            "files": report.files,
+            "parsed": report.parsed,
+        }
+        document["deep"] = report.deep
+        if report.baselined or report.stale_baseline:
+            document["baseline"] = {
+                "suppressed": report.baselined,
+                "stale": report.stale_baseline,
+            }
+        if report.changed_only is not None:
+            document["changed_files"] = report.changed_only
+    return json.dumps(document, indent=2)

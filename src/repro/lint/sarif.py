@@ -1,0 +1,126 @@
+"""SARIF 2.1.0 export so findings land in GitHub code scanning.
+
+One ``run`` per invocation: the tool component carries the full rule
+catalogue (per-file and deep rules alike, so code-scanning UIs can
+show rule help even for codes with no findings this run), each finding
+becomes a ``result`` with a physical location, and ``ruleIndex`` links
+the two.  Paths are emitted POSIX-style and relative when possible,
+which is what ``github/codeql-action/upload-sarif`` expects.
+
+The emitted document is deliberately minimal — only properties the
+2.1.0 schema marks required plus the location/level fields consumers
+actually read — and is covered by a golden-structure test
+(``tests/lint/test_sarif.py``).
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, List, Sequence
+
+from repro.lint.findings import Finding
+
+__all__ = ["SARIF_VERSION", "SARIF_SCHEMA_URI", "sarif_document", "render_sarif"]
+
+SARIF_VERSION = "2.1.0"
+SARIF_SCHEMA_URI = (
+    "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/"
+    "Schemata/sarif-schema-2.1.0.json"
+)
+
+#: Parse failures are hard errors; rule findings are warnings, which
+#: is what keeps code scanning annotations from blocking merges twice
+#: (the lint exit code already gates CI).
+_ERROR_CODES = {"RL000"}
+
+
+def _artifact_uri(path: str) -> str:
+    """POSIX, preferably repo-relative, URI for one finding path."""
+    p = Path(path)
+    try:
+        p = p.relative_to(Path.cwd())
+    except ValueError:
+        pass
+    return p.as_posix()
+
+
+def sarif_document(
+    findings: Sequence[Finding],
+    *,
+    catalog: Sequence[Dict[str, str]],
+    tool_version: str,
+) -> Dict[str, object]:
+    """The SARIF 2.1.0 document for one lint run, as a plain dict."""
+    rule_index = {entry["code"]: i for i, entry in enumerate(catalog)}
+    rules: List[Dict[str, object]] = [
+        {
+            "id": entry["code"],
+            "name": entry["name"],
+            "shortDescription": {"text": entry["description"]},
+        }
+        for entry in catalog
+    ]
+    results: List[Dict[str, object]] = []
+    for finding in findings:
+        result: Dict[str, object] = {
+            "ruleId": finding.code,
+            "level": "error" if finding.code in _ERROR_CODES else "warning",
+            "message": {"text": finding.message},
+            "locations": [
+                {
+                    "physicalLocation": {
+                        "artifactLocation": {
+                            "uri": _artifact_uri(finding.path),
+                            "uriBaseId": "SRCROOT",
+                        },
+                        "region": {
+                            "startLine": max(finding.line, 1),
+                            "startColumn": finding.col + 1,
+                        },
+                    }
+                }
+            ],
+        }
+        if finding.code in rule_index:
+            result["ruleIndex"] = rule_index[finding.code]
+        results.append(result)
+    return {
+        "$schema": SARIF_SCHEMA_URI,
+        "version": SARIF_VERSION,
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": "repro-lint",
+                        "informationUri": (
+                            "https://github.com/"  # repo-local tool
+                        ),
+                        "version": tool_version,
+                        "rules": rules,
+                    }
+                },
+                "originalUriBaseIds": {
+                    "SRCROOT": {"uri": "file:///" + Path.cwd().as_posix().lstrip("/") + "/"}
+                },
+                "results": results,
+                "columnKind": "utf16CodeUnits",
+            }
+        ],
+    }
+
+
+def render_sarif(
+    findings: Sequence[Finding],
+    *,
+    catalog: Sequence[Dict[str, str]],
+    tool_version: str,
+) -> str:
+    """Stable JSON serialization of :func:`sarif_document`."""
+    return json.dumps(
+        sarif_document(
+            findings, catalog=catalog, tool_version=tool_version
+        ),
+        indent=2,
+        sort_keys=True,
+    )

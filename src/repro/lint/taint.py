@@ -1,0 +1,586 @@
+"""The deep pass's dataflow engine: origin tags over the program graph.
+
+One engine serves all four RL100-series rules.  For any expression it
+computes a set of **origin tags** — where the value could have come
+from — by walking assignments inside the enclosing function, import
+bindings, and (the cross-module part) the return expressions of every
+program function the value passed through, resolved via
+:class:`~repro.lint.graph.ProgramGraph` with the caller's arguments
+substituted for the callee's parameters.
+
+Tags are deliberately coarse.  The rules only need to answer four
+questions:
+
+* does this seed trace back to an explicit seed parameter / config
+  field / constant, or to wall-clock / OS entropy?  (RL101)
+* can this value be pickled — or is it a lambda, a closure, a
+  generator, a lock, a file handle?  (RL102)
+* did wall-clock leak into it?  (RL103)
+* does it iterate in an unordered collection's order?  (RL104)
+
+The analysis is *may*-analysis with union semantics: a variable
+assigned on two paths carries both origins, an unresolvable call
+propagates its arguments' hazard tags and adds :data:`Tag.OPAQUE`.
+It never executes or imports anything, and depth/recursion guards make
+it total on arbitrary (including adversarial) input trees.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Dict, FrozenSet, List, Optional, Set, Tuple
+
+from repro.lint.graph import ModuleInfo, ProgramGraph
+
+__all__ = ["Tag", "TaintEngine", "Context", "SEED_NAME"]
+
+
+class Tag(Enum):
+    """Coarse origin classes the deep rules reason about."""
+
+    #: Explicit seed: a ``seed``-named parameter or attribute.
+    SEED = "seed"
+    #: A literal constant (deterministic by construction).
+    CONST = "const"
+    #: ``time.time``/``perf_counter``/``datetime.now`` and friends.
+    WALL_CLOCK = "wall-clock"
+    #: ``os.urandom``/``uuid.uuid4``/``secrets``/pids.
+    OS_ENTROPY = "os-entropy"
+    #: A draw from the global (unseeded) ``random`` module.
+    GLOBAL_RNG = "global-rng"
+    #: Iterates in no stable order: sets, filesystem listings.
+    UNORDERED = "unordered"
+    #: Unpicklable shapes (RL102).
+    LAMBDA = "lambda"
+    GENERATOR = "generator"
+    NESTED_FUNC = "nested-function"
+    LOCK = "lock"
+    FILE_HANDLE = "file-handle"
+    #: Analysis gave up: unknown name, unresolvable call, depth bound.
+    OPAQUE = "opaque"
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
+#: Parameter/attribute names treated as explicit seeds.
+SEED_NAME = re.compile(r"seed", re.IGNORECASE)
+
+#: Hazard tags that survive passage through an unresolvable call: a
+#: deterministic transform of wall-clock is still wall-clock, but an
+#: unknown transform of a seed is not itself evidence of seeding.
+_STICKY = frozenset(
+    {
+        Tag.SEED,
+        Tag.WALL_CLOCK,
+        Tag.OS_ENTROPY,
+        Tag.GLOBAL_RNG,
+        Tag.LAMBDA,
+        Tag.GENERATOR,
+        Tag.NESTED_FUNC,
+        Tag.LOCK,
+        Tag.FILE_HANDLE,
+    }
+)
+
+#: Fully qualified callables with known origin classes.
+_SOURCE_TABLE: Dict[str, FrozenSet[Tag]] = {}
+
+
+def _register(tags: FrozenSet[Tag], *names: str) -> None:
+    for name in names:
+        _SOURCE_TABLE[name] = tags
+
+
+_register(
+    frozenset({Tag.WALL_CLOCK}),
+    "time.time",
+    "time.time_ns",
+    "time.monotonic",
+    "time.monotonic_ns",
+    "time.perf_counter",
+    "time.perf_counter_ns",
+    "time.process_time",
+    "time.process_time_ns",
+    "time.clock_gettime",
+    "datetime.datetime.now",
+    "datetime.datetime.utcnow",
+    "datetime.datetime.today",
+    "datetime.date.today",
+)
+_register(
+    frozenset({Tag.OS_ENTROPY}),
+    "os.urandom",
+    "os.getrandom",
+    "os.getpid",
+    "uuid.uuid1",
+    "uuid.uuid4",
+    "secrets.token_bytes",
+    "secrets.token_hex",
+    "secrets.token_urlsafe",
+    "secrets.randbits",
+    "secrets.randbelow",
+    "secrets.choice",
+    "random.SystemRandom",
+)
+_register(
+    frozenset({Tag.LOCK}),
+    "threading.Lock",
+    "threading.RLock",
+    "threading.Condition",
+    "threading.Event",
+    "threading.Semaphore",
+    "threading.BoundedSemaphore",
+    "multiprocessing.Lock",
+    "multiprocessing.RLock",
+)
+_register(
+    frozenset({Tag.UNORDERED}),
+    "os.listdir",
+    "os.scandir",
+    "glob.glob",
+    "glob.iglob",
+)
+
+#: Global-RNG draws (the cross-module complement of per-file RL002).
+_GLOBAL_RNG_FUNCS = {
+    "betavariate", "choice", "choices", "expovariate", "gammavariate",
+    "gauss", "getrandbits", "lognormvariate", "normalvariate",
+    "paretovariate", "randbytes", "randint", "random", "randrange",
+    "sample", "shuffle", "triangular", "uniform", "vonmisesvariate",
+    "weibullvariate",
+}
+_register(
+    frozenset({Tag.GLOBAL_RNG}),
+    *(f"random.{name}" for name in _GLOBAL_RNG_FUNCS),
+)
+
+#: Builtins that forward their arguments' origins unchanged.
+_TRANSPARENT_BUILTINS = {
+    "int", "float", "str", "bytes", "bool", "abs", "round", "hash",
+    "repr", "format", "list", "tuple", "iter", "reversed", "enumerate",
+    "zip", "map", "filter",
+}
+
+#: Builtins whose result is order-insensitive: they absorb UNORDERED.
+_ORDER_ABSORBING_BUILTINS = {"sorted", "min", "max", "sum", "len", "any", "all"}
+
+#: Attribute calls that *produce* unordered collections regardless of
+#: the receiver (path/directory listings, set algebra).
+_UNORDERED_METHODS = {
+    "iterdir", "glob", "rglob",
+    "union", "intersection", "difference", "symmetric_difference",
+}
+
+
+@dataclass
+class Context:
+    """Everything needed to evaluate expressions inside one function."""
+
+    module: ModuleInfo
+    #: name → every expression assigned to it in this scope.
+    env: Dict[str, List[ast.expr]] = field(default_factory=dict)
+    #: parameter name → origin tags (substituted at call sites).
+    params: Dict[str, FrozenSet[Tag]] = field(default_factory=dict)
+    #: functions/lambdas *defined inside* this scope (closures).
+    local_funcs: Set[str] = field(default_factory=set)
+    #: enclosing class name, so ``self.m()`` resolves to ``Cls.m``.
+    cls: Optional[str] = None
+    depth: int = 0
+
+
+def _scope_env(body: List[ast.stmt]) -> Tuple[Dict[str, List[ast.expr]], Set[str]]:
+    """Assignments and nested-callable names of one function scope.
+
+    Walks the statements of the scope but not into nested function or
+    class bodies (their assignments are not this scope's), recording
+    every expression each simple name is bound to — union semantics,
+    not flow-sensitivity — plus the names of nested defs and lambdas
+    (closure references, which RL102 treats as unpicklable).
+    """
+    env: Dict[str, List[ast.expr]] = {}
+    local_funcs: Set[str] = set()
+
+    def bind(target: ast.expr, value: ast.expr) -> None:
+        if isinstance(target, ast.Name):
+            env.setdefault(target.id, []).append(value)
+        elif isinstance(target, (ast.Tuple, ast.List)):
+            for element in target.elts:
+                # Losing per-element precision is fine: union semantics.
+                bind(element, value)
+        elif isinstance(target, ast.Starred):
+            bind(target.value, value)
+
+    def walk(statements: List[ast.stmt]) -> None:
+        for stmt in statements:
+            if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                local_funcs.add(stmt.name)
+                continue
+            if isinstance(stmt, ast.ClassDef):
+                continue
+            if isinstance(stmt, ast.Assign):
+                for target in stmt.targets:
+                    bind(target, stmt.value)
+                if isinstance(stmt.value, ast.Lambda):
+                    for target in stmt.targets:
+                        if isinstance(target, ast.Name):
+                            local_funcs.add(target.id)
+            elif isinstance(stmt, ast.AnnAssign) and stmt.value is not None:
+                bind(stmt.target, stmt.value)
+            elif isinstance(stmt, ast.AugAssign):
+                bind(stmt.target, stmt.value)
+            elif isinstance(stmt, (ast.For, ast.AsyncFor)):
+                bind(stmt.target, stmt.iter)
+            elif isinstance(stmt, (ast.With, ast.AsyncWith)):
+                for item in stmt.items:
+                    if item.optional_vars is not None:
+                        bind(item.optional_vars, item.context_expr)
+            # Recurse into nested *statement* bodies of this scope.
+            for attr in ("body", "orelse", "finalbody"):
+                inner = getattr(stmt, attr, None)
+                if isinstance(inner, list) and not isinstance(
+                    stmt, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)
+                ):
+                    walk(inner)
+            for handler in getattr(stmt, "handlers", []):
+                walk(handler.body)
+
+    walk(body)
+    return env, local_funcs
+
+
+class TaintEngine:
+    """Origin analysis over one :class:`~repro.lint.graph.ProgramGraph`."""
+
+    #: Bound on cross-function summary chains; past it → OPAQUE.
+    MAX_DEPTH = 8
+
+    def __init__(self, graph: ProgramGraph) -> None:
+        self.graph = graph
+        self._summaries: Dict[Tuple[str, FrozenSet], FrozenSet[Tag]] = {}
+        self._in_progress: Set[str] = set()
+
+    # -- contexts -----------------------------------------------------
+
+    def function_context(
+        self,
+        module: ModuleInfo,
+        func: ast.FunctionDef,
+        *,
+        cls: Optional[str] = None,
+        param_tags: Optional[Dict[str, FrozenSet[Tag]]] = None,
+        depth: int = 0,
+    ) -> Context:
+        """Context for analysing inside ``func``.
+
+        Without explicit ``param_tags``, parameters are classified by
+        name: seed-named ones are :data:`Tag.SEED`, the rest are
+        :data:`Tag.OPAQUE` (we do not know what callers pass).
+        """
+        env, local_funcs = _scope_env(func.body)
+        params: Dict[str, FrozenSet[Tag]] = {}
+        args = func.args
+        every = (
+            list(args.posonlyargs) + list(args.args) + list(args.kwonlyargs)
+        )
+        for arg in every:
+            default = (
+                frozenset({Tag.SEED})
+                if SEED_NAME.search(arg.arg)
+                else frozenset({Tag.OPAQUE})
+            )
+            params[arg.arg] = (
+                param_tags.get(arg.arg, default) if param_tags else default
+            )
+        return Context(
+            module=module,
+            env=env,
+            params=params,
+            local_funcs=local_funcs,
+            cls=cls,
+            depth=depth,
+        )
+
+    def module_context(self, module: ModuleInfo) -> Context:
+        """Context for module-level statements."""
+        env, local_funcs = _scope_env(module.tree.body)
+        return Context(module=module, env=env, local_funcs=local_funcs)
+
+    # -- the evaluator ------------------------------------------------
+
+    def origins(self, node: ast.AST, ctx: Context) -> FrozenSet[Tag]:
+        """Origin tags of one expression (total, never raises)."""
+        return self._eval(node, ctx, visiting=frozenset())
+
+    def _eval(
+        self, node: ast.AST, ctx: Context, visiting: FrozenSet[str]
+    ) -> FrozenSet[Tag]:
+        if ctx.depth > self.MAX_DEPTH:
+            return frozenset({Tag.OPAQUE})
+        if isinstance(node, ast.Constant):
+            return frozenset({Tag.CONST})
+        if isinstance(node, ast.Name):
+            return self._eval_name(node, ctx, visiting)
+        if isinstance(node, ast.Attribute):
+            return self._eval_attribute(node, ctx)
+        if isinstance(node, ast.Call):
+            return self._eval_call(node, ctx, visiting)
+        if isinstance(node, ast.Lambda):
+            return frozenset({Tag.LAMBDA})
+        if isinstance(node, ast.GeneratorExp):
+            return frozenset({Tag.GENERATOR}) | self._comp_iters(
+                node, ctx, visiting
+            )
+        if isinstance(node, ast.SetComp):
+            return frozenset({Tag.UNORDERED}) | self._comp_iters(
+                node, ctx, visiting
+            )
+        if isinstance(node, (ast.ListComp, ast.DictComp)):
+            return self._comp_iters(node, ctx, visiting)
+        if isinstance(node, ast.Set):
+            return frozenset({Tag.UNORDERED}) | self._union(
+                node.elts, ctx, visiting
+            )
+        if isinstance(node, (ast.List, ast.Tuple)):
+            return self._union(node.elts, ctx, visiting)
+        if isinstance(node, ast.Dict):
+            values = [v for v in node.values if v is not None]
+            keys = [k for k in node.keys if k is not None]
+            return self._union(keys + values, ctx, visiting)
+        if isinstance(node, ast.JoinedStr):
+            return frozenset({Tag.CONST}) | self._union(
+                [fv.value for fv in node.values
+                 if isinstance(fv, ast.FormattedValue)],
+                ctx,
+                visiting,
+            )
+        if isinstance(node, ast.FormattedValue):
+            return self._eval(node.value, ctx, visiting)
+        if isinstance(node, ast.BinOp):
+            return self._union([node.left, node.right], ctx, visiting)
+        if isinstance(node, ast.BoolOp):
+            return self._union(node.values, ctx, visiting)
+        if isinstance(node, ast.UnaryOp):
+            return self._eval(node.operand, ctx, visiting)
+        if isinstance(node, ast.Compare):
+            # A comparison result is a bool: order/source hazards of the
+            # operands do not survive into it.
+            return frozenset({Tag.CONST})
+        if isinstance(node, ast.IfExp):
+            return self._union([node.body, node.orelse], ctx, visiting)
+        if isinstance(node, ast.Subscript):
+            return self._eval(node.value, ctx, visiting)
+        if isinstance(node, ast.Starred):
+            return self._eval(node.value, ctx, visiting)
+        if isinstance(node, (ast.Await, ast.YieldFrom)):
+            return self._eval(node.value, ctx, visiting)  # type: ignore[arg-type]
+        if isinstance(node, ast.Yield):
+            if node.value is None:
+                return frozenset({Tag.CONST})
+            return self._eval(node.value, ctx, visiting)
+        if isinstance(node, ast.NamedExpr):
+            return self._eval(node.value, ctx, visiting)
+        return frozenset({Tag.OPAQUE})
+
+    def _union(
+        self,
+        nodes: List[ast.expr],
+        ctx: Context,
+        visiting: FrozenSet[str],
+    ) -> FrozenSet[Tag]:
+        tags: Set[Tag] = set()
+        for node in nodes:
+            tags |= self._eval(node, ctx, visiting)
+        return frozenset(tags) if tags else frozenset({Tag.CONST})
+
+    def _comp_iters(
+        self, node: ast.AST, ctx: Context, visiting: FrozenSet[str]
+    ) -> FrozenSet[Tag]:
+        iters = [gen.iter for gen in getattr(node, "generators", [])]
+        return self._union(iters, ctx, visiting)
+
+    def _eval_name(
+        self, node: ast.Name, ctx: Context, visiting: FrozenSet[str]
+    ) -> FrozenSet[Tag]:
+        name = node.id
+        if name in ctx.local_funcs:
+            return frozenset({Tag.NESTED_FUNC})
+        if name in ctx.params:
+            return ctx.params[name]
+        if name in ctx.env and name not in visiting:
+            inner = visiting | {name}
+            tags: Set[Tag] = set()
+            for value in ctx.env[name]:
+                tags |= self._eval(value, ctx, inner)
+            return frozenset(tags) if tags else frozenset({Tag.OPAQUE})
+        if SEED_NAME.search(name) and name not in ctx.env:
+            # A free seed-named variable (module global, closure cell).
+            return frozenset({Tag.SEED})
+        qual = self.graph.resolve_name(ctx.module, node)
+        if qual is not None and self.graph.resolve_function(qual) is not None:
+            # A reference to a module-level function: picklable by name.
+            return frozenset({Tag.CONST})
+        return frozenset({Tag.OPAQUE})
+
+    def _eval_attribute(self, node: ast.Attribute, ctx: Context) -> FrozenSet[Tag]:
+        if SEED_NAME.search(node.attr):
+            return frozenset({Tag.SEED})
+        qual = self.graph.resolve_name(ctx.module, node)
+        if qual is not None:
+            known = _SOURCE_TABLE.get(qual)
+            if known is not None:
+                return known
+            if self.graph.resolve_function(qual) is not None:
+                return frozenset({Tag.CONST})
+        return frozenset({Tag.OPAQUE})
+
+    # -- calls --------------------------------------------------------
+
+    def _eval_call(
+        self, node: ast.Call, ctx: Context, visiting: FrozenSet[str]
+    ) -> FrozenSet[Tag]:
+        func = node.func
+        arg_nodes = list(node.args) + [
+            kw.value for kw in node.keywords if kw.value is not None
+        ]
+        # Builtins (only when the name is not locally rebound).
+        if isinstance(func, ast.Name) and not self._is_bound(func.id, ctx):
+            name = func.id
+            if name in ("set", "frozenset"):
+                return frozenset({Tag.UNORDERED}) | self._union(
+                    arg_nodes, ctx, visiting
+                )
+            if name in _ORDER_ABSORBING_BUILTINS:
+                inner = self._union(arg_nodes, ctx, visiting)
+                return (inner - {Tag.UNORDERED}) or frozenset({Tag.CONST})
+            if name == "open":
+                return frozenset({Tag.FILE_HANDLE})
+            if name in _TRANSPARENT_BUILTINS:
+                return self._union(arg_nodes, ctx, visiting)
+
+        qual = self.graph.resolve_call(ctx.module, node)
+        if qual is None and (
+            isinstance(func, ast.Attribute)
+            and isinstance(func.value, ast.Name)
+            and func.value.id == "self"
+            and ctx.cls is not None
+        ):
+            qual = f"{ctx.module.name}.{ctx.cls}.{func.attr}"
+        if qual is not None:
+            known = _SOURCE_TABLE.get(qual)
+            if known is not None:
+                return known
+            resolved = self.graph.resolve_function(qual)
+            if resolved is not None:
+                return self._summarize(
+                    qual, resolved, node, ctx, visiting
+                )
+        # Unordered-producing methods (set algebra, dir listings) and
+        # method calls on unordered receivers keep the hazard.
+        if isinstance(func, ast.Attribute):
+            receiver = self._eval(func.value, ctx, visiting)
+            if func.attr in _UNORDERED_METHODS and (
+                Tag.UNORDERED in receiver or Tag.OPAQUE in receiver
+            ):
+                return frozenset({Tag.UNORDERED})
+            if func.attr in ("copy", "pop"):
+                return receiver
+        # Unknown callee: hazards ride through, provenance does not.
+        passed = self._union(arg_nodes, ctx, visiting) & _STICKY
+        return frozenset({Tag.OPAQUE}) | passed
+
+    @staticmethod
+    def _is_bound(name: str, ctx: Context) -> bool:
+        return (
+            name in ctx.env
+            or name in ctx.params
+            or name in ctx.local_funcs
+            or name in ctx.module.imports
+        )
+
+    def _summarize(
+        self,
+        qual: str,
+        resolved: Tuple[ModuleInfo, ast.FunctionDef],
+        call: ast.Call,
+        ctx: Context,
+        visiting: FrozenSet[str],
+    ) -> FrozenSet[Tag]:
+        """Origins of ``qual``'s return value for this call's arguments."""
+        owner, func = resolved
+        if qual in self._in_progress or ctx.depth >= self.MAX_DEPTH:
+            return frozenset({Tag.OPAQUE})
+        param_tags = self._map_arguments(func, call, ctx, visiting)
+        key = (qual, frozenset(param_tags.items()))
+        cached = self._summaries.get(key)
+        if cached is not None:
+            return cached
+        self._in_progress.add(qual)
+        try:
+            cls = qual.rsplit(".", 2)[-2] if self._is_method(owner, qual) else None
+            callee_ctx = self.function_context(
+                owner,
+                func,
+                cls=cls,
+                param_tags=param_tags,
+                depth=ctx.depth + 1,
+            )
+            tags: Set[Tag] = set()
+            for ret in self._return_exprs(func):
+                tags |= self._eval(ret, callee_ctx, frozenset())
+            result = frozenset(tags) if tags else frozenset({Tag.OPAQUE})
+        finally:
+            self._in_progress.discard(qual)
+        self._summaries[key] = result
+        return result
+
+    @staticmethod
+    def _is_method(owner: ModuleInfo, qual: str) -> bool:
+        local = qual[len(owner.name) + 1 :] if owner.name else qual
+        return "." in local
+
+    def _map_arguments(
+        self,
+        func: ast.FunctionDef,
+        call: ast.Call,
+        ctx: Context,
+        visiting: FrozenSet[str],
+    ) -> Dict[str, FrozenSet[Tag]]:
+        args = func.args
+        names = [a.arg for a in list(args.posonlyargs) + list(args.args)]
+        if names and names[0] in ("self", "cls"):
+            names = names[1:]
+        mapped: Dict[str, FrozenSet[Tag]] = {}
+        for name, value in zip(names, call.args):
+            mapped[name] = self._eval(value, ctx, visiting)
+        kw_names = set(names) | {a.arg for a in args.kwonlyargs}
+        for keyword in call.keywords:
+            if keyword.arg is not None and keyword.arg in kw_names:
+                mapped[keyword.arg] = self._eval(keyword.value, ctx, visiting)
+        return mapped
+
+    @staticmethod
+    def _return_exprs(func: ast.FunctionDef) -> List[ast.expr]:
+        """Return expressions of ``func`` (its own, not nested defs')."""
+        returns: List[ast.expr] = []
+
+        def walk(statements: List[ast.stmt]) -> None:
+            for stmt in statements:
+                if isinstance(
+                    stmt, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)
+                ):
+                    continue
+                if isinstance(stmt, ast.Return) and stmt.value is not None:
+                    returns.append(stmt.value)
+                for attr in ("body", "orelse", "finalbody"):
+                    inner = getattr(stmt, attr, None)
+                    if isinstance(inner, list):
+                        walk(inner)
+                for handler in getattr(stmt, "handlers", []):
+                    walk(handler.body)
+
+        walk(func.body)
+        return returns

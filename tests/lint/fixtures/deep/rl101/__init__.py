@@ -1,0 +1,3 @@
+"""RL101 fixture package: cross-module seed provenance."""
+
+__all__ = []

@@ -1,0 +1,26 @@
+"""RL101 clean cases: seeds that trace to a parameter or constant."""
+
+import random
+
+__all__ = ["seeded_rng", "fixed_rng", "derived_rng", "spanned_rng"]
+
+
+def seeded_rng(seed):
+    return random.Random(seed)
+
+
+def fixed_rng():
+    return random.Random(20200101)
+
+
+def _mix(seed, salt):
+    return seed * 31 + salt
+
+
+def derived_rng(seed):
+    return random.Random(_mix(seed, 7))
+
+
+def spanned_rng(config):
+    # A seed-named config field is an explicit seed, wherever it lives.
+    return random.Random(config.base_seed)

@@ -1,0 +1,10 @@
+"""Helper module: the wall-clock source lives one module away."""
+
+import time
+
+__all__ = ["stamp"]
+
+
+def stamp():
+    """A timestamp — looks innocent from the caller's file."""
+    return int(time.time())

@@ -1,0 +1,11 @@
+"""RL101 suppressed: same violation, pragma-silenced in place."""
+
+import random
+
+from .clocks import stamp
+
+__all__ = ["fresh_rng"]
+
+
+def fresh_rng():
+    return random.Random(stamp())  # repro-lint: disable=RL101 fixture demo

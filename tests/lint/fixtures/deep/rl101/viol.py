@@ -1,0 +1,20 @@
+"""RL101 violations: the tainted seed is minted in another module.
+
+Per-file RL002 cannot see this — ``random.Random(x)`` with an argument
+is locally fine; only following ``stamp()`` into ``clocks.py`` reveals
+the wall-clock origin.
+"""
+
+import random
+
+from .clocks import stamp
+
+__all__ = ["fresh_rng", "mystery_rng"]
+
+
+def fresh_rng():
+    return random.Random(stamp())
+
+
+def mystery_rng(config):
+    return random.Random(config.run_id)

@@ -1,0 +1,3 @@
+"""RL102 fixture package: pickle safety of shipped values."""
+
+__all__ = []

@@ -1,0 +1,13 @@
+"""Helper module: the unpicklable value is built one module away."""
+
+__all__ = ["make_callback", "make_spec"]
+
+
+def make_callback(result):
+    """Returns a lambda — fails to pickle across a process boundary."""
+    return lambda: result
+
+
+def make_spec(name):
+    """Returns plain data — safe to ship."""
+    return {"workload": name, "scale": 16}

@@ -1,0 +1,26 @@
+"""RL102 clean cases: plain-data specs ship; parent-side args may close.
+
+``on_result`` runs in the submitting process and never crosses the
+boundary, so handing it a nested function is sanctioned — the rule
+checks only the *shipped* argument positions.
+"""
+
+from repro.sim.parallel import run_jobs
+
+from .builders import make_spec
+
+__all__ = ["submit", "submit_with_handler"]
+
+
+def submit(policy):
+    specs = [make_spec("mcf"), make_spec("bfs")]
+    return run_jobs(specs, policy=policy)
+
+
+def submit_with_handler(policy):
+    collected = []
+
+    def handler(result):
+        collected.append(result)
+
+    return run_jobs([make_spec("mcf")], policy=policy, on_result=handler)

@@ -1,0 +1,12 @@
+"""RL102 suppressed: same violation, pragma-silenced in place."""
+
+from repro.sim.parallel import run_jobs
+
+from .builders import make_callback
+
+__all__ = ["submit"]
+
+
+def submit(policy, result):
+    specs = [make_callback(result)]
+    return run_jobs(specs, policy=policy)  # repro-lint: disable=RL102 fixture

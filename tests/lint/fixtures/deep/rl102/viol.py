@@ -1,0 +1,17 @@
+"""RL102 violation: a closure reaches the job list via a helper.
+
+Per-file RL007 only polices *which* module spawns processes; it cannot
+see that the value inside ``specs`` came from a lambda factory in
+``builders.py`` and will explode in ``pickle.dumps`` inside a worker.
+"""
+
+from repro.sim.parallel import run_jobs
+
+from .builders import make_callback
+
+__all__ = ["submit"]
+
+
+def submit(policy, result):
+    specs = [make_callback(result)]
+    return run_jobs(specs, policy=policy)

@@ -1,0 +1,3 @@
+"""RL103 fixture package: wall-clock taint into manifests."""
+
+__all__ = []

@@ -1,0 +1,17 @@
+"""RL103 clean cases: timestamps stay in the digest-exempt block."""
+
+from repro.obs.manifest import build_manifest
+
+from .timers import moment
+
+__all__ = ["record", "record_spans"]
+
+
+def record(result):
+    return build_manifest(result)
+
+
+def record_spans(result):
+    # The exec_telemetry block is excluded from the integrity digest by
+    # design; wall-clock inside it is sanctioned.
+    return build_manifest(result, exec_telemetry={"elapsed": moment()})

@@ -1,0 +1,20 @@
+"""RL103 violations: wall-clock reaches a manifest through a helper.
+
+No per-file rule can flag this: the call site never mentions ``time``;
+the taint arrives through ``timers.moment()`` in another module.
+"""
+
+from repro.obs.manifest import build_manifest
+
+from .timers import moment
+
+__all__ = ["record", "stash"]
+
+
+def record(result):
+    return build_manifest(result, started=moment())
+
+
+def stash(manifest, result):
+    manifest["wall_time"] = moment()
+    return manifest

@@ -1,0 +1,3 @@
+"""RL104 fixture package: unordered iteration into ordered output."""
+
+__all__ = []

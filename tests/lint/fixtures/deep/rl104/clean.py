@@ -1,0 +1,17 @@
+"""RL104 clean cases: sorted() pins the order before anything leaks."""
+
+from .listing import touched_pages
+
+__all__ = ["emit", "tally"]
+
+
+def emit(trace):
+    events = []
+    for page in sorted(touched_pages(trace)):
+        events.append(page)
+    return events
+
+
+def tally(trace):
+    # Order-insensitive reductions of a set are fine.
+    return sum(touched_pages(trace)), len(touched_pages(trace))

@@ -1,0 +1,8 @@
+"""Helper module: the unordered collection is built one module away."""
+
+__all__ = ["touched_pages"]
+
+
+def touched_pages(trace):
+    """A set — iteration order depends on the process's hash seed."""
+    return {entry for entry in trace}

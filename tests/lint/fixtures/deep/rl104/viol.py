@@ -1,0 +1,21 @@
+"""RL104 violations: set iteration order leaks into emitted records.
+
+The iterable looks like any other call result at the loop header; only
+following ``touched_pages()`` into ``listing.py`` shows it is a set.
+"""
+
+from .listing import touched_pages
+
+__all__ = ["emit", "snapshot"]
+
+
+def emit(trace):
+    events = []
+    for page in touched_pages(trace):
+        events.append(page)
+    return events
+
+
+def snapshot(trace):
+    records = [page for page in touched_pages(trace)]
+    return records

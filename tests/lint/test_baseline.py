@@ -1,0 +1,124 @@
+"""Baseline files: accept the past, fail the future, flag the stale."""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.errors import LintError
+from repro.lint import (
+    BASELINE_SCHEMA,
+    Finding,
+    apply_baseline,
+    load_baseline,
+    run_lint,
+    write_baseline,
+)
+
+DEEP_FIXTURES = Path(__file__).parent / "fixtures" / "deep"
+
+
+def _finding(message="m", path="src/a.py", code="RL101", line=3):
+    return Finding(path=path, line=line, col=0, code=code, message=message)
+
+
+class TestApplyBaseline:
+    def test_matching_findings_are_suppressed(self):
+        entries = [{"path": "src/a.py", "code": "RL101", "message": "m"}]
+        result = apply_baseline([_finding()], entries)
+        assert result.findings == [] and result.suppressed == 1
+        assert result.stale == []
+
+    def test_matching_ignores_line_numbers(self):
+        entries = [{"path": "src/a.py", "code": "RL101", "message": "m"}]
+        result = apply_baseline([_finding(line=400)], entries)
+        assert result.findings == []
+
+    def test_multiset_semantics_absorb_only_the_budget(self):
+        entries = [{"path": "src/a.py", "code": "RL101", "message": "m"}]
+        result = apply_baseline([_finding(), _finding(line=9)], entries)
+        # One entry, two identical findings: the second one fails.
+        assert len(result.findings) == 1 and result.suppressed == 1
+
+    def test_fixed_finding_leaves_a_stale_entry(self):
+        entries = [
+            {"path": "src/a.py", "code": "RL101", "message": "m"},
+            {"path": "src/gone.py", "code": "RL102", "message": "fixed"},
+        ]
+        result = apply_baseline([_finding()], entries)
+        assert [e["path"] for e in result.stale] == ["src/gone.py"]
+
+
+class TestBaselineFile:
+    def test_round_trip(self, tmp_path):
+        target = tmp_path / "baseline.json"
+        write_baseline(target, [_finding()])
+        entries = load_baseline(target)
+        assert entries[0]["path"] == "src/a.py"
+        assert entries[0]["justification"].startswith("TODO")
+        document = json.loads(target.read_text(encoding="utf-8"))
+        assert document["schema"] == BASELINE_SCHEMA
+
+    def test_missing_schema_is_rejected(self, tmp_path):
+        target = tmp_path / "bad.json"
+        target.write_text(json.dumps({"findings": []}), encoding="utf-8")
+        with pytest.raises(LintError):
+            load_baseline(target)
+
+    def test_invalid_json_is_rejected(self, tmp_path):
+        target = tmp_path / "bad.json"
+        target.write_text("{", encoding="utf-8")
+        with pytest.raises(LintError):
+            load_baseline(target)
+
+    def test_incomplete_entry_is_rejected(self, tmp_path):
+        target = tmp_path / "bad.json"
+        target.write_text(
+            json.dumps(
+                {"schema": BASELINE_SCHEMA, "findings": [{"path": "x"}]}
+            ),
+            encoding="utf-8",
+        )
+        with pytest.raises(LintError):
+            load_baseline(target)
+
+
+class TestBaselineLifecycle:
+    """The full loop: enters baseline → silenced → resurfaces on removal."""
+
+    def test_enter_silence_resurface(self, tmp_path):
+        package = str(DEEP_FIXTURES / "rl101")
+        # 1. The violation is found.
+        before = run_lint([package], select=["RL101"])
+        assert before.findings
+
+        # 2. Baselined: the same run is silent (and accounted for).
+        target = tmp_path / "baseline.json"
+        write_baseline(target, before.findings)
+        baselined = run_lint(
+            [package], select=["RL101"], baseline=load_baseline(target)
+        )
+        assert baselined.findings == []
+        assert baselined.baselined == len(before.findings)
+        assert baselined.stale_baseline == []
+
+        # 3. Entry removed: the finding resurfaces.
+        entries = load_baseline(target)[1:]
+        resurfaced = run_lint([package], select=["RL101"], baseline=entries)
+        assert len(resurfaced.findings) == 1
+        assert resurfaced.findings[0].code == "RL101"
+
+    def test_stale_entries_are_reported_by_run_lint(self, tmp_path):
+        package = str(DEEP_FIXTURES / "rl101")
+        before = run_lint([package], select=["RL101"])
+        entries = [
+            {
+                "path": Path(f.path).as_posix(),
+                "code": f.code,
+                "message": f.message,
+            }
+            for f in before.findings
+        ] + [{"path": "src/fixed.py", "code": "RL103", "message": "gone"}]
+        report = run_lint([package], select=["RL101"], baseline=entries)
+        assert report.findings == []
+        assert [e["path"] for e in report.stale_baseline] == ["src/fixed.py"]

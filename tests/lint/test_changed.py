@@ -1,0 +1,114 @@
+"""``--changed``: lint findings restricted to files touched vs. a ref."""
+
+import subprocess
+from pathlib import Path
+
+import pytest
+
+from repro.errors import LintError
+from repro.lint import changed_files, run_lint
+
+# A self-contained RL104 violation (set iteration feeding an event
+# list) so the changed-mode tests need no cross-file imports.
+VIOLATION = """\
+__all__ = ["emit"]
+
+
+def emit():
+    events = []
+    for item in {1, 2, 3}:
+        events.append(item)
+    return events
+"""
+
+
+def _git(repo: Path, *args: str) -> str:
+    return subprocess.run(
+        [
+            "git",
+            "-c", "user.email=lint@test",
+            "-c", "user.name=lint-test",
+            *args,
+        ],
+        cwd=repo,
+        capture_output=True,
+        text=True,
+        check=True,
+    ).stdout
+
+
+@pytest.fixture
+def repo(tmp_path):
+    _git(tmp_path, "init", "-q", "-b", "main")
+    (tmp_path / "committed.py").write_text(VIOLATION, encoding="utf-8")
+    _git(tmp_path, "add", ".")
+    _git(tmp_path, "commit", "-q", "-m", "seed")
+    return tmp_path
+
+
+class TestChangedFiles:
+    def test_untracked_and_modified_files_are_changed(self, repo):
+        (repo / "fresh.py").write_text(VIOLATION, encoding="utf-8")
+        (repo / "committed.py").write_text(VIOLATION + "\n", encoding="utf-8")
+        names = {p.name for p in changed_files("HEAD", cwd=repo)}
+        assert names == {"fresh.py", "committed.py"}
+
+    def test_clean_tree_has_no_changes(self, repo):
+        assert changed_files("HEAD", cwd=repo) == set()
+
+    def test_outside_a_repo_raises_lint_error(self, tmp_path):
+        lonely = tmp_path / "no-repo"
+        lonely.mkdir()
+        with pytest.raises(LintError):
+            changed_files("HEAD", cwd=lonely)
+
+    def test_unknown_ref_raises_lint_error(self, repo):
+        with pytest.raises(LintError):
+            changed_files("no-such-ref", cwd=repo)
+
+
+class TestChangedMode:
+    def test_findings_are_filtered_to_changed_files(self, repo, monkeypatch):
+        monkeypatch.chdir(repo)
+        (repo / "fresh.py").write_text(VIOLATION, encoding="utf-8")
+
+        # Without the filter: both the committed and the fresh file.
+        full = run_lint(["."], select=["RL104"])
+        assert {Path(f.path).name for f in full.findings} == {
+            "committed.py",
+            "fresh.py",
+        }
+
+        # With it: only the file touched since the ref.
+        changed = run_lint(["."], select=["RL104"], changed_ref="HEAD")
+        assert {Path(f.path).name for f in changed.findings} == {"fresh.py"}
+        assert changed.changed_only == 1
+
+    def test_deep_rules_still_see_the_whole_program(self, repo, monkeypatch):
+        # The cross-module case: helper (committed, unchanged) mints the
+        # set; caller (fresh) iterates it.  The deep pass must load the
+        # helper to find the bug in the changed file.
+        monkeypatch.chdir(repo)
+        (repo / "__init__.py").write_text("", encoding="utf-8")
+        (repo / "maker.py").write_text(
+            '__all__ = ["pages"]\n\n\n'
+            "def pages(trace):\n"
+            "    return {t for t in trace}\n",
+            encoding="utf-8",
+        )
+        _git(repo, "add", ".")
+        _git(repo, "commit", "-q", "-m", "helper")
+        (repo / "caller.py").write_text(
+            '__all__ = ["emit"]\n\n'
+            "from .maker import pages\n\n\n"
+            "def emit(trace):\n"
+            "    events = []\n"
+            "    for page in pages(trace):\n"
+            "        events.append(page)\n"
+            "    return events\n",
+            encoding="utf-8",
+        )
+        report = run_lint(["."], select=["RL104"], changed_ref="HEAD")
+        flagged = {Path(f.path).name for f in report.findings}
+        assert "caller.py" in flagged  # needs maker.py in the graph
+        assert "committed.py" not in flagged  # filtered: unchanged

@@ -1,0 +1,109 @@
+"""The RL100-series: each deep rule against its fixture package.
+
+Every rule has three fixture faces: ``viol.py`` (cross-module
+violation the per-file pass provably misses), ``clean.py`` (the
+sanctioned way to do the same thing) and ``silenced.py`` (the same
+violation, pragma-suppressed in place).
+"""
+
+from pathlib import Path
+
+import pytest
+
+from repro.lint import lint_file, run_lint
+from repro.lint.graph import ASTCache
+
+DEEP_FIXTURES = Path(__file__).parent / "fixtures" / "deep"
+
+CASES = {
+    "RL101": "rl101",
+    "RL102": "rl102",
+    "RL103": "rl103",
+    "RL104": "rl104",
+}
+
+
+def _deep(package: str, code: str, **kwargs):
+    return run_lint([str(DEEP_FIXTURES / package)], select=[code], **kwargs)
+
+
+@pytest.mark.parametrize("code,package", sorted(CASES.items()))
+class TestEachDeepRule:
+    def test_violation_is_caught(self, code, package):
+        report = _deep(package, code)
+        assert report.findings, f"{code} missed its fixture violation"
+        assert {f.code for f in report.findings} == {code}
+        assert all(Path(f.path).name == "viol.py" for f in report.findings)
+
+    def test_clean_and_silenced_files_stay_quiet(self, code, package):
+        report = _deep(package, code)
+        flagged = {Path(f.path).name for f in report.findings}
+        assert "clean.py" not in flagged
+        assert "silenced.py" not in flagged
+
+    def test_per_file_pass_misses_the_cross_module_bug(self, code, package):
+        # The acceptance criterion: RL001–RL009 see nothing wrong with
+        # the very file the deep rule (correctly) flags.
+        assert lint_file(DEEP_FIXTURES / package / "viol.py") == []
+
+
+class TestSelectionAndSuppression:
+    def test_selecting_an_rl1xx_code_enables_the_deep_pass(self):
+        # No deep=True — the code alone turns the analysis on.
+        report = run_lint(
+            [str(DEEP_FIXTURES / "rl101")], select=["RL101"]
+        )
+        assert report.deep and report.findings
+
+    def test_ignore_drops_a_deep_code(self):
+        report = run_lint(
+            [str(DEEP_FIXTURES / "rl101")], deep=True,
+            select=["RL101"], ignore=["RL101"],
+        )
+        assert report.findings == []
+
+    def test_unknown_code_raises(self):
+        from repro.errors import LintError
+
+        with pytest.raises(LintError):
+            run_lint([str(DEEP_FIXTURES / "rl101")], select=["RL999"])
+
+    def test_deep_flag_runs_all_four_rules(self):
+        report = run_lint([str(DEEP_FIXTURES)], deep=True, select=["RL101", "RL102", "RL103", "RL104"])
+        assert {f.code for f in report.findings} == set(CASES)
+
+
+class TestSharedCache:
+    def test_per_file_and_deep_pass_share_one_parse(self):
+        cache = ASTCache()
+        package = DEEP_FIXTURES / "rl101"
+        files = sorted(package.glob("*.py"))
+        report = run_lint([str(package)], deep=True, cache=cache)
+        # Per-file rules plus graph construction: one parse per file.
+        assert cache.parse_count == len(files)
+        assert report.parsed == len(files)
+        assert report.files == len(files)
+        assert report.elapsed_s > 0
+
+
+class TestTaintPrecision:
+    """Spot-checks that the engine's judgment calls hold."""
+
+    def test_rl102_parent_side_callback_is_exempt(self):
+        report = _deep("rl102", "RL102")
+        # clean.py hands a nested function to on_result — sanctioned.
+        assert all(Path(f.path).name != "clean.py" for f in report.findings)
+
+    def test_rl103_exec_telemetry_kwarg_is_exempt(self):
+        report = _deep("rl103", "RL103")
+        assert all(Path(f.path).name != "clean.py" for f in report.findings)
+
+    def test_rl104_sorted_absorbs_the_hazard(self):
+        report = _deep("rl104", "RL104")
+        assert all(Path(f.path).name != "clean.py" for f in report.findings)
+
+    def test_rl101_flags_both_failure_modes(self):
+        report = _deep("rl101", "RL101")
+        messages = " ".join(f.message for f in report.findings)
+        assert "non-deterministic source" in messages  # wall-clock seed
+        assert "cannot be traced" in messages  # opaque seed

@@ -106,6 +106,13 @@ class TestOutput:
             "RL008", "RL009",
         ]
 
+    def test_deep_rule_catalog_lists_the_rl100_series(self):
+        from repro.lint import DEEP_RULES, deep_rule_catalog
+
+        codes = [entry["code"] for entry in deep_rule_catalog()]
+        assert codes == sorted(DEEP_RULES)
+        assert codes == ["RL101", "RL102", "RL103", "RL104"]
+
 
 def test_repo_tree_is_lint_clean():
     """The acceptance gate: the shipped tree has zero findings."""

@@ -1,0 +1,133 @@
+"""SARIF 2.1.0 export: structure, schema fields, stability."""
+
+import json
+from pathlib import Path
+
+from repro.lint import Finding, deep_rule_catalog, rule_catalog
+from repro.lint.sarif import (
+    SARIF_SCHEMA_URI,
+    SARIF_VERSION,
+    render_sarif,
+    sarif_document,
+)
+
+
+def _findings():
+    return [
+        Finding(
+            path="src/repro/sim/engine.py",
+            line=10,
+            col=4,
+            code="RL103",
+            message="wall-clock tainted value flows into build_manifest()",
+        ),
+        Finding(
+            path="src/repro/broken.py",
+            line=1,
+            col=0,
+            code="RL000",
+            message="file does not parse: invalid syntax",
+        ),
+    ]
+
+
+def _catalog():
+    return rule_catalog() + deep_rule_catalog()
+
+
+class TestSarifDocument:
+    def test_envelope_is_sarif_2_1_0(self):
+        doc = sarif_document(_findings(), catalog=_catalog(), tool_version="1.0.0")
+        assert doc["version"] == SARIF_VERSION == "2.1.0"
+        assert doc["$schema"] == SARIF_SCHEMA_URI
+        assert len(doc["runs"]) == 1
+
+    def test_driver_carries_the_full_rule_catalog(self):
+        doc = sarif_document([], catalog=_catalog(), tool_version="1.0.0")
+        driver = doc["runs"][0]["tool"]["driver"]
+        assert driver["name"] == "repro-lint"
+        assert driver["version"] == "1.0.0"
+        ids = [rule["id"] for rule in driver["rules"]]
+        # Per-file and deep rules alike, even with zero findings.
+        assert "RL001" in ids and "RL104" in ids
+        assert all(rule["shortDescription"]["text"] for rule in driver["rules"])
+
+    def test_results_link_rule_location_and_level(self):
+        doc = sarif_document(_findings(), catalog=_catalog(), tool_version="1.0.0")
+        run = doc["runs"][0]
+        results = run["results"]
+        assert len(results) == 2
+        by_rule = {r["ruleId"]: r for r in results}
+        taint = by_rule["RL103"]
+        rules = run["tool"]["driver"]["rules"]
+        assert rules[taint["ruleIndex"]]["id"] == "RL103"
+        location = taint["locations"][0]["physicalLocation"]
+        assert location["artifactLocation"]["uri"] == "src/repro/sim/engine.py"
+        assert location["artifactLocation"]["uriBaseId"] == "SRCROOT"
+        # SARIF regions are 1-based; Finding columns are 0-based.
+        assert location["region"] == {"startLine": 10, "startColumn": 5}
+        assert taint["level"] == "warning"
+        assert by_rule["RL000"]["level"] == "error"
+
+    def test_srcroot_base_is_declared(self):
+        doc = sarif_document([], catalog=_catalog(), tool_version="1.0.0")
+        bases = doc["runs"][0]["originalUriBaseIds"]
+        assert bases["SRCROOT"]["uri"].startswith("file:///")
+
+
+class TestRenderSarif:
+    def test_render_is_valid_json_and_deterministic(self):
+        one = render_sarif(_findings(), catalog=_catalog(), tool_version="1.0.0")
+        two = render_sarif(_findings(), catalog=_catalog(), tool_version="1.0.0")
+        assert one == two
+        assert json.loads(one)["version"] == "2.1.0"
+
+    def test_golden_result_shape(self):
+        # The exact serialized form of one finding — the contract the
+        # upload-sarif consumer sees.
+        doc = json.loads(
+            render_sarif(_findings()[:1], catalog=_catalog(), tool_version="1.0.0")
+        )
+        result = doc["runs"][0]["results"][0]
+        rules = doc["runs"][0]["tool"]["driver"]["rules"]
+        assert rules[result.pop("ruleIndex")]["id"] == "RL103"
+        assert result == {
+            "level": "warning",
+            "locations": [
+                {
+                    "physicalLocation": {
+                        "artifactLocation": {
+                            "uri": "src/repro/sim/engine.py",
+                            "uriBaseId": "SRCROOT",
+                        },
+                        "region": {"startLine": 10, "startColumn": 5},
+                    }
+                }
+            ],
+            "message": {
+                "text": "wall-clock tainted value flows into build_manifest()"
+            },
+            "ruleId": "RL103",
+        }
+
+    def test_cli_writes_the_file(self, tmp_path, capsys, monkeypatch):
+        from repro.cli import main
+
+        target = tmp_path / "out.sarif"
+        fixture = (
+            Path(__file__).parent / "fixtures" / "deep" / "rl101"
+        )
+        code = main(
+            [
+                "lint",
+                "--select",
+                "RL101",
+                "--sarif",
+                str(target),
+                str(fixture),
+            ]
+        )
+        assert code == 1  # the fixture violation fails the run
+        document = json.loads(target.read_text(encoding="utf-8"))
+        assert document["version"] == "2.1.0"
+        assert {r["ruleId"] for r in document["runs"][0]["results"]} == {"RL101"}
