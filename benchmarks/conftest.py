@@ -25,6 +25,7 @@ import pytest
 
 from repro.core.config import SimConfig
 from repro.core.instrumentation import SipPlan
+from repro.obs.paging import PagingProfiler, validate_paging_profile
 from repro.sim.engine import prepare_sip_plan, simulate
 from repro.sim.results import RunResult
 from repro.workloads.base import Workload
@@ -39,6 +40,7 @@ REPORT_DIR = pathlib.Path(__file__).parent / "reports"
 _RUN_CACHE: Dict[Tuple, RunResult] = {}
 _PLAN_CACHE: Dict[Tuple, SipPlan] = {}
 _WORKLOAD_CACHE: Dict[Tuple[str, int], Workload] = {}
+_PROFILE_CACHE: Dict[Tuple, Dict[str, object]] = {}
 
 
 def bench_config(**overrides) -> SimConfig:
@@ -87,6 +89,40 @@ def run(
             get_workload(name), config, scheme, seed=seed, sip_plan=plan
         )
     return _RUN_CACHE[key]
+
+
+def paging_profile(
+    name: str,
+    scheme: str,
+    config: Optional[SimConfig] = None,
+    *,
+    seed: int = 0,
+    threshold: Optional[float] = None,
+) -> Dict[str, object]:
+    """The validated paging profile of one (cached) run.
+
+    Re-runs the simulation with a :class:`PagingProfiler` attached and
+    asserts the observed result equals the blind cached run — every
+    figure that reports effectiveness numbers doubles as a passivity
+    check — then returns the ``repro.paging-profile/1`` block.
+    """
+    config = config or bench_config()
+    key = (name, scheme, seed, threshold, config)
+    if key not in _PROFILE_CACHE:
+        plan = None
+        if scheme in ("sip", "hybrid"):
+            plan = get_sip_plan(name, config, threshold)
+        profiler = PagingProfiler()
+        observed = simulate(
+            get_workload(name), config, scheme,
+            seed=seed, sip_plan=plan, profiler=profiler,
+        )
+        blind = run(name, scheme, config, seed=seed, threshold=threshold)
+        assert observed == blind, f"profiler perturbed {name}/{scheme}"
+        block = profiler.profile()
+        validate_paging_profile(block)
+        _PROFILE_CACHE[key] = block
+    return _PROFILE_CACHE[key]
 
 
 def report(experiment: str, text: str) -> None:

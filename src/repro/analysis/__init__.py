@@ -5,6 +5,9 @@
 * :mod:`repro.analysis.metrics` — aggregate metrics over run results.
 * :mod:`repro.analysis.report` — plain-text tables and ASCII charts in
   the shape of the paper's figures.
+* :mod:`repro.analysis.profile_report` — renderings of
+  ``repro.paging-profile/1`` blocks: effectiveness tables, phase
+  tables, access heatmaps, and scheme-vs-scheme diffs.
 """
 
 from repro.analysis.patterns import (
@@ -18,6 +21,13 @@ from repro.analysis.metrics import (
     geomean_normalized,
     mean_improvement,
     summarize_results,
+)
+from repro.analysis.profile_report import (
+    diff_profiles,
+    render_heatmap,
+    render_profile,
+    render_profile_diff,
+    render_profile_summary,
 )
 from repro.analysis.report import ascii_bar_chart, format_table, render_series
 
@@ -33,4 +43,9 @@ __all__ = [
     "ascii_bar_chart",
     "format_table",
     "render_series",
+    "render_profile",
+    "render_profile_summary",
+    "render_heatmap",
+    "diff_profiles",
+    "render_profile_diff",
 ]

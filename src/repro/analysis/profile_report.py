@@ -1,0 +1,255 @@
+"""Render paging profiles: effectiveness tables, phases, heatmaps, diffs.
+
+The consumer side of :mod:`repro.obs.paging`: given one or two
+``repro.paging-profile/1`` blocks, produce the plain-text views the
+``repro profile`` and ``repro report`` commands print — a preload
+effectiveness table, the fault-cause and eviction attribution lines,
+the phase table segmented from windowed fault rates, an ASCII
+access×page heatmap, and the scheme-vs-scheme effectiveness diff
+(precision/recall of preloads, refault rate, phase counts).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.analysis.report import format_table
+from repro.errors import ObsError
+
+__all__ = [
+    "render_profile",
+    "render_profile_summary",
+    "render_heatmap",
+    "diff_profiles",
+    "render_profile_diff",
+]
+
+#: Shade ramp for the heatmap, coldest to hottest.
+_SHADES = " .:-=+*#%@"
+
+#: The effectiveness ratios every profile carries, in display order.
+_EFFECTIVENESS_KEYS = (
+    "preload_precision",
+    "preload_recall",
+    "late_rate",
+    "refault_rate",
+    "waste_rate",
+)
+
+
+def _section(block: Dict[str, object], key: str) -> Dict[str, object]:
+    value = block.get(key)
+    if not isinstance(value, dict):
+        raise ObsError(f"paging profile lacks a {key!r} section")
+    return value
+
+
+def render_profile(
+    profile: Dict[str, object], *, label: str = "", heatmap: bool = True
+) -> str:
+    """Full plain-text view of one profile block."""
+    totals = _section(profile, "totals")
+    preloads = _section(totals, "preloads")
+    causes = _section(totals, "fault_causes")
+    evictions = _section(totals, "evictions")
+    effectiveness = _section(profile, "effectiveness")
+    title = f"paging profile — {label}" if label else "paging profile"
+    lines: List[str] = [title]
+    lines.append(
+        f"  accesses {totals['accesses']:,}  faults {totals['faults']:,}  "
+        f"evictions {evictions['total']:,}  scans {totals['scans']:,}"
+    )
+    lines.append("")
+    lines.append(
+        format_table(
+            ["preload outcome", "count"],
+            [
+                ["useful (touched while resident)", preloads["useful"]],
+                ["late (in flight at fault)", preloads["late_inflight"]],
+                ["late (still queued at fault)", preloads["late_queued"]],
+                ["wasted (evicted untouched)", preloads["wasted_evicted"]],
+                ["wasted (untouched at exit)", preloads["wasted_leftover"]],
+                ["redundant (already resident)", preloads["redundant"]],
+                ["aborted collateral", preloads["aborted_collateral"]],
+                ["pending at exit", preloads["pending_at_exit"]],
+                ["completed / enqueued", f"{preloads['completed']} / {preloads['enqueued']}"],
+            ],
+            title="preload ledger",
+        )
+    )
+    lines.append("")
+    lines.append(
+        format_table(
+            ["fault cause", "count"],
+            [
+                ["cold (first touch, no preloader)", causes["cold"]],
+                ["predictor miss (preloader live)", causes["predictor_miss"]],
+                ["refault (premature eviction)", causes["refault"]],
+                ["late (raced its own preload)", causes["late"]],
+            ],
+            title="fault attribution",
+        )
+    )
+    lines.append("")
+    lines.append(
+        format_table(
+            ["metric", "value"],
+            [[key, effectiveness[key]] for key in _EFFECTIVENESS_KEYS],
+            title="effectiveness",
+        )
+    )
+    lines.append("")
+    lines.append(
+        "eviction attribution: "
+        f"{evictions['victims_accessed']} victims held the A bit, "
+        f"{evictions['victims_preloaded_untouched']} were untouched preloads, "
+        f"{evictions['premature_refaulted']} refaulted later "
+        f"({evictions['second_chances']} CLOCK second chances granted)"
+    )
+    phases = profile.get("phases") or []
+    if phases:
+        lines.append("")
+        lines.append(
+            format_table(
+                ["phase", "label", "accesses", "faults", "fault rate", "credited"],
+                [
+                    [
+                        phase["phase"],
+                        phase["label"],
+                        phase["accesses"],
+                        phase["faults"],
+                        phase["fault_rate"],
+                        phase["scan_credited_pages"],
+                    ]
+                    for phase in phases
+                ],
+                title="phases (windowed fault rate vs run mean)",
+            )
+        )
+    if heatmap:
+        lines.append("")
+        lines.append(render_heatmap(profile))
+    return "\n".join(lines)
+
+
+def render_profile_summary(profile: Dict[str, object]) -> str:
+    """Compact three-line summary (the ``repro report`` rendering)."""
+    totals = _section(profile, "totals")
+    preloads = _section(totals, "preloads")
+    effectiveness = _section(profile, "effectiveness")
+    phases = profile.get("phases") or []
+    wasted = int(preloads["wasted_evicted"]) + int(preloads["wasted_leftover"])  # type: ignore[arg-type]
+    late = int(preloads["late_inflight"]) + int(preloads["late_queued"])  # type: ignore[arg-type]
+    return "\n".join(
+        [
+            (
+                f"  preloads: {preloads['completed']} completed — "
+                f"{preloads['useful']} useful, {late} late, {wasted} wasted"
+            ),
+            (
+                f"  precision {effectiveness['preload_precision']}  "
+                f"recall {effectiveness['preload_recall']}  "
+                f"refault rate {effectiveness['refault_rate']}"
+            ),
+            (
+                f"  {totals['faults']:,} faults over {totals['accesses']:,} "
+                f"accesses in {len(phases)} phase(s)"
+            ),
+        ]
+    )
+
+
+def render_heatmap(profile: Dict[str, object]) -> str:
+    """ASCII access heatmap: page buckets (rows) × time windows (cols)."""
+    heatmap = _section(profile, "heatmap")
+    counts = heatmap.get("counts") or []
+    buckets = int(heatmap["page_buckets"])  # type: ignore[arg-type]
+    bucket_pages = int(heatmap["bucket_pages"])  # type: ignore[arg-type]
+    base_page = int(profile.get("base_page", 0))  # type: ignore[arg-type]
+    if not counts:
+        return "access heatmap: (no accesses recorded)"
+    peak = max(max(column) for column in counts) or 1
+    lines = [
+        "access heatmap (rows: page range, cols: time; "
+        f"shade ramp '{_SHADES}')"
+    ]
+    for bucket in range(buckets):
+        low = base_page + bucket * bucket_pages
+        high = min(
+            low + bucket_pages - 1,
+            base_page + int(profile.get("elrange_pages", bucket_pages)) - 1,  # type: ignore[arg-type]
+        )
+        row = "".join(
+            _SHADES[min(len(_SHADES) - 1, (column[bucket] * (len(_SHADES) - 1) + peak - 1) // peak)]
+            for column in counts
+        )
+        lines.append(f"  pages {low:>6}-{high:<6} |{row}|")
+    return "\n".join(lines)
+
+
+def diff_profiles(
+    a: Dict[str, object], b: Dict[str, object]
+) -> Dict[str, object]:
+    """Structured effectiveness diff between two profile blocks."""
+    eff_a = _section(a, "effectiveness")
+    eff_b = _section(b, "effectiveness")
+    totals_a = _section(a, "totals")
+    totals_b = _section(b, "totals")
+    effectiveness = {
+        key: {
+            "a": eff_a[key],
+            "b": eff_b[key],
+            "delta": round(float(eff_b[key]) - float(eff_a[key]), 6),  # type: ignore[arg-type]
+        }
+        for key in _EFFECTIVENESS_KEYS
+    }
+    counts = {
+        key: {
+            "a": int(totals_a[key]),  # type: ignore[arg-type]
+            "b": int(totals_b[key]),  # type: ignore[arg-type]
+            "delta": int(totals_b[key]) - int(totals_a[key]),  # type: ignore[arg-type]
+        }
+        for key in ("faults", "accesses")
+    }
+    preloads_a = _section(totals_a, "preloads")
+    preloads_b = _section(totals_b, "preloads")
+    for key in ("completed", "useful"):
+        counts[f"preloads_{key}"] = {
+            "a": int(preloads_a[key]),  # type: ignore[arg-type]
+            "b": int(preloads_b[key]),  # type: ignore[arg-type]
+            "delta": int(preloads_b[key]) - int(preloads_a[key]),  # type: ignore[arg-type]
+        }
+    return {
+        "effectiveness": effectiveness,
+        "counts": counts,
+        "phases": {
+            "a": len(a.get("phases") or []),
+            "b": len(b.get("phases") or []),
+        },
+    }
+
+
+def render_profile_diff(
+    diff: Dict[str, object],
+    *,
+    label_a: str = "a",
+    label_b: str = "b",
+    title: Optional[str] = None,
+) -> str:
+    """Plain-text view of a :func:`diff_profiles` result."""
+    effectiveness = _section(diff, "effectiveness")
+    counts = _section(diff, "counts")
+    phases = _section(diff, "phases")
+    rows = []
+    for key in _EFFECTIVENESS_KEYS:
+        entry = effectiveness[key]
+        rows.append([key, entry["a"], entry["b"], entry["delta"]])  # type: ignore[index]
+    for key in sorted(counts):
+        entry = counts[key]
+        rows.append([key, entry["a"], entry["b"], entry["delta"]])  # type: ignore[index]
+    rows.append(["phases", phases["a"], phases["b"], int(phases["b"]) - int(phases["a"])])  # type: ignore[arg-type]
+    return format_table(
+        ["metric", label_a, label_b, "delta (b-a)"],
+        rows,
+        title=title or f"effectiveness diff — {label_a} vs {label_b}",
+    )

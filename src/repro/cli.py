@@ -12,12 +12,18 @@ Thin, scriptable access to the library's main flows:
   manifest, render it — including the execution-telemetry fleet table
   when the record carries one;
 * ``compare`` — several schemes on one workload, normalized;
-* ``profile`` — the SIP profiling run and instrumentation plan;
+* ``profile`` — the SIP profiling run and instrumentation plan; with
+  ``--schemes``, the paging-decision profiler instead
+  (:mod:`repro.obs.paging`): per-scheme preload effectiveness,
+  fault-cause attribution, phase tables and heatmaps, plus a
+  scheme-vs-scheme effectiveness diff, with ``--artifacts DIR``
+  writing the ``repro.paging-profile/1`` JSON, residency Chrome
+  traces and heatmap text files;
 * ``classify`` — the Table 1 classification of the models;
 * ``sweep`` — a one-parameter sweep (e.g. LOADLENGTH, Figure 7 style),
   with ``--progress`` ETA + fleet-health ticks on stderr;
 * ``lint`` — the repo-specific static-analysis pass: per-file rules
-  RL001–RL009, plus (with ``--deep``) the whole-program rules
+  RL001–RL010, plus (with ``--deep``) the whole-program rules
   RL101–RL104 over a shared AST cache; ``--sarif`` exports SARIF
   2.1.0, ``--baseline`` absorbs known findings, ``--changed`` reports
   only files touched vs. a git ref (see :mod:`repro.lint`).
@@ -151,6 +157,12 @@ def build_parser() -> argparse.ArgumentParser:
                             help="write the run manifest JSON (config "
                                  "snapshot, stats, metrics, execution "
                                  "telemetry; inspect with 'repro report')")
+    obs_parent.add_argument("--metrics-format",
+                            choices=("table", "openmetrics"),
+                            default="table", dest="metrics_format",
+                            help="metrics rendering: aligned table "
+                                 "(default) or OpenMetrics/Prometheus "
+                                 "text exposition for scraping")
 
     def add_common(p: argparse.ArgumentParser, workload: bool = True) -> None:
         if workload:
@@ -162,6 +174,12 @@ def build_parser() -> argparse.ArgumentParser:
                            parents=[sim_parent, exec_parent, obs_parent])
     add_common(p_run)
     p_run.add_argument("--scheme", choices=SCHEME_NAMES, default="baseline")
+    p_run.add_argument("--paging-profile", default=None, metavar="FILE",
+                       dest="paging_profile",
+                       help="attach the paging-decision profiler and write "
+                            "its repro.paging-profile/1 JSON to FILE "
+                            "(serial runs only; also embedded in "
+                            "--manifest)")
 
     p_rep = sub.add_parser(
         "report",
@@ -184,13 +202,29 @@ def build_parser() -> argparse.ArgumentParser:
         help="comma-separated scheme names",
     )
 
-    p_prof = sub.add_parser("profile", help="SIP profile + instrumentation plan",
-                            parents=[sim_parent])
+    p_prof = sub.add_parser(
+        "profile",
+        help="SIP instrumentation plan, or (--schemes) the paging profiler",
+        parents=[sim_parent],
+    )
     add_common(p_prof)
     p_prof.add_argument("--threshold", type=float, default=None,
                         help="irregular-ratio threshold (default: config's 5%%)")
     p_prof.add_argument("--top", type=int, default=10,
                         help="show the top N sites by irregular ratio")
+    p_prof.add_argument("--schemes", default=None, metavar="A,B",
+                        help="run the paging-decision profiler over these "
+                             "schemes instead: per-scheme effectiveness, "
+                             "phases, heatmap, and a scheme-vs-scheme diff")
+    p_prof.add_argument("--window", type=int, default=1024, metavar="N",
+                        help="phase-segmentation window in accesses "
+                             "(default 1024)")
+    p_prof.add_argument("--artifacts", default=None, metavar="DIR",
+                        help="write per-scheme paging-profile JSON, "
+                             "residency Chrome trace and heatmap files "
+                             "into DIR")
+    p_prof.add_argument("--format", choices=("text", "json"), default="text",
+                        dest="output_format")
 
     p_cls = sub.add_parser("classify", help="Table 1 classification")
     p_cls.add_argument("workloads", nargs="*", default=[],
@@ -208,9 +242,9 @@ def build_parser() -> argparse.ArgumentParser:
 
     p_lint = sub.add_parser(
         "lint",
-        help="repo-specific static analysis (RL001-RL009, deep RL101-RL104)",
+        help="repo-specific static analysis (RL001-RL010, deep RL101-RL104)",
         description=(
-            "Repo-specific static analysis.  Per-file rules RL001-RL009 "
+            "Repo-specific static analysis.  Per-file rules RL001-RL010 "
             "run by default; --deep adds the whole-program rules "
             "RL101-RL104 (cross-module seed provenance, pickle-safety of "
             "values shipped to workers, wall-clock taint into manifests, "
@@ -372,6 +406,14 @@ def _cmd_run(args: argparse.Namespace) -> int:
     policy = _policy_from_args(args)
     observed = _wants_observation(args)
     _guard_obs_flags(args, "run")
+    if args.paging_profile is not None and policy.is_resilient:
+        raise ConfigError(
+            "run: --paging-profile rides the in-process simulation and "
+            "cannot combine with --jobs/--retries/--timeout/--checkpoint "
+            "— run serially to profile"
+        )
+    profiler = None
+    paging_block = None
     telemetry = None
     capture: Optional[RingBufferSink] = None
     trace_events = ()
@@ -421,6 +463,10 @@ def _cmd_run(args: argparse.Namespace) -> int:
             )
             if metrics is not None:
                 register_sink_metrics(metrics, capture)
+        if args.paging_profile is not None:
+            from repro.obs.paging import PagingProfiler
+
+            profiler = PagingProfiler()
         result = simulate(
             workload,
             config,
@@ -429,10 +475,16 @@ def _cmd_run(args: argparse.Namespace) -> int:
             input_set=args.input_set,
             metrics=metrics,
             tracer=capture,
+            profiler=profiler,
         )
         if capture is not None:
             trace_events = tuple(capture.events)
             trace_dropped = capture.dropped
+        if profiler is not None:
+            from repro.obs.paging import write_paging_profile
+
+            paging_block = profiler.profile()
+            write_paging_profile(args.paging_profile, paging_block)
     print(result.describe())
     tb = result.stats.time
     rows = [
@@ -448,17 +500,30 @@ def _cmd_run(args: argparse.Namespace) -> int:
     print(format_table(["bucket", "cycles"], rows, title="time breakdown"))
     if args.show_metrics and result.metrics is not None:
         print()
-        metric_rows = [
-            [name, _render_metric_value(value)]
-            for name, value in result.metrics.items()
-        ]
-        print(format_table(["metric", "value"], metric_rows, title="metrics"))
+        if args.metrics_format == "openmetrics":
+            from repro.obs.openmetrics import render_openmetrics
+
+            print(render_openmetrics(result.metrics), end="")
+        else:
+            metric_rows = [
+                [name, _render_metric_value(value)]
+                for name, value in result.metrics.items()
+            ]
+            print(format_table(["metric", "value"], metric_rows, title="metrics"))
+    if paging_block is not None:
+        from repro.analysis.profile_report import render_profile_summary
+
+        print()
+        print("paging profile")
+        print(render_profile_summary(paging_block))
+        print(f"paging profile -> {args.paging_profile}")
     if args.trace is not None:
         records = write_chrome_trace(
             args.trace,
             trace_events,
             exec_spans=exec_spans,
             dropped_events=trace_dropped,
+            paging_profile=paging_block,
         )
         note = f" ({trace_dropped:,} early events dropped)" if trace_dropped else ""
         print(f"\ntrace: {records} records -> {args.trace}{note}")
@@ -466,10 +531,22 @@ def _cmd_run(args: argparse.Namespace) -> int:
         write_manifest(
             args.manifest,
             build_manifest(
-                result, workload=workload, exec_telemetry=exec_block
+                result,
+                workload=workload,
+                exec_telemetry=exec_block,
+                paging_profile=paging_block,
             ),
         )
         print(f"manifest -> {args.manifest}")
+    if args.trace is not None and trace_dropped:
+        # Ring-buffer truncation is easy to miss in the artifact;
+        # close the run with an explicit stderr warning.
+        print(
+            f"warning: trace ring buffer dropped {trace_dropped:,} earliest "
+            "event(s); re-run with a larger --trace-capacity for the full "
+            "timeline",
+            file=sys.stderr,
+        )
     return 0
 
 
@@ -489,13 +566,34 @@ def _cmd_report(args: argparse.Namespace) -> int:
 
     if args.manifest_b is None:
         return _report_single(load_manifest(args.manifest_a), args)
-    diff = diff_manifests(
-        load_manifest(args.manifest_a), load_manifest(args.manifest_b)
-    )
+    doc_a = load_manifest(args.manifest_a)
+    doc_b = load_manifest(args.manifest_b)
+    diff = diff_manifests(doc_a, doc_b)
+    paging_diff = None
+    if "paging_profile" in doc_a and "paging_profile" in doc_b:
+        from repro.analysis.profile_report import diff_profiles
+
+        paging_diff = diff_profiles(
+            doc_a["paging_profile"], doc_b["paging_profile"]
+        )
     if args.output_format == "json":
-        print(json.dumps(diff, indent=2, sort_keys=True))
+        document = dict(diff)
+        if paging_diff is not None:
+            document["paging_profiles"] = paging_diff
+        print(json.dumps(document, indent=2, sort_keys=True))
     else:
         print(render_diff(diff))
+        if paging_diff is not None:
+            from repro.analysis.profile_report import render_profile_diff
+
+            label_a = (doc_a.get("run") or {}).get("scheme") or "A"
+            label_b = (doc_b.get("run") or {}).get("scheme") or "B"
+            print()
+            print(
+                render_profile_diff(
+                    paging_diff, label_a=str(label_a), label_b=str(label_b)
+                )
+            )
     return 0
 
 
@@ -529,6 +627,13 @@ def _report_single(manifest: dict, args: argparse.Namespace) -> int:
     if block is not None:
         print()
         print(render_exec_report(block))
+    paging = manifest.get("paging_profile")
+    if paging is not None:
+        from repro.analysis.profile_report import render_profile_summary
+
+        print()
+        print("paging profile")
+        print(render_profile_summary(paging))
     return 0
 
 
@@ -592,17 +697,22 @@ def _emit_fleet_outputs(
         merged = telemetry.merged_metrics()
         if merged:
             print()
-            metric_rows = [
-                [name, _render_metric_value(value)]
-                for name, value in merged.items()
-            ]
-            print(
-                format_table(
-                    ["metric", "value"],
-                    metric_rows,
-                    title="metrics (merged across jobs)",
+            if args.metrics_format == "openmetrics":
+                from repro.obs.openmetrics import render_openmetrics
+
+                print(render_openmetrics(merged), end="")
+            else:
+                metric_rows = [
+                    [name, _render_metric_value(value)]
+                    for name, value in merged.items()
+                ]
+                print(
+                    format_table(
+                        ["metric", "value"],
+                        metric_rows,
+                        title="metrics (merged across jobs)",
+                    )
                 )
-            )
     if args.trace is not None:
         records = write_chrome_trace(
             args.trace,
@@ -621,7 +731,114 @@ def _emit_fleet_outputs(
         print(f"fleet manifest -> {args.manifest}")
 
 
+def _profile_schemes(args: argparse.Namespace) -> int:
+    """The paging-decision profiler path of ``repro profile --schemes``.
+
+    Runs each scheme over the same workload/seed with a
+    :class:`~repro.obs.paging.PagingProfiler` attached, prints the
+    per-scheme ledgers, and closes with the scheme-vs-scheme
+    effectiveness diff (first scheme is the reference).
+    """
+    import json as _json
+    from pathlib import Path
+
+    from repro.analysis.profile_report import (
+        diff_profiles,
+        render_heatmap,
+        render_profile,
+        render_profile_diff,
+    )
+    from repro.obs.chrome import write_chrome_trace
+    from repro.obs.paging import PagingProfiler, write_paging_profile
+    from repro.obs.trace import DEFAULT_EVENT_CAPACITY, RingBufferSink
+    from repro.sim.engine import prepare_sip_plan
+
+    config = _config(args)
+    workload = build_workload(args.workload, scale=args.scale)
+    schemes = [s.strip() for s in args.schemes.split(",") if s.strip()]
+    if not schemes:
+        raise ConfigError("profile: --schemes needs at least one scheme name")
+    for scheme in schemes:
+        if scheme not in SCHEME_NAMES:
+            raise ConfigError(
+                f"profile: unknown scheme {scheme!r} "
+                f"(choose from {', '.join(SCHEME_NAMES)})"
+            )
+    sip_plan = None
+    if any(scheme in ("sip", "hybrid") for scheme in schemes):
+        sip_plan = prepare_sip_plan(workload, config, seed=args.seed)
+    artifacts = Path(args.artifacts) if args.artifacts is not None else None
+    if artifacts is not None:
+        artifacts.mkdir(parents=True, exist_ok=True)
+    profiles = {}
+    for scheme in schemes:
+        profiler = PagingProfiler(window_accesses=args.window)
+        capture = (
+            RingBufferSink(DEFAULT_EVENT_CAPACITY)
+            if artifacts is not None
+            else None
+        )
+        simulate(
+            workload,
+            config,
+            scheme,
+            seed=args.seed,
+            input_set=args.input_set,
+            sip_plan=sip_plan,
+            tracer=capture,
+            profiler=profiler,
+        )
+        block = profiler.profile()
+        profiles[scheme] = block
+        if artifacts is not None:
+            stem = f"{args.workload}-{scheme}"
+            write_paging_profile(
+                artifacts / f"{stem}.paging-profile.json", block
+            )
+            write_chrome_trace(
+                artifacts / f"{stem}.trace.json",
+                capture.events,
+                dropped_events=capture.dropped,
+                paging_profile=block,
+            )
+            (artifacts / f"{stem}.heatmap.txt").write_text(
+                render_heatmap(block) + "\n", encoding="utf-8"
+            )
+    reference = schemes[0]
+    if args.output_format == "json":
+        document: dict = {"profiles": profiles}
+        if len(schemes) > 1:
+            document["diffs"] = {
+                scheme: diff_profiles(profiles[reference], profiles[scheme])
+                for scheme in schemes[1:]
+            }
+        print(_json.dumps(document, indent=2, sort_keys=True))
+        return 0
+    for scheme in schemes:
+        print(
+            render_profile(
+                profiles[scheme],
+                label=f"{args.workload} / {scheme} @ scale {args.scale}",
+            )
+        )
+        print()
+    for scheme in schemes[1:]:
+        print(
+            render_profile_diff(
+                diff_profiles(profiles[reference], profiles[scheme]),
+                label_a=reference,
+                label_b=scheme,
+            )
+        )
+        print()
+    if artifacts is not None:
+        print(f"artifacts -> {artifacts}")
+    return 0
+
+
 def _cmd_profile(args: argparse.Namespace) -> int:
+    if args.schemes is not None:
+        return _profile_schemes(args)
     config = _config(args)
     workload = build_workload(args.workload, scale=args.scale)
     profile = profile_workload(

@@ -42,6 +42,7 @@ from repro.enclave.sanitizer import SimSanitizer
 from repro.enclave.stats import RunStats
 from repro.errors import SimulationError
 from repro.obs.metrics import NULL_REGISTRY, MetricsRegistry
+from repro.obs.paging import PagingProfiler
 from repro.obs.trace import DEFAULT_EVENT_CAPACITY, RingBufferSink, TraceSink
 
 __all__ = ["SgxDriver"]
@@ -61,6 +62,7 @@ class SgxDriver:
         metrics: Optional[MetricsRegistry] = None,
         tracer: Optional[TraceSink] = None,
         event_capacity: Optional[int] = None,
+        profiler: Optional[PagingProfiler] = None,
     ) -> None:
         self._config = config
         self._cost = config.cost
@@ -95,6 +97,14 @@ class SgxDriver:
         if tracer is not None:
             self._sinks.append(tracer)
         self._register_metrics(metrics if metrics is not None else NULL_REGISTRY)
+        # Paging-decision ledger (repro.obs.paging): strictly passive,
+        # reads state it is handed and writes only profiler-private
+        # structures.  ``_profiling`` is hoisted so the disabled hot
+        # path pays a single falsy attribute test per hook site.
+        self._profiler = profiler
+        self._profiling = profiler is not None
+        if profiler is not None:
+            profiler.ledger_bind(enclave.base_page, enclave.elrange_pages)
         self._last_now = 0
         # Application-clock high-water mark, updated only at the entry
         # and exit of the application-visible calls — the points where
@@ -238,16 +248,31 @@ class SgxDriver:
                 self.stats.preloads_redundant += 1
                 if self.sanitizer is not None:
                     self.sanitizer.check_redundant_preload(page, finish)
+                if self._profiling:
+                    self._profiler.ledger_redundant(page, finish)
             return evicted
         if self.epc.is_full:
+            chances_before = self.evictor.second_chances
             victim = self.evictor.select_victim()
             state = self.epc.evict(victim)
             self.evictor.note_evict(victim)
             evicted = True
             victim_owner = self._platform.owner_of(victim) or self
             victim_owner._note_eviction(state)
+            if victim_owner._profiling:
+                victim_owner._profiler.ledger_evict(
+                    victim,
+                    finish,
+                    accessed=state.accessed,
+                    preloaded=state.preloaded,
+                    second_chances=self.evictor.second_chances - chances_before,
+                    for_page=page,
+                    for_kind=kind.value,
+                )
         self.epc.insert(page, preloaded=(kind is LoadKind.PRELOAD))
         self.evictor.note_insert(page)
+        if self._profiling:
+            self._profiler.ledger_insert(page, kind.value, finish)
         if self.sanitizer is not None:
             self.sanitizer.check_load(page, kind, finish)
         if kind is LoadKind.PRELOAD:
@@ -271,6 +296,8 @@ class SgxDriver:
         """Platform hook: the global service-thread scan just ran."""
         self.stats.scans += 1
         self._emit(EventKind.SCAN, now, now)
+        if self._profiling:
+            self._profiler.ledger_scan(now, credited)
         if credited:
             self.stats.preloads_accessed += credited
             self._m_scan_credited.inc(credited)
@@ -281,11 +308,14 @@ class SgxDriver:
                 self.stats.valve_stops += 1
                 base = self._enclave.base_page
                 limit = base + self._enclave.elrange_pages
-                if self.sanitizer is not None:
+                if self.sanitizer is not None or self._profiling:
                     doomed = [
                         p for p in self.channel.queued_pages if base <= p < limit
                     ]
-                    self.sanitizer.check_abort(doomed, now)
+                    if self.sanitizer is not None:
+                        self.sanitizer.check_abort(doomed, now)
+                    if self._profiling:
+                        self._profiler.ledger_abort(doomed, now, "valve")
                 dropped = self.channel.abort_pages_in_range(base, limit, now)
                 self._m_abort_valve.inc()
                 self._m_abort_valve_pages.inc(dropped)
@@ -372,6 +402,8 @@ class SgxDriver:
                 stats.preload_hits += 1
             state.accessed = True
             stats.epc_hits += 1
+            if self._profiling:
+                self._profiler.ledger_hit(page, now)
             return now
 
         # Demand fault: AEX out of the enclave.
@@ -385,6 +417,8 @@ class SgxDriver:
         if self.epc.is_resident(page):
             # A preload landed during the AEX itself.
             stats.faults_absorbed_by_inflight += 1
+            if self._profiling:
+                self._profiler.ledger_fault(page, t, "absorbed")
         elif self.channel.current_page == page:
             # The page is mid-load on the non-preemptible channel:
             # ride the in-flight preload to completion.
@@ -394,16 +428,22 @@ class SgxDriver:
             self._m_fault_wait_hist.observe(finish - t)
             self._emit(EventKind.FAULT_WAIT, t, finish, page)
             t = finish
+            if self._profiling:
+                self._profiler.ledger_fault(page, t, "absorbed")
         else:
             burst_tag = self.channel.queued_tag(page)
             if burst_tag is not None:
                 # Fault inside a queued burst: the preloader fell
                 # behind — abort that burst's remainder (in-stream
                 # abort, Section 4.1).
-                if self.sanitizer is not None:
-                    self.sanitizer.check_abort(
-                        self._queued_pages_of_tag(burst_tag), t
-                    )
+                if self.sanitizer is not None or self._profiling:
+                    doomed = self._queued_pages_of_tag(burst_tag)
+                    if self.sanitizer is not None:
+                        self.sanitizer.check_abort(doomed, t)
+                    if self._profiling:
+                        self._profiler.ledger_abort(
+                            doomed, t, "in_stream", trigger=page
+                        )
                 dropped = self.channel.abort_tag(burst_tag, t)
                 self._m_abort_instream.inc()
                 self._m_abort_instream_pages.inc(dropped)
@@ -415,6 +455,15 @@ class SgxDriver:
             self._m_fault_wait_hist.observe(finish - t)
             self._emit(EventKind.DEMAND_LOAD, finish - self.channel.load_cycles, finish, page)
             t = finish
+            if self._profiling:
+                self._profiler.ledger_fault(
+                    page,
+                    t,
+                    "queued" if burst_tag is not None else "miss",
+                    preloader_active=(
+                        self._dfp is not None and self._dfp.active
+                    ),
+                )
 
         # The OS observed the fault: feed the predictor and schedule
         # the predicted burst (it starts loading during the ERESUME).
@@ -426,6 +475,8 @@ class SgxDriver:
                     if self.sanitizer is not None:
                         self.sanitizer.check_enqueue(pages, t)
                     self.channel.enqueue_preloads(pages, t)
+                    if self._profiling:
+                        self._profiler.ledger_enqueue(pages, t)
 
         end = t + cost.eresume_cycles
         stats.time.eresume += cost.eresume_cycles
@@ -490,3 +541,5 @@ class SgxDriver:
         else:
             self.stats.preloads_enqueued = self.channel.preloads_enqueued
             self.stats.preloads_aborted = self.channel.preloads_aborted
+        if self._profiling:
+            self._profiler.ledger_finish(now)

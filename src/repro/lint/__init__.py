@@ -3,7 +3,7 @@
 Two layers of rules encode the invariants every figure in the paper
 rests on:
 
-* the **per-file** rules RL001–RL009 (page/cycle unit discipline,
+* the **per-file** rules RL001–RL010 (page/cycle unit discipline,
   seeded determinism, frozen configs, integral accounting, explicit
   API surfaces) — :mod:`repro.lint.rules`;
 * the **whole-program** rules RL101–RL104 (cross-module seed

@@ -1,6 +1,6 @@
 """The RL100-series: whole-program rules over the import/call graph.
 
-Where RL001–RL009 police one file at a time, these four rules follow
+Where RL001–RL010 police one file at a time, these four rules follow
 values *across* function and module boundaries — the class of bug that
 actually threatened PRs 3–5 (a seed minted in ``sweep.py`` consumed in
 ``parallel.py``; telemetry dumps crossing the process boundary):

@@ -1,6 +1,6 @@
 """Whole-program view for the deep lint pass: AST cache, import + call graphs.
 
-The per-file rules (RL001–RL009) see one module at a time, which is
+The per-file rules (RL001–RL010) see one module at a time, which is
 exactly why they miss the bugs that threatened PRs 3–5: a seed minted
 in ``sweep.py`` and consumed in ``parallel.py``, a telemetry dump
 crossing the process boundary.  This module builds the shared

@@ -1,4 +1,4 @@
-"""The repo-specific lint rules, RL001–RL009.
+"""The repo-specific lint rules, RL001–RL010.
 
 Each rule mechanizes one invariant the reproduction depends on:
 
@@ -42,6 +42,12 @@ Each rule mechanizes one invariant the reproduction depends on:
   reaches the manifest block, the fleet report or the Chrome export —
   and its shape drifts from the ``repro.exec-telemetry/1`` schema the
   consumers validate.
+* **RL010** — paging-ledger emission stays in the driver.  The
+  ``ledger_*`` hooks of :class:`repro.obs.paging.PagingProfiler` are
+  the per-page decision ledger's only write path; a call from any
+  other library module would record paging decisions the simulation
+  never made (or double-count ones it did), silently breaking the
+  reconciliation identities ``validate_paging_profile`` enforces.
 """
 
 from __future__ import annotations
@@ -63,6 +69,7 @@ __all__ = [
     "StrayMultiprocessing",
     "BareSleep",
     "AdHocExecSpan",
+    "StrayLedgerEmission",
 ]
 
 #: Byte values that re-encode the platform's EPC geometry.
@@ -601,4 +608,44 @@ class AdHocExecSpan(LintRule):
             keywords = {kw.arg for kw in node.keywords if kw.arg is not None}
             if _SPAN_MARKER_KEY in keywords and keywords & _SPAN_CONTEXT_KEYS:
                 self._flag(node)
+        self.generic_visit(node)
+
+
+@register_rule
+class StrayLedgerEmission(LintRule):
+    """RL010: paging-ledger writes outside the sanctioned emitters."""
+
+    code = "RL010"
+    name = "stray-paging-ledger"
+    description = (
+        "ledger_* call outside repro.obs.paging / repro.enclave.driver — "
+        "the paging-decision ledger is fed exclusively by the driver's "
+        "hot-path hooks; any other caller records decisions the "
+        "simulation never made and breaks the profile's reconciliation "
+        "identities"
+    )
+
+    @classmethod
+    def applies_to(cls, path: Path) -> bool:
+        # Only library code is policed; tests exercising the hooks
+        # directly are fine.  The profiler itself and the driver are
+        # the two sanctioned homes of ledger traffic.
+        parts = path.parts
+        if "repro" not in parts:
+            return False
+        if path.name == "paging.py" and len(parts) >= 2 and parts[-2] == "obs":
+            return False
+        if path.name == "driver.py" and len(parts) >= 2 and parts[-2] == "enclave":
+            return False
+        return True
+
+    def visit_Call(self, node: ast.Call) -> None:
+        func = node.func
+        if isinstance(func, ast.Attribute) and func.attr.startswith("ledger_"):
+            self.report(
+                node,
+                f"{func.attr}() outside the driver — paging-ledger "
+                "emission is confined to repro.enclave.driver so the "
+                "profile's totals reconcile with the run's RunStats",
+            )
         self.generic_visit(node)

@@ -14,7 +14,7 @@ A finding can be silenced with a comment naming its code::
   opts out of a structural rule such as RL005.
 * ``disable=all`` silences every rule.
 
-Pragmas apply to the per-file rules (RL001–RL009) and the deep
+Pragmas apply to the per-file rules (RL001–RL010) and the deep
 whole-program rules (RL101–RL104) alike: a deep finding is anchored to
 a file and line like any other, and that file's pragmas govern it.
 

@@ -22,7 +22,16 @@ bit-identical with observability on or off):
   worker-shipped metric/trace payloads and the parent-side collector
   of execution-layer spans (attempts, retries, timeouts, faults,
   checkpoint I/O), exported as the ``repro.exec-telemetry/1`` manifest
-  block, the fleet report table and per-worker Chrome tracks.
+  block, the fleet report table and per-worker Chrome tracks;
+* **paging-decision profiling** (:mod:`repro.obs.paging`) — the
+  per-page ledger behind ``repro profile``: preload
+  useful/wasted/late classification, fault-cause attribution with
+  the evicting CLOCK decision, residency intervals, and fault-rate
+  phase segmentation, exported as the ``repro.paging-profile/1``
+  manifest block and per-page Chrome residency tracks;
+* **OpenMetrics export** (:mod:`repro.obs.openmetrics`) — renders any
+  metric dump in the Prometheus/OpenMetrics text exposition format so
+  fleet runs can be scraped.
 """
 
 from repro.obs.chrome import (
@@ -61,6 +70,14 @@ from repro.obs.metrics import (
     Histogram,
     Metric,
     MetricsRegistry,
+)
+from repro.obs.openmetrics import render_openmetrics
+from repro.obs.paging import (
+    PAGING_PROFILE_SCHEMA,
+    PagingProfiler,
+    load_paging_profile,
+    validate_paging_profile,
+    write_paging_profile,
 )
 from repro.obs.trace import (
     DEFAULT_EVENT_CAPACITY,
@@ -112,4 +129,10 @@ __all__ = [
     "result_from_manifest",
     "diff_manifests",
     "render_diff",
+    "PAGING_PROFILE_SCHEMA",
+    "PagingProfiler",
+    "validate_paging_profile",
+    "write_paging_profile",
+    "load_paging_profile",
+    "render_openmetrics",
 ]

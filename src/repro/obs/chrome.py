@@ -27,13 +27,20 @@ checkpoint writes, resume hits, pool degradation — and one
 attempt spans with timeout-abandon and injected-fault instants.  Those
 spans are wall-clock seconds, not virtual cycles; they are normalized
 to the earliest span start so both timelines begin near zero.
+
+Paging-profile residency tracks (PR 7): given a
+``repro.paging-profile/1`` block, each exported hot page gets its own
+``page-N`` track (tid 100 + rank) whose complete events are the
+page's residency intervals — named by load kind and touch outcome, so
+a wasted preload is visible as an untouched ``preload`` bar ending at
+the CLOCK decision that evicted it (recorded in ``args``).
 """
 
 from __future__ import annotations
 
 import json
 from pathlib import Path
-from typing import Dict, Iterable, List, Union
+from typing import Dict, Iterable, List, Optional, Union
 
 from repro.enclave.events import EventKind, TimelineEvent
 from repro.errors import ObsError
@@ -74,6 +81,11 @@ _TID_OF_KIND: Dict[EventKind, int] = {
 #: track, then one track per worker lane above it.
 _EXEC_RUNNER_TID = 10
 _EXEC_WORKER_TID0 = 11
+
+#: Paging-profile residency tracks sit above the exec lanes: one per
+#: exported hot page, capped so the track list stays readable.
+_RESIDENCY_TID0 = 100
+_MAX_RESIDENCY_TRACKS = 16
 
 #: Keys every emitted trace event must carry (spec minimum).
 _REQUIRED_KEYS = ("name", "ph", "pid", "tid", "ts")
@@ -153,6 +165,62 @@ def _exec_records(exec_spans, pid: int) -> List[Dict[str, object]]:
     return records
 
 
+def _residency_records(
+    paging_profile: Dict[str, object], pid: int, ghz: float
+) -> List[Dict[str, object]]:
+    """Render a paging profile's hot pages as residency tracks."""
+    pages = paging_profile.get("pages", [])
+    if not isinstance(pages, list):
+        raise ObsError("paging profile pages is not a list")
+    records: List[Dict[str, object]] = []
+    for rank, entry in enumerate(pages[:_MAX_RESIDENCY_TRACKS]):
+        tid = _RESIDENCY_TID0 + rank
+        page = entry["page"]
+        records.append(
+            {
+                "name": "thread_name",
+                "ph": "M",
+                "pid": pid,
+                "tid": tid,
+                "ts": 0,
+                "args": {"name": f"page-{page}"},
+            }
+        )
+        for interval in entry.get("intervals", []):
+            start = int(interval["start"])
+            end = int(interval["end"])
+            kind = interval["kind"]
+            touched = bool(interval["touched"])
+            args: Dict[str, object] = {
+                "page": page,
+                "kind": kind,
+                "touched": touched,
+                "start_cycles": start,
+                "end_cycles": end,
+            }
+            if "evicted_for_page" in interval:
+                args["evicted_for_page"] = interval["evicted_for_page"]
+                args["evicted_for_kind"] = interval["evicted_for_kind"]
+                args["second_chances"] = interval["second_chances"]
+            name = f"{kind}:{'touched' if touched else 'untouched'}"
+            record: Dict[str, object] = {
+                "name": name,
+                "cat": "residency",
+                "pid": pid,
+                "tid": tid,
+                "ts": _cycles_to_us(start, ghz),
+                "args": args,
+            }
+            if end > start:
+                record["ph"] = "X"
+                record["dur"] = _cycles_to_us(end - start, ghz)
+            else:
+                record["ph"] = "i"
+                record["s"] = "t"
+            records.append(record)
+    return records
+
+
 def chrome_trace(
     events: Iterable[TimelineEvent],
     *,
@@ -161,6 +229,7 @@ def chrome_trace(
     process_name: str = "repro-sim",
     exec_spans=None,
     dropped_events: int = 0,
+    paging_profile: Optional[Dict[str, object]] = None,
 ) -> Dict[str, object]:
     """Render ``events`` as a Chrome trace_event JSON document.
 
@@ -170,7 +239,8 @@ def chrome_trace(
     :class:`~repro.obs.exec_telemetry.ExecSpan`) adds the
     execution-layer runner/worker tracks; ``dropped_events`` surfaces a
     ring buffer's eviction count in ``otherData`` so a truncated trace
-    says so in the artifact itself.
+    says so in the artifact itself; ``paging_profile`` (a
+    ``repro.paging-profile/1`` block) adds per-page residency tracks.
     """
     if ghz <= 0:
         raise ObsError(f"clock rate must be positive, got {ghz}")
@@ -220,6 +290,8 @@ def chrome_trace(
         trace_events.append(record)
     if exec_spans is not None:
         trace_events.extend(_exec_records(exec_spans, pid))
+    if paging_profile is not None:
+        trace_events.extend(_residency_records(paging_profile, pid, ghz))
     other_data: Dict[str, object] = {
         "clock_ghz": ghz,
         "format": "repro.chrome-trace/1",
@@ -241,6 +313,7 @@ def write_chrome_trace(
     ghz: float = 3.5,
     exec_spans=None,
     dropped_events: int = 0,
+    paging_profile: Optional[Dict[str, object]] = None,
 ) -> int:
     """Write the Chrome trace for ``events`` to ``path``.
 
@@ -253,6 +326,7 @@ def write_chrome_trace(
         ghz=ghz,
         exec_spans=exec_spans,
         dropped_events=dropped_events,
+        paging_profile=paging_profile,
     )
     payload = json.dumps(document, sort_keys=True, indent=1)
     Path(path).write_text(payload + "\n", encoding="utf-8")

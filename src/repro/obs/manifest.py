@@ -77,6 +77,7 @@ def build_manifest(
     workload: Optional["Workload"] = None,
     extra: Optional[Dict[str, object]] = None,
     exec_telemetry: Optional[Dict[str, object]] = None,
+    paging_profile: Optional[Dict[str, object]] = None,
 ) -> Dict[str, object]:
     """Build the manifest dict for one :class:`~repro.sim.results.RunResult`.
 
@@ -84,7 +85,9 @@ def build_manifest(
     ``extra`` is carried through verbatim (experiment labels, sweep
     coordinates, ...); ``exec_telemetry`` embeds the deterministic
     ``repro.exec-telemetry/1`` block of the run's execution
-    (:meth:`~repro.obs.exec_telemetry.ExecTelemetry.as_dict`).
+    (:meth:`~repro.obs.exec_telemetry.ExecTelemetry.as_dict`);
+    ``paging_profile`` embeds the ``repro.paging-profile/1`` block of
+    a profiled run (:meth:`~repro.obs.paging.PagingProfiler.profile`).
     """
     from repro import __version__
 
@@ -115,6 +118,8 @@ def build_manifest(
         manifest["extra"] = dict(extra)
     if exec_telemetry is not None:
         manifest["exec_telemetry"] = dict(exec_telemetry)
+    if paging_profile is not None:
+        manifest["paging_profile"] = dict(paging_profile)
     return manifest
 
 
@@ -131,8 +136,14 @@ def write_manifest(path: Union[str, Path], manifest: Dict[str, object]) -> Path:
 #: with the checkout (git SHA), not with what the run computed — and
 #: execution telemetry records how a run *executed* (real timeouts or
 #: pool breaks legitimately vary the tallies across machines), never
-#: what it computed.
-_DIGEST_EXCLUDE: Tuple[str, ...] = ("generator", "exec_telemetry")
+#: what it computed.  The paging profile is derived observation of the
+#: same run — attaching it must keep a profiled manifest's digest
+#: equal to the blind run's (same bar as the telemetry block).
+_DIGEST_EXCLUDE: Tuple[str, ...] = (
+    "generator",
+    "exec_telemetry",
+    "paging_profile",
+)
 
 
 def manifest_digest(
@@ -242,4 +253,8 @@ def load_manifest(path: Union[str, Path]) -> Dict[str, object]:
         from repro.obs.exec_telemetry import validate_exec_telemetry
 
         validate_exec_telemetry(document["exec_telemetry"])
+    if "paging_profile" in document:
+        from repro.obs.paging import validate_paging_profile
+
+        validate_paging_profile(document["paging_profile"])
     return document

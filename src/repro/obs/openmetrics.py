@@ -1,0 +1,90 @@
+"""OpenMetrics text export over :class:`~repro.obs.metrics.MetricsRegistry` dumps.
+
+Fleet runs want to be scraped, not re-parsed: this renders any metric
+dump (a live registry's ``as_dict()`` or the merged fleet dump shipped
+back by workers) in the OpenMetrics / Prometheus text exposition
+format, so a CI job or a node exporter sidecar can hand simulation
+counters straight to a scrape endpoint.
+
+Mapping rules, chosen for fidelity over cleverness:
+
+* metric names are prefixed ``repro_`` and sanitized to the
+  ``[a-zA-Z_:][a-zA-Z0-9_:]*`` charset (dots become underscores), so
+  ``fault.wait_hist`` exposes as ``repro_fault_wait_hist``;
+* scalar counters/gauges export as ``gauge`` samples — the registry
+  dump is a point-in-time snapshot, and OpenMetrics counters would
+  demand ``_total`` renames that break the 1:1 mapping back to the
+  manifest's ``metrics`` section;
+* histogram dumps export as a proper ``histogram`` family: cumulative
+  ``_bucket{le="..."}`` series (the registry stores per-bucket counts,
+  so this cumulates them), the mandatory ``le="+Inf"`` bucket equal to
+  the observation count (overflow included), plus ``_sum`` and
+  ``_count``;
+* non-numeric dump values are skipped — they have no OpenMetrics
+  representation and the manifest already carries them;
+* output ends with the mandatory ``# EOF`` terminator and is sorted
+  by metric name, so the same dump always renders the same bytes.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import List, Mapping
+
+__all__ = ["render_openmetrics"]
+
+_NAME_OK = re.compile(r"[^a-zA-Z0-9_:]")
+
+
+def _sample_name(name: str, prefix: str) -> str:
+    """Sanitize one dump key into a legal OpenMetrics metric name."""
+    sanitized = _NAME_OK.sub("_", name)
+    if sanitized and sanitized[0].isdigit():
+        sanitized = "_" + sanitized
+    return prefix + sanitized
+
+
+def _format_value(value: object) -> str:
+    """Render one sample value (ints stay ints; floats use repr)."""
+    if isinstance(value, bool):
+        return str(int(value))
+    if isinstance(value, int):
+        return str(value)
+    return repr(float(value))  # type: ignore[arg-type]
+
+
+def _is_histogram(value: object) -> bool:
+    return isinstance(value, Mapping) and value.get("type") == "histogram"
+
+
+def render_openmetrics(dump: Mapping[str, object], *, prefix: str = "repro_") -> str:
+    """Render a metric dump in OpenMetrics text exposition format.
+
+    ``dump`` is any registry/fleet metrics mapping (name → scalar or
+    histogram document).  Returns the full exposition including the
+    ``# EOF`` terminator; deterministic for a given dump.
+    """
+    lines: List[str] = []
+    for name in sorted(dump):
+        value = dump[name]
+        metric = _sample_name(name, prefix)
+        if _is_histogram(value):
+            doc: Mapping[str, object] = value  # type: ignore[assignment]
+            lines.append(f"# TYPE {metric} histogram")
+            cumulative = 0
+            for bucket in doc.get("buckets", []):  # type: ignore[union-attr]
+                cumulative += int(bucket["count"])
+                lines.append(
+                    f'{metric}_bucket{{le="{bucket["le"]}"}} {cumulative}'
+                )
+            count = int(doc["count"])  # type: ignore[index]
+            lines.append(f'{metric}_bucket{{le="+Inf"}} {count}')
+            lines.append(f"{metric}_sum {_format_value(doc['sum'])}")
+            lines.append(f"{metric}_count {count}")
+        elif isinstance(value, (int, float)):
+            lines.append(f"# TYPE {metric} gauge")
+            lines.append(f"{metric} {_format_value(value)}")
+        # Anything else (strings, nested objects) has no OpenMetrics
+        # representation; the manifest carries it instead.
+    lines.append("# EOF")
+    return "\n".join(lines) + "\n"

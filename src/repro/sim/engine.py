@@ -39,6 +39,7 @@ from repro.enclave.driver import SgxDriver
 from repro.enclave.enclave import Enclave
 from repro.errors import SimulationError
 from repro.obs.metrics import MetricsRegistry
+from repro.obs.paging import PagingProfiler
 from repro.obs.trace import TraceSink
 from repro.sim.results import RunResult
 from repro.workloads.base import TraceEvent, Workload
@@ -80,6 +81,7 @@ def simulate(
     tracer: Optional["TraceSink"] = None,
     event_capacity: Optional[int] = None,
     trace: Optional[Iterable[TraceEvent]] = None,
+    profiler: Optional["PagingProfiler"] = None,
 ) -> RunResult:
     """Run one workload under one scheme; return its result.
 
@@ -101,7 +103,10 @@ def simulate(
     ``RunResult.metrics``); ``tracer`` is an extra
     :class:`~repro.obs.trace.TraceSink` receiving every timeline event
     as it happens; ``event_capacity`` bounds the ``record_events``
-    ring buffer (most recent events win, drops are counted).
+    ring buffer (most recent events win, drops are counted);
+    ``profiler`` is a :class:`~repro.obs.paging.PagingProfiler` the
+    driver feeds every paging decision (read its
+    :meth:`~repro.obs.paging.PagingProfiler.profile` after the run).
     """
     if isinstance(scheme, str):
         if scheme in ("sip", "hybrid") and sip_plan is None:
@@ -124,6 +129,7 @@ def simulate(
         metrics=metrics,
         tracer=tracer,
         event_capacity=event_capacity,
+        profiler=profiler,
     )
     breakdown = driver.stats.time
     instrumented = sip.instrumented if sip is not None else None

@@ -1,0 +1,14 @@
+"""RL010 fixture: the same shapes, silenced or out of scope."""
+
+__all__ = ["sanctioned_shim", "unrelated_attributes_are_fine"]
+
+
+def sanctioned_shim(profiler, page, now):
+    profiler.ledger_hit(page, now)  # repro-lint: disable=RL010  test shim
+
+
+def unrelated_attributes_are_fine(profiler, ledger):
+    # Reads of ledger state and non-ledger methods are not emission.
+    total = ledger.faults + ledger.accesses
+    profiler.profile()
+    return total

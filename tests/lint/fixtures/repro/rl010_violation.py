@@ -1,0 +1,11 @@
+"""RL010 fixture: paging-ledger emission outside the driver."""
+
+__all__ = ["sneaky_hit", "sneaky_fault"]
+
+
+def sneaky_hit(profiler, page, now):
+    profiler.ledger_hit(page, now)
+
+
+def sneaky_fault(profiler, page, now):
+    profiler.ledger_fault(page, now, "miss")

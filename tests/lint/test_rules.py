@@ -190,11 +190,38 @@ class TestRL009AdHocExecSpan:
         assert lint_file(mod, select=["RL009"]) == []
 
 
+class TestRL010StrayLedgerEmission:
+    def test_fires_on_each_ledger_call(self):
+        found = findings_for("repro/rl010_violation.py", "RL010")
+        # ledger_hit() and ledger_fault()
+        assert len(found) == 2
+        messages = " | ".join(f.message for f in found)
+        assert "repro.enclave.driver" in messages
+
+    def test_silent_under_pragma_and_on_non_ledger_attributes(self):
+        assert findings_for("repro/rl010_suppressed.py", "RL010") == []
+
+    @pytest.mark.parametrize(
+        "relpath", ["repro/obs/paging.py", "repro/enclave/driver.py"]
+    )
+    def test_sanctioned_emitters_are_exempt(self, tmp_path, relpath):
+        mod = tmp_path / relpath
+        mod.parent.mkdir(parents=True, exist_ok=True)
+        mod.write_text("__all__ = []\nself._profiler.ledger_hit(page, now)\n")
+        assert lint_file(mod, select=["RL010"]) == []
+
+    def test_code_outside_the_package_is_exempt(self, tmp_path):
+        mod = tmp_path / "tools" / "poke.py"
+        mod.parent.mkdir()
+        mod.write_text("profiler.ledger_hit(0, 0)\n")
+        assert lint_file(mod, select=["RL010"]) == []
+
+
 @pytest.mark.parametrize(
     "code",
     [
         "RL001", "RL002", "RL003", "RL004", "RL005", "RL006", "RL007",
-        "RL008", "RL009",
+        "RL008", "RL009", "RL010",
     ],
 )
 def test_clean_fixture_is_silent_under_every_rule(code):

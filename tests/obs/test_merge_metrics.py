@@ -1,0 +1,123 @@
+"""merge_metric_dumps edge cases: empty fleets, identity, bucket shapes.
+
+Complements ``test_exec_telemetry.py``'s happy-path merge tests with
+the boundary behaviour the fleet path can actually hit: zero workers,
+one worker, and workers whose histogram geometry drifted apart.
+"""
+
+import pytest
+
+from repro.core.config import SimConfig
+from repro.errors import ObsError
+from repro.obs.exec_telemetry import merge_metric_dumps
+from repro.obs.metrics import MetricsRegistry
+from repro.sim.engine import simulate
+from repro.workloads.base import SyntheticWorkload
+from repro.workloads.synthetic import sequential
+
+
+def histogram(count, total, bucket_counts, bounds=None):
+    bounds = bounds if bounds is not None else tuple(range(1, len(bucket_counts) + 1))
+    return {
+        "type": "histogram",
+        "count": count,
+        "sum": total,
+        "buckets": [
+            {"le": le, "count": n} for le, n in zip(bounds, bucket_counts)
+        ],
+        "overflow": 0,
+    }
+
+
+def registry_dump(seed):
+    config = SimConfig(epc_pages=64, sanitize=True)
+    workload = SyntheticWorkload(
+        "seq", 96, {0: "scan"}, [sequential(0, 0, 96, compute=5_000, passes=2)]
+    )
+    metrics = MetricsRegistry()
+    simulate(workload, config, "dfp-stop", seed=seed, metrics=metrics)
+    return metrics.as_dict()
+
+
+class TestEmptyFleets:
+    def test_no_workers_merge_to_an_empty_dump(self):
+        assert merge_metric_dumps([]) == {}
+
+    def test_workers_with_empty_dumps_merge_to_an_empty_dump(self):
+        assert merge_metric_dumps([{}, {}, {}]) == {}
+
+    def test_empty_dumps_beside_real_ones_are_neutral(self):
+        merged = merge_metric_dumps([{}, {"n": 2}, {}])
+        assert merged == {"n": 2}
+
+
+class TestSingleWorkerIdentity:
+    def test_one_dump_merges_to_itself(self):
+        dump = {"n": 3, "lat": histogram(2, 10, (1, 1))}
+        assert merge_metric_dumps([dump]) == dump
+
+    def test_one_real_registry_dump_merges_to_itself(self):
+        dump = registry_dump(seed=0)
+        assert merge_metric_dumps([dump]) == dump
+
+    def test_identity_merge_still_copies_histograms(self):
+        dump = {"lat": histogram(2, 10, (1, 1))}
+        merged = merge_metric_dumps([dump])
+        merged["lat"]["buckets"][0]["count"] += 99
+        assert dump["lat"]["buckets"][0]["count"] == 1
+
+    def test_fleet_merge_of_real_dumps_sums_pointwise(self):
+        # The docstring's contract, checked on real registry dumps:
+        # the fleet fold sums every scalar and every histogram bucket.
+        dumps = [registry_dump(seed=0), registry_dump(seed=1)]
+        merged = merge_metric_dumps(dumps)
+        assert set(merged) == set(dumps[0]) | set(dumps[1])
+        for name, value in merged.items():
+            parts = [d[name] for d in dumps if name in d]
+            if isinstance(value, dict) and value.get("type") == "histogram":
+                assert value["count"] == sum(p["count"] for p in parts)
+                assert value["sum"] == sum(p["sum"] for p in parts)
+                for bucket, *sources in zip(
+                    value["buckets"], *[p["buckets"] for p in parts]
+                ):
+                    assert bucket["count"] == sum(s["count"] for s in sources)
+            elif isinstance(value, (int, float)) and not isinstance(value, bool):
+                assert value == sum(parts)
+
+
+class TestBucketShapeConflicts:
+    def test_different_bucket_counts_are_an_error(self):
+        with pytest.raises(ObsError, match="bucket bounds"):
+            merge_metric_dumps(
+                [
+                    {"m": histogram(1, 1, (1, 0))},
+                    {"m": histogram(1, 1, (1, 0, 0))},
+                ]
+            )
+
+    def test_empty_versus_populated_bucket_lists_are_an_error(self):
+        with pytest.raises(ObsError, match="bucket bounds"):
+            merge_metric_dumps(
+                [
+                    {"m": histogram(1, 1, ())},
+                    {"m": histogram(1, 1, (1,))},
+                ]
+            )
+
+    def test_reordered_bounds_are_an_error(self):
+        with pytest.raises(ObsError, match="bucket bounds"):
+            merge_metric_dumps(
+                [
+                    {"m": histogram(1, 1, (1, 0), bounds=(1, 10))},
+                    {"m": histogram(1, 1, (1, 0), bounds=(10, 1))},
+                ]
+            )
+
+    def test_error_reports_the_offending_metric_name(self):
+        with pytest.raises(ObsError, match="'fault.wait_hist'"):
+            merge_metric_dumps(
+                [
+                    {"fault.wait_hist": histogram(1, 1, (1,))},
+                    {"fault.wait_hist": 2},
+                ]
+            )

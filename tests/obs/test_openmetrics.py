@@ -1,0 +1,88 @@
+"""OpenMetrics exporter: mapping rules, determinism, spec conformance."""
+
+from repro.core.config import SimConfig
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.openmetrics import render_openmetrics
+from repro.sim.engine import simulate
+from repro.workloads.base import SyntheticWorkload
+from repro.workloads.synthetic import sequential
+
+
+def run_dump():
+    config = SimConfig(epc_pages=64, sanitize=True)
+    workload = SyntheticWorkload(
+        "seq", 96, {0: "scan"}, [sequential(0, 0, 96, compute=5_000, passes=2)]
+    )
+    metrics = MetricsRegistry()
+    simulate(workload, config, "dfp-stop", metrics=metrics)
+    return metrics.as_dict()
+
+
+class TestFormat:
+    def test_ends_with_eof_terminator(self):
+        text = render_openmetrics({})
+        assert text == "# EOF\n"
+
+    def test_scalars_export_as_gauges(self):
+        text = render_openmetrics({"run.faults": 7, "run.rate": 0.5})
+        assert "# TYPE repro_run_faults gauge\nrepro_run_faults 7\n" in text
+        assert "repro_run_rate 0.5" in text
+
+    def test_names_are_sanitized_and_prefixed(self):
+        text = render_openmetrics({"a.b-c/d": 1, "9lives": 2})
+        assert "repro_a_b_c_d 1" in text
+        assert "repro__9lives 2" in text
+
+    def test_custom_prefix(self):
+        text = render_openmetrics({"x": 1}, prefix="sgx_")
+        assert "sgx_x 1" in text
+
+    def test_bools_export_as_integers(self):
+        text = render_openmetrics({"flag": True})
+        assert "repro_flag 1" in text
+
+    def test_non_numeric_values_are_skipped(self):
+        text = render_openmetrics({"label": "dfp-stop", "n": 3})
+        assert "label" not in text
+        assert "repro_n 3" in text
+
+    def test_output_is_sorted_and_deterministic(self):
+        dump = {"b": 2, "a": 1, "c": 3}
+        text = render_openmetrics(dump)
+        assert text.index("repro_a") < text.index("repro_b") < text.index("repro_c")
+        assert text == render_openmetrics(dict(reversed(list(dump.items()))))
+
+
+class TestHistograms:
+    def test_buckets_are_cumulative_with_inf_total(self):
+        dump = {
+            "wait": {
+                "type": "histogram",
+                "count": 10,
+                "sum": 1234,
+                "buckets": [
+                    {"le": 100, "count": 3},
+                    {"le": 1000, "count": 4},
+                ],
+            }
+        }
+        text = render_openmetrics(dump)
+        assert "# TYPE repro_wait histogram" in text
+        assert 'repro_wait_bucket{le="100"} 3' in text
+        assert 'repro_wait_bucket{le="1000"} 7' in text
+        # +Inf equals the observation count — overflow included (10 > 7).
+        assert 'repro_wait_bucket{le="+Inf"} 10' in text
+        assert "repro_wait_sum 1234" in text
+        assert "repro_wait_count 10" in text
+
+    def test_real_registry_dump_renders(self):
+        dump = run_dump()
+        text = render_openmetrics(dump)
+        assert text.endswith("# EOF\n")
+        assert "# TYPE repro_fault_wait_hist histogram" in text
+        # Every histogram's +Inf bucket equals its count line.
+        for name, value in dump.items():
+            if isinstance(value, dict) and value.get("type") == "histogram":
+                metric = "repro_" + name.replace(".", "_")
+                assert f'{metric}_bucket{{le="+Inf"}} {value["count"]}' in text
+                assert f'{metric}_count {value["count"]}' in text

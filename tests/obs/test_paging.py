@@ -1,0 +1,319 @@
+"""Paging-decision profiler: passivity, reconciliation, determinism.
+
+The ISSUE's acceptance criteria live here: a profiled run's result —
+and its manifest bytes — must be identical to a blind run's, every
+preload must land in exactly one outcome bucket, and the ledger totals
+must reconcile against the driver's own ``RunStats`` counters.
+"""
+
+import json
+
+import pytest
+
+from repro.core.config import SimConfig
+from repro.errors import ObsError
+from repro.obs.manifest import build_manifest, manifest_digest, write_manifest
+from repro.obs.paging import (
+    PAGING_PROFILE_SCHEMA,
+    PagingProfiler,
+    load_paging_profile,
+    validate_paging_profile,
+    write_paging_profile,
+)
+from repro.sim.engine import simulate
+from repro.workloads.base import SyntheticWorkload
+from repro.workloads.synthetic import sequential, uniform_random
+
+
+@pytest.fixture
+def config():
+    return SimConfig(
+        epc_pages=64,
+        scan_period_cycles=200_000,
+        valve_slack=16,
+        sanitize=True,
+    )
+
+
+@pytest.fixture
+def workload():
+    return SyntheticWorkload(
+        "mixed",
+        256,
+        {0: "scan", 1: "probe"},
+        [
+            sequential(0, 0, 192, compute=5_000, passes=2),
+            uniform_random([1], 0, 256, 400, compute=5_000),
+        ],
+    )
+
+
+@pytest.fixture
+def profiled(workload, config):
+    profiler = PagingProfiler()
+    result = simulate(workload, config, "dfp-stop", profiler=profiler)
+    return result, profiler.profile()
+
+
+class TestPassivity:
+    def test_result_identical_to_blind_run(self, workload, config, profiled):
+        blind = simulate(workload, config, "dfp-stop")
+        result, _profile = profiled
+        assert result == blind
+
+    def test_manifest_bytes_identical_to_blind_run(
+        self, tmp_path, workload, config, profiled
+    ):
+        blind = simulate(workload, config, "dfp-stop")
+        result, _profile = profiled
+        pa = write_manifest(tmp_path / "blind.json", build_manifest(blind))
+        pb = write_manifest(tmp_path / "observed.json", build_manifest(result))
+        assert pa.read_bytes() == pb.read_bytes()
+
+    def test_embedded_block_does_not_move_the_digest(
+        self, workload, config, profiled
+    ):
+        blind = simulate(workload, config, "dfp-stop")
+        result, profile = profiled
+        with_block = build_manifest(result, paging_profile=profile)
+        assert with_block["paging_profile"]["schema"] == PAGING_PROFILE_SCHEMA
+        assert manifest_digest(with_block) == manifest_digest(
+            build_manifest(blind)
+        )
+
+
+class TestReconciliation:
+    def test_totals_match_run_stats(self, profiled):
+        result, profile = profiled
+        stats = result.stats
+        totals = profile["totals"]
+        assert totals["accesses"] == stats.accesses
+        assert totals["faults"] == stats.faults
+        assert totals["epc_hits"] == stats.epc_hits
+        assert totals["scans"] == stats.scans
+        assert totals["scan_credited_pages"] == stats.preloads_accessed
+
+    def test_channel_counters_match_run_stats(self, profiled):
+        result, profile = profiled
+        stats = result.stats
+        preloads = profile["totals"]["preloads"]
+        assert preloads["enqueued"] == stats.preloads_enqueued
+        assert preloads["completed"] == stats.preloads_completed
+        assert preloads["redundant"] == stats.preloads_redundant
+
+    def test_fault_causes_partition_the_faults(self, profiled):
+        result, profile = profiled
+        causes = profile["totals"]["fault_causes"]
+        assert sum(causes.values()) == result.stats.faults
+        # Under dfp-stop the predictor is live from the first fault, so
+        # first touches are predictor misses, never cold.
+        assert causes["cold"] == 0
+        assert causes["predictor_miss"] > 0
+        assert causes["refault"] > 0
+        assert causes["late"] > 0
+
+    def test_baseline_faults_are_cold_or_refaults(self, workload, config):
+        profiler = PagingProfiler()
+        result = simulate(workload, config, "baseline", profiler=profiler)
+        causes = profiler.profile()["totals"]["fault_causes"]
+        assert causes["cold"] > 0
+        assert causes["refault"] > 0
+        assert causes["predictor_miss"] == 0
+        assert causes["late"] == 0
+        assert sum(causes.values()) == result.stats.faults
+
+    def test_every_preload_lands_in_exactly_one_bucket(self, profiled):
+        _result, profile = profiled
+        p = profile["totals"]["preloads"]
+        assert p["completed"] == (
+            p["useful"] + p["late_inflight"]
+            + p["wasted_evicted"] + p["wasted_leftover"]
+        )
+        assert p["enqueued"] == (
+            p["completed"] + p["redundant"] + p["late_queued"]
+            + p["aborted_collateral"] + p["pending_at_exit"]
+        )
+
+    def test_timely_preloads_bracket_the_preload_hits(self, profiled):
+        result, profile = profiled
+        p = profile["totals"]["preloads"]
+        timely = p["useful"] + p["late_inflight"]
+        # stats.preload_hits can re-count a page whose A bit a CLOCK
+        # sweep cleared, so the ledger's first-touch count is a floor.
+        assert 0 < timely <= result.stats.preload_hits
+        assert p["wasted_evicted"] <= result.stats.preloads_evicted_unused
+
+    def test_validator_accepts_and_summarizes(self, profiled):
+        result, profile = profiled
+        summary = validate_paging_profile(profile)
+        assert summary["faults"] == result.stats.faults
+        assert summary["accesses"] == result.stats.accesses
+        assert summary["phases"] == len(profile["phases"])
+
+
+class TestDeterminism:
+    def test_profiled_runs_export_identical_bytes(
+        self, tmp_path, workload, config
+    ):
+        paths = []
+        for name in ("a", "b"):
+            profiler = PagingProfiler()
+            simulate(workload, config, "dfp-stop", profiler=profiler)
+            paths.append(
+                write_paging_profile(tmp_path / f"{name}.json", profiler.profile())
+            )
+        assert paths[0].read_bytes() == paths[1].read_bytes()
+
+    def test_roundtrips_through_disk(self, tmp_path, profiled):
+        _result, profile = profiled
+        path = write_paging_profile(tmp_path / "p.json", profile)
+        assert load_paging_profile(path) == json.loads(json.dumps(profile))
+
+
+class TestPhasesAndHeatmap:
+    def test_phases_cover_the_run(self, profiled):
+        _result, profile = profiled
+        phases = profile["phases"]
+        assert 0 < len(phases) <= 32
+        assert sum(p["accesses"] for p in phases) == profile["totals"]["accesses"]
+        assert all(p["label"] in ("resident", "steady", "bursty") for p in phases)
+        assert [p["phase"] for p in phases] == list(range(len(phases)))
+        for phase in phases:
+            assert phase["start_cycle"] <= phase["end_cycle"]
+
+    def test_small_windows_coarsen_to_the_phase_cap(self, workload, config):
+        profiler = PagingProfiler(window_accesses=16)
+        simulate(workload, config, "dfp-stop", profiler=profiler)
+        profile = profiler.profile()
+        assert 0 < len(profile["phases"]) <= 32
+        validate_paging_profile(profile)
+
+    def test_heatmap_counts_every_access(self, profiled):
+        _result, profile = profiled
+        heatmap = profile["heatmap"]
+        assert heatmap["page_buckets"] <= 32
+        assert heatmap["columns"] == len(heatmap["counts"]) <= 64
+        total = sum(sum(column) for column in heatmap["counts"])
+        assert total == profile["totals"]["accesses"]
+
+    def test_quiet_sequential_run_is_mostly_low_fault_phases(self, config):
+        workload = SyntheticWorkload(
+            "seq", 48, {0: "scan"},
+            [sequential(0, 0, 48, compute=5_000, passes=8)],
+        )
+        profiler = PagingProfiler(window_accesses=64)
+        simulate(workload, config, "baseline", profiler=profiler)
+        profile = profiler.profile()
+        # The working set fits in the EPC: after the cold sweep the
+        # fault rate collapses, so a resident band must appear.
+        assert any(p["label"] == "resident" for p in profile["phases"])
+
+
+class TestEvictionAttribution:
+    def test_eviction_totals_are_consistent(self, profiled):
+        result, profile = profiled
+        evictions = profile["totals"]["evictions"]
+        assert evictions["total"] == result.stats.evictions > 0
+        assert evictions["premature_refaulted"] == (
+            profile["totals"]["fault_causes"]["refault"]
+        )
+        assert evictions["victims_preloaded_untouched"] == (
+            profile["totals"]["preloads"]["wasted_evicted"]
+        )
+        assert evictions["second_chances"] >= 0
+
+    def test_closed_intervals_carry_the_evicting_decision(self, profiled):
+        _result, profile = profiled
+        evicted = [
+            interval
+            for page in profile["pages"]
+            for interval in page["intervals"]
+            if "evicted_for_page" in interval
+        ]
+        assert evicted, "mixed workload must evict an exported page"
+        for interval in evicted:
+            assert interval["evicted_for_kind"] in ("demand", "preload", "sip")
+            assert interval["second_chances"] >= 0
+            assert interval["end"] >= interval["start"]
+
+    def test_exported_pages_are_ranked_and_bounded(self, profiled):
+        _result, profile = profiled
+        pages = profile["pages"]
+        assert 0 < len(pages) <= 24
+        fault_counts = [page["faults"] for page in pages]
+        assert fault_counts == sorted(fault_counts, reverse=True)
+        for page in pages:
+            assert len(page["intervals"]) <= 64
+            assert page["intervals_truncated"] >= 0
+
+
+class TestLifecycle:
+    def test_window_must_be_positive(self):
+        with pytest.raises(ObsError):
+            PagingProfiler(window_accesses=0)
+
+    def test_profiler_observes_exactly_one_run(self, workload, config):
+        profiler = PagingProfiler()
+        simulate(workload, config, "dfp-stop", profiler=profiler)
+        with pytest.raises(ObsError):
+            simulate(workload, config, "dfp-stop", profiler=profiler)
+
+    def test_profile_before_finish_is_an_error(self):
+        profiler = PagingProfiler()
+        profiler.ledger_bind(0, 8)
+        with pytest.raises(ObsError):
+            profiler.profile()
+
+
+class TestValidatorErrors:
+    def test_rejects_non_objects_and_wrong_schema(self):
+        with pytest.raises(ObsError):
+            validate_paging_profile([])
+        with pytest.raises(ObsError):
+            validate_paging_profile({"schema": "other/9"})
+
+    def test_rejects_missing_sections(self, profiled):
+        _result, profile = profiled
+        broken = dict(profile)
+        del broken["heatmap"]
+        with pytest.raises(ObsError):
+            validate_paging_profile(broken)
+
+    @pytest.mark.parametrize(
+        "mutate, message",
+        [
+            (lambda t: t["fault_causes"].__setitem__("cold", 10**9),
+             "partition the fault count"),
+            (lambda t: t["preloads"].__setitem__("useful", 10**9),
+             "useful/late/wasted"),
+            (lambda t: t["preloads"].__setitem__("enqueued", 10**9),
+             "do not reconcile"),
+            (lambda t: t["evictions"].__setitem__("premature_refaulted", 10**9),
+             "refault cause"),
+        ],
+    )
+    def test_rejects_broken_identities(self, profiled, mutate, message):
+        _result, profile = profiled
+        broken = json.loads(json.dumps(profile))
+        mutate(broken["totals"])
+        with pytest.raises(ObsError, match=message):
+            validate_paging_profile(broken)
+
+    def test_rejects_heatmap_and_phase_drift(self, profiled):
+        _result, profile = profiled
+        broken = json.loads(json.dumps(profile))
+        broken["heatmap"]["counts"][0][0] += 1
+        with pytest.raises(ObsError, match="heatmap"):
+            validate_paging_profile(broken)
+        broken = json.loads(json.dumps(profile))
+        broken["phases"][0]["label"] = "mystery"
+        with pytest.raises(ObsError):
+            validate_paging_profile(broken)
+
+    def test_load_errors(self, tmp_path):
+        with pytest.raises(ObsError):
+            load_paging_profile(tmp_path / "nope.json")
+        bad = tmp_path / "bad.json"
+        bad.write_text("{not json")
+        with pytest.raises(ObsError):
+            load_paging_profile(bad)

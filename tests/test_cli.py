@@ -163,6 +163,179 @@ class TestProfile:
         out = capsys.readouterr().out
         assert "0 instrumentation point(s)" in out
 
+    def test_profile_schemes_renders_profiles_and_diff(self, capsys):
+        assert main(
+            ["profile", "lbm", "--schemes", "dfp-stop,sip", *SCALE]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "paging profile — lbm / dfp-stop" in out
+        assert "paging profile — lbm / sip" in out
+        assert "effectiveness diff — dfp-stop vs sip" in out
+        assert "preload ledger" in out
+        assert "fault attribution" in out
+
+    def test_profile_schemes_writes_validated_artifacts(self, tmp_path, capsys):
+        import json
+
+        artifacts = tmp_path / "artifacts"
+        assert main(
+            ["profile", "lbm", "--schemes", "dfp-stop,sip",
+             "--artifacts", str(artifacts), *SCALE]
+        ) == 0
+        from repro.obs import load_paging_profile, validate_chrome_trace
+
+        profiles = sorted(artifacts.glob("*.paging-profile.json"))
+        assert [p.name for p in profiles] == [
+            "lbm-dfp-stop.paging-profile.json",
+            "lbm-sip.paging-profile.json",
+        ]
+        for path in profiles:
+            load_paging_profile(path)  # validates the block
+        traces = sorted(artifacts.glob("*.trace.json"))
+        assert len(traces) == 2
+        for path in traces:
+            counts = validate_chrome_trace(json.loads(path.read_text()))
+            assert counts["tracks"] >= 4  # app/channel/scan + residency
+        assert sorted(p.name for p in artifacts.glob("*.heatmap.txt")) == [
+            "lbm-dfp-stop.heatmap.txt",
+            "lbm-sip.heatmap.txt",
+        ]
+
+    def test_profile_schemes_json_format(self, capsys):
+        import json
+
+        assert main(
+            ["profile", "lbm", "--schemes", "dfp-stop,sip",
+             "--format", "json", *SCALE]
+        ) == 0
+        document = json.loads(capsys.readouterr().out)
+        assert set(document["profiles"]) == {"dfp-stop", "sip"}
+        assert "sip" in document["diffs"]
+
+    def test_profile_schemes_rejects_unknown_scheme(self, capsys):
+        assert main(
+            ["profile", "lbm", "--schemes", "dfp-stop,warp", *SCALE]
+        ) == 2
+        assert "warp" in capsys.readouterr().err
+
+
+class TestPagingProfileRun:
+    """--paging-profile on repro run, and its report rendering."""
+
+    def test_run_writes_profile_and_embeds_manifest_block(
+        self, tmp_path, capsys
+    ):
+        import json
+
+        profile = tmp_path / "run.paging-profile.json"
+        manifest = tmp_path / "run.manifest.json"
+        assert main(
+            ["run", "lbm", "--scheme", "dfp-stop",
+             "--paging-profile", str(profile),
+             "--manifest", str(manifest), *SCALE]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "paging profile" in out
+        assert "precision" in out
+        from repro.obs import load_manifest, load_paging_profile
+
+        block = load_paging_profile(profile)
+        document = load_manifest(manifest)
+        assert document["paging_profile"] == json.loads(
+            json.dumps(block)
+        )
+
+    def test_profiled_manifest_bytes_match_blind_run(self, tmp_path, capsys):
+        # Passivity through the CLI: everything but the embedded block
+        # is byte-identical, and the digest ignores the block.
+        import json
+
+        blind = tmp_path / "blind.json"
+        observed = tmp_path / "observed.json"
+        assert main(["run", "lbm", "--manifest", str(blind), *SCALE]) == 0
+        assert main(
+            ["run", "lbm", "--manifest", str(observed),
+             "--paging-profile", str(tmp_path / "p.json"), *SCALE]
+        ) == 0
+        a = json.loads(blind.read_text())
+        b = json.loads(observed.read_text())
+        b.pop("paging_profile")
+        assert a == b
+
+    def test_run_rejects_profiling_with_resilience(self, tmp_path, capsys):
+        assert main(
+            ["run", "lbm", "--jobs", "2",
+             "--paging-profile", str(tmp_path / "p.json"), *SCALE]
+        ) == 2
+        assert "--paging-profile" in capsys.readouterr().err
+        assert not (tmp_path / "p.json").exists()
+
+    def test_report_diffs_two_profiled_manifests(self, tmp_path, capsys):
+        a = tmp_path / "a.json"
+        b = tmp_path / "b.json"
+        assert main(
+            ["run", "lbm", "--scheme", "dfp-stop", "--manifest", str(a),
+             "--paging-profile", str(tmp_path / "pa.json"), *SCALE]
+        ) == 0
+        assert main(
+            ["run", "lbm", "--scheme", "sip", "--manifest", str(b),
+             "--paging-profile", str(tmp_path / "pb.json"), *SCALE]
+        ) == 0
+        capsys.readouterr()
+        assert main(["report", str(a), str(b)]) == 0
+        out = capsys.readouterr().out
+        assert "effectiveness diff — dfp-stop vs sip" in out
+
+    def test_report_renders_single_profiled_manifest(self, tmp_path, capsys):
+        manifest = tmp_path / "m.json"
+        assert main(
+            ["run", "lbm", "--manifest", str(manifest),
+             "--paging-profile", str(tmp_path / "p.json"), *SCALE]
+        ) == 0
+        capsys.readouterr()
+        assert main(["report", str(manifest)]) == 0
+        out = capsys.readouterr().out
+        assert "paging profile" in out
+        assert "phase(s)" in out
+
+
+class TestOpenMetrics:
+    def test_run_metrics_openmetrics_format(self, capsys):
+        assert main(
+            ["run", "leela", "--metrics",
+             "--metrics-format", "openmetrics", *SCALE]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "# TYPE repro_app_accesses gauge" in out
+        assert out.rstrip().endswith("# EOF")
+
+    def test_fleet_metrics_openmetrics_format(self, capsys):
+        assert main(
+            ["compare", "lbm", "--schemes", "baseline,dfp-stop",
+             "--jobs", "2", "--metrics",
+             "--metrics-format", "openmetrics", *SCALE]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "# TYPE repro_app_accesses gauge" in out
+        assert "# EOF" in out
+
+
+class TestTraceDropWarning:
+    def test_overflowing_ring_buffer_warns_on_stderr(self, tmp_path, capsys):
+        trace = tmp_path / "t.json"
+        assert main(
+            ["run", "lbm", "--scheme", "dfp-stop",
+             "--trace", str(trace), "--trace-capacity", "64", *SCALE]
+        ) == 0
+        err = capsys.readouterr().err
+        assert "dropped" in err
+        assert "--trace-capacity" in err
+
+    def test_no_warning_when_nothing_dropped(self, tmp_path, capsys):
+        trace = tmp_path / "t.json"
+        assert main(["run", "leela", "--trace", str(trace), *SCALE]) == 0
+        assert "dropped" not in capsys.readouterr().err
+
 
 class TestClassify:
     def test_classify_selected(self, capsys):

@@ -1,7 +1,7 @@
 #!/usr/bin/env python
 """Performance harness for the simulation hot path.
 
-Measures three things and writes them to ``BENCH_perf.json`` so every
+Measures four things and writes them to ``BENCH_perf.json`` so every
 future PR has a perf trajectory to compare against:
 
 * ``engine`` — steady-state :func:`repro.sim.engine.simulate`
@@ -11,6 +11,11 @@ future PR has a perf trajectory to compare against:
 * ``trace_cache`` — one simulate comparison run twice, with the trace
   regenerated per run (pre-PR behaviour) and replayed from one
   materialized copy; reports both runs/sec figures and the gain.
+* ``profiling`` — the same hot loop run blind and then with a
+  :class:`repro.obs.paging.PagingProfiler` attached: both runs/sec
+  figures and the overhead factor of the per-access ledger hooks.
+  The harness asserts the profiled run's result equals the blind
+  run's (the profiler's passivity contract) before reporting.
 * ``sweep`` — wall-clock of a 5-point, 2-scheme ``LOADLENGTH`` sweep.
   The *reference* leg replicates the pre-PR serial driver's cost
   model point by point — a full profiling run and plan compilation
@@ -46,6 +51,8 @@ import time
 from repro.core.config import SimConfig
 from repro.core.instrumentation import build_sip_plan
 from repro.core.profiler import profile_workload
+from repro.obs.exec_telemetry import ExecTelemetry, SpanKind
+from repro.obs.paging import PagingProfiler
 from repro.robust import ExecutionPolicy
 from repro.sim.engine import prepare_sip_plan, simulate
 from repro.sim.parallel import WorkloadSpec
@@ -121,6 +128,41 @@ def measure_trace_cache(scale: int, repeats: int) -> dict:
     }
 
 
+def measure_profiling(scale: int, repeats: int) -> dict:
+    """Hot-loop cost of the paging-decision ledger, blind vs profiled."""
+    config = SimConfig.scaled(scale)
+    workload = WorkloadSpec(HOT_WORKLOAD, scale).build()
+    trace = shared_trace_cache().get(workload, seed=0, input_set="ref")
+
+    simulate(workload, config, "dfp-stop", seed=0, trace=trace)
+    t0 = time.perf_counter()
+    for _ in range(repeats):
+        blind = simulate(workload, config, "dfp-stop", seed=0, trace=trace)
+    blind_s = time.perf_counter() - t0
+
+    t0 = time.perf_counter()
+    for _ in range(repeats):
+        profiler = PagingProfiler()
+        observed = simulate(
+            workload, config, "dfp-stop", seed=0, trace=trace, profiler=profiler
+        )
+    profiled_s = time.perf_counter() - t0
+
+    assert observed == blind, "paging profiler perturbed the simulation"
+    profile = profiler.profile()
+    totals = profile["totals"]
+    return {
+        "workload": HOT_WORKLOAD,
+        "scheme": "dfp-stop",
+        "runs": repeats,
+        "blind_runs_per_sec": round(repeats / blind_s, 3),
+        "profiled_runs_per_sec": round(repeats / profiled_s, 3),
+        "overhead_x": round(profiled_s / blind_s, 3),
+        "ledger_accesses": totals["accesses"],
+        "ledger_faults": totals["faults"],
+    }
+
+
 def run_reference_sweep(spec: WorkloadSpec, configs, schemes, seed: int):
     """Replicate the pre-PR serial driver's cost model.
 
@@ -162,6 +204,7 @@ def measure_sweep(scale: int, jobs: int) -> dict:
     reference_s = time.perf_counter() - t0
 
     shared_trace_cache().clear()
+    telemetry = ExecTelemetry()
     t0 = time.perf_counter()
     optimized = sweep_config(
         spec,
@@ -169,8 +212,17 @@ def measure_sweep(scale: int, jobs: int) -> dict:
         SWEEP_SCHEMES,
         values=list(SWEEP_VALUES),
         policy=ExecutionPolicy(jobs=jobs),
+        telemetry=telemetry,
     )
     optimized_s = time.perf_counter() - t0
+
+    # The worker count the sweep *actually* used, observed from the
+    # attempt spans' lane assignments — ``jobs`` is only the request,
+    # and on a small machine (or a degraded pool) fewer lanes run.
+    lanes = {
+        span.lane for span in telemetry.spans if span.kind is SpanKind.ATTEMPT
+    }
+    effective_workers = max(1, len(lanes))
 
     results_equal = all(
         reference[i][scheme] == point.results[scheme]
@@ -184,6 +236,7 @@ def measure_sweep(scale: int, jobs: int) -> dict:
         "schemes": list(SWEEP_SCHEMES),
         "parameter": "load_length",
         "jobs": jobs,
+        "effective_workers": effective_workers,
         "reference_serial_s": round(reference_s, 4),
         "optimized_s": round(optimized_s, 4),
         "speedup": round(reference_s / optimized_s, 3),
@@ -223,6 +276,16 @@ def compare_reports(old: dict, new: dict, tolerance: float) -> list:
         new_cache.get("cached_runs_per_sec"),
     )
     add("trace_cache.speedup", old_cache.get("speedup"), new_cache.get("speedup"))
+
+    # Older snapshots predate the profiling leg; add() skips the row
+    # when either side lacks it, so the gate still applies cleanly.
+    old_profiling = old.get("profiling", {})
+    new_profiling = new.get("profiling", {})
+    add(
+        "profiling.profiled_runs_per_sec",
+        old_profiling.get("profiled_runs_per_sec"),
+        new_profiling.get("profiled_runs_per_sec"),
+    )
 
     add(
         "sweep.speedup",
@@ -308,6 +371,7 @@ def main(argv=None) -> int:
         "scale": scale,
         "engine": measure_engine(scale, repeats),
         "trace_cache": measure_trace_cache(scale, repeats),
+        "profiling": measure_profiling(scale, repeats),
         "sweep": measure_sweep(scale, args.jobs),
     }
 
@@ -317,14 +381,21 @@ def main(argv=None) -> int:
 
     sweep = report["sweep"]
     cache = report["trace_cache"]
+    profiling = report["profiling"]
     print(f"wrote {args.out}")
     print(
         f"sweep: {sweep['reference_serial_s']}s -> {sweep['optimized_s']}s "
-        f"({sweep['speedup']}x, jobs={sweep['jobs']})"
+        f"({sweep['speedup']}x, jobs={sweep['jobs']}, "
+        f"effective workers={sweep['effective_workers']})"
     )
     print(
         f"trace cache: {cache['uncached_runs_per_sec']} -> "
         f"{cache['cached_runs_per_sec']} runs/sec ({cache['speedup']}x)"
+    )
+    print(
+        f"profiling: {profiling['blind_runs_per_sec']} -> "
+        f"{profiling['profiled_runs_per_sec']} runs/sec "
+        f"({profiling['overhead_x']}x ledger overhead)"
     )
 
     if previous is not None:
