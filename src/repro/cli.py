@@ -72,7 +72,7 @@ from repro.core.instrumentation import build_sip_plan
 from repro.core.schemes import SCHEME_NAMES
 from repro.errors import ConfigError, ReproError
 from repro.robust import ExecutionPolicy, RetryPolicy
-from repro.sim.engine import simulate
+from repro.sim.engine import ENGINE_CHOICES, simulate
 from repro.sim.parallel import JobSpec, WorkloadSpec, run_jobs
 from repro.sim.sweep import compare_schemes, sweep_config
 from repro.workloads.registry import (
@@ -174,6 +174,12 @@ def build_parser() -> argparse.ArgumentParser:
                            parents=[sim_parent, exec_parent, obs_parent])
     add_common(p_run)
     p_run.add_argument("--scheme", choices=SCHEME_NAMES, default="baseline")
+    p_run.add_argument("--engine", choices=ENGINE_CHOICES, default="auto",
+                       help="hot-loop engine: 'batched' materializes the "
+                       "trace and retires resident runs in bulk, 'scalar' "
+                       "walks it per event, 'auto' picks batched whenever "
+                       "it applies; results are identical either way "
+                       "(default: %(default)s)")
     p_run.add_argument("--paging-profile", default=None, metavar="FILE",
                        dest="paging_profile",
                        help="attach the paging-decision profiler and write "
@@ -412,6 +418,12 @@ def _cmd_run(args: argparse.Namespace) -> int:
             "cannot combine with --jobs/--retries/--timeout/--checkpoint "
             "— run serially to profile"
         )
+    if args.engine != "auto" and policy.is_resilient:
+        raise ConfigError(
+            "run: --engine pins the in-process hot loop and cannot "
+            "combine with --jobs/--retries/--timeout/--checkpoint — "
+            "workers pick their engine themselves; run serially to pin it"
+        )
     profiler = None
     paging_block = None
     telemetry = None
@@ -476,6 +488,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
             metrics=metrics,
             tracer=capture,
             profiler=profiler,
+            engine=args.engine,
         )
         if capture is not None:
             trace_events = tuple(capture.events)

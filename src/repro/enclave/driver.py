@@ -35,6 +35,7 @@ from repro.core.config import SimConfig
 from repro.core.dfp import DfpEngine
 from repro.enclave.enclave import Enclave
 from repro.enclave.events import EventKind, TimelineEvent
+from repro.enclave.epc import PAGE_ACCESSED, PAGE_PRELOADED
 from repro.enclave.loader import LoadKind
 from repro.enclave.page_table import SharedBitmap
 from repro.enclave.platform import SharedPlatform
@@ -74,6 +75,10 @@ class SgxDriver:
         self._platform = platform if platform is not None else SharedPlatform(config)
         self._platform.register(self)
         self.epc = self._platform.epc
+        # Per-page status byte table (registration above guaranteed it
+        # spans this enclave's ELRANGE, so after the bounds check the
+        # hot paths index it unconditionally).
+        self._status_table = self.epc.status_table
         self.evictor = self._platform.evictor
         self.channel = self._platform.channel
         self.bitmap = SharedBitmap(
@@ -119,6 +124,10 @@ class SgxDriver:
             if config.sanitize
             else None
         )
+        # "Is anything watching?" — sinks and the sanitizer are fixed
+        # at construction, so the fault path guards its ``_emit`` calls
+        # with one attribute test instead of paying the call.
+        self._observing = bool(self._sinks) or self.sanitizer is not None
 
     @property
     def enclave(self) -> Enclave:
@@ -243,7 +252,10 @@ class SgxDriver:
         charge the EWB housekeeping time.
         """
         evicted = False
-        if self.epc.is_resident(page):
+        epc = self.epc
+        if self._status_table[page]:
+            # Already resident (the table spans this enclave's ELRANGE,
+            # and loads are routed to the owning driver).
             if kind is LoadKind.PRELOAD:
                 self.stats.preloads_redundant += 1
                 if self.sanitizer is not None:
@@ -251,13 +263,18 @@ class SgxDriver:
                 if self._profiling:
                     self._profiler.ledger_redundant(page, finish)
             return evicted
-        if self.epc.is_full:
-            chances_before = self.evictor.second_chances
-            victim = self.evictor.select_victim()
-            state = self.epc.evict(victim)
-            self.evictor.note_evict(victim)
+        if epc.is_full:
+            evictor = self.evictor
+            chances_before = evictor.second_chances
+            victim = evictor.select_victim()
+            state = epc.evict(victim)
+            evictor.note_evict(victim)
             evicted = True
-            victim_owner = self._platform.owner_of(victim) or self
+            platform = self._platform
+            if len(platform._owners) == 1:
+                victim_owner = self
+            else:
+                victim_owner = platform.owner_of(victim) or self
             victim_owner._note_eviction(state)
             if victim_owner._profiling:
                 victim_owner._profiler.ledger_evict(
@@ -269,7 +286,7 @@ class SgxDriver:
                     for_page=page,
                     for_kind=kind.value,
                 )
-        self.epc.insert(page, preloaded=(kind is LoadKind.PRELOAD))
+        epc.insert(page, preloaded=(kind is LoadKind.PRELOAD))
         self.evictor.note_insert(page)
         if self._profiling:
             self._profiler.ledger_insert(page, kind.value, finish)
@@ -279,12 +296,13 @@ class SgxDriver:
             self.stats.preloads_completed += 1
             if self._dfp is not None:
                 self._dfp.note_preload_completed()
-            self._emit(
-                EventKind.PRELOAD,
-                finish - self.channel.load_cycles,
-                finish,
-                page,
-            )
+            if self._observing:
+                self._emit(
+                    EventKind.PRELOAD,
+                    finish - self.channel.load_cycles,
+                    finish,
+                    page,
+                )
         return evicted
 
     def _queued_pages_of_tag(self, tag: int) -> List[int]:
@@ -295,7 +313,8 @@ class SgxDriver:
     def _after_scan(self, now: int, credited: int) -> None:
         """Platform hook: the global service-thread scan just ran."""
         self.stats.scans += 1
-        self._emit(EventKind.SCAN, now, now)
+        if self._observing:
+            self._emit(EventKind.SCAN, now, now)
         if self._profiling:
             self._profiler.ledger_scan(now, credited)
         if credited:
@@ -344,28 +363,91 @@ class SgxDriver:
         self._last_now = now
         self._platform.poll(now)
 
+    def next_wakeup(self) -> int:
+        """The platform's event horizon (next scan or channel landing).
+
+        Strictly before this time no background machinery can run: a
+        resident page stays resident, its bits change only through
+        this driver's own touches, and no counters move.  The batched
+        engine uses this to retire whole runs of resident accesses
+        without per-event polling.
+        """
+        return self._platform.next_wakeup()
+
+    def retire_run(
+        self,
+        count: int,
+        preload_hits: int,
+        now: int,
+        sip_hits: int = 0,
+    ) -> None:
+        """Account a run of ``count`` resident touches ending at ``now``.
+
+        The bulk counterpart of the resident fast path in
+        :meth:`access`: every event in the run found its page resident
+        (one access, one EPC hit each) and ``preload_hits`` of them
+        were the first touch of a still-uncredited preloaded page.
+        ``sip_hits`` of them were additionally SIP-instrumented — the
+        engine already charged the ``BIT_MAP_CHECK`` cycles to the
+        clock and the sip_check time bucket; this books the matching
+        check/hit counters and bitmap read counts (the bitmap check of
+        a resident page succeeds by definition inside the horizon).
+        The engine has already set the accessed/preloaded bits and
+        advanced its compute bucket; this updates the counters and the
+        driver's clock bookkeeping in one step.  This is the reference
+        implementation of the retirement contract: the batched
+        engine's hot loop inlines the counter updates (and skips the
+        clock stamps — they only feed the monotonic-time guard and the
+        sanitizer, neither of which a bulk-retired run can trip), so
+        any drift between the two is a bug.  Retirement applies only
+        to unobserved runs — with a sanitizer, tracer, profiler or
+        metrics registry attached the engine keeps the scalar path so
+        per-event hooks keep firing.
+        """
+        stats = self.stats
+        stats.accesses += count
+        stats.epc_hits += count
+        stats.preload_hits += preload_hits
+        if sip_hits:
+            stats.sip_checks += sip_hits
+            stats.sip_check_hits += sip_hits
+            self.bitmap.reads += sip_hits
+        self._last_now = now
+        self._clock_hw = now
+
     def _filter_burst(self, burst: List[int]) -> List[int]:
         """Drop burst pages that need no load: outside the ELRANGE,
-        already resident, in flight, or already queued."""
-        keep = []
+        already resident, in flight, or already queued.
+
+        Runs on every fault with a prediction, so the ELRANGE bounds,
+        the residency table and the channel lookups are hoisted out of
+        the per-page loop instead of being re-read per burst page.
+        """
+        base = self._base_page
+        limit = self._limit_page
+        resident = self.epc.resident_map
         channel = self.channel
-        enclave = self._enclave
-        for page in burst:
-            if not enclave.contains_page(page):
-                continue
-            if self.epc.is_resident(page):
-                continue
-            if channel.current_page == page or channel.is_queued(page):
-                continue
-            keep.append(page)
-        return keep
+        current = channel.current_page
+        queued = channel.is_queued
+        return [
+            page
+            for page in burst
+            if base <= page < limit
+            and page not in resident
+            and page != current
+            and not queued(page)
+        ]
 
     def _touch(self, page: int, *, hit: bool) -> None:
         """Set the accessed bit; account preload hits on first touch."""
-        state = self.epc.state_of(page)
-        if state.preloaded and not state.accessed:
-            self.stats.preload_hits += 1
-        state.accessed = True
+        status = self._status_table
+        code = status[page]
+        if not code:
+            self.epc.state_of(page)  # raises EpcError: not resident
+        if not code & PAGE_ACCESSED:
+            if code & PAGE_PRELOADED:
+                self.stats.preload_hits += 1
+            status[page] = code | PAGE_ACCESSED
         if hit:
             self.stats.epc_hits += 1
 
@@ -393,14 +475,16 @@ class SgxDriver:
         self._platform.poll(now)
         stats = self.stats
         stats.accesses += 1
-        state = self.epc.lookup(page)
-        if state is not None:
-            # Resident fast path: one probe, set the A bit, done — no
-            # fault machinery, no event emission (a plain EPC hit has
-            # no timeline extent).
-            if state.preloaded and not state.accessed:
-                stats.preload_hits += 1
-            state.accessed = True
+        status = self._status_table
+        code = status[page]
+        if code:
+            # Resident fast path: one status-byte probe, set the A bit,
+            # done — no fault machinery, no event emission (a plain EPC
+            # hit has no timeline extent).
+            if not code & PAGE_ACCESSED:
+                if code & PAGE_PRELOADED:
+                    stats.preload_hits += 1
+                status[page] = code | PAGE_ACCESSED
             stats.epc_hits += 1
             if self._profiling:
                 self._profiler.ledger_hit(page, now)
@@ -411,7 +495,9 @@ class SgxDriver:
         stats.faults += 1
         t = now + cost.aex_cycles
         stats.time.aex += cost.aex_cycles
-        self._emit(EventKind.AEX, now, t)
+        observing = self._observing
+        if observing:
+            self._emit(EventKind.AEX, now, t)
         self.channel.advance_to(t)
 
         if self.epc.is_resident(page):
@@ -426,7 +512,8 @@ class SgxDriver:
             stats.faults_absorbed_by_inflight += 1
             stats.time.fault_wait += finish - t
             self._m_fault_wait_hist.observe(finish - t)
-            self._emit(EventKind.FAULT_WAIT, t, finish, page)
+            if observing:
+                self._emit(EventKind.FAULT_WAIT, t, finish, page)
             t = finish
             if self._profiling:
                 self._profiler.ledger_fault(page, t, "absorbed")
@@ -449,11 +536,18 @@ class SgxDriver:
                 self._m_abort_instream_pages.inc(dropped)
                 if self._dfp is not None and dropped:
                     self._dfp.note_aborted(dropped)
-                self._emit(EventKind.ABORT, t, t, page)
+                if observing:
+                    self._emit(EventKind.ABORT, t, t, page)
             finish = self.channel.load_sync(page, LoadKind.DEMAND, t)
             stats.time.fault_wait += finish - t
             self._m_fault_wait_hist.observe(finish - t)
-            self._emit(EventKind.DEMAND_LOAD, finish - self.channel.load_cycles, finish, page)
+            if observing:
+                self._emit(
+                    EventKind.DEMAND_LOAD,
+                    finish - self.channel.load_cycles,
+                    finish,
+                    page,
+                )
             t = finish
             if self._profiling:
                 self._profiler.ledger_fault(
@@ -480,7 +574,8 @@ class SgxDriver:
 
         end = t + cost.eresume_cycles
         stats.time.eresume += cost.eresume_cycles
-        self._emit(EventKind.ERESUME, t, end)
+        if observing:
+            self._emit(EventKind.ERESUME, t, end)
         self._touch(page, hit=False)
         self._clock_hw = end
         return end
@@ -505,7 +600,8 @@ class SgxDriver:
         stats.sip_checks += 1
         t = now + cost.bitmap_check_cycles
         stats.time.sip_check += cost.bitmap_check_cycles
-        self._emit(EventKind.SIP_CHECK, now, t, page)
+        if self._observing:
+            self._emit(EventKind.SIP_CHECK, now, t, page)
         self.channel.advance_to(t)
         if self.bitmap.check(page):
             stats.sip_check_hits += 1
@@ -515,7 +611,8 @@ class SgxDriver:
             finish = self.channel.wait_for_current(t)
             stats.time.sip_wait += finish - t
             self._m_sip_wait_hist.observe(finish - t)
-            self._emit(EventKind.SIP_LOAD, t, finish, page)
+            if self._observing:
+                self._emit(EventKind.SIP_LOAD, t, finish, page)
             self._clock_hw = finish
             return finish
         stats.sip_loads += 1
@@ -523,7 +620,8 @@ class SgxDriver:
         finish += cost.notification_cycles
         stats.time.sip_wait += finish - t
         self._m_sip_wait_hist.observe(finish - t)
-        self._emit(EventKind.SIP_LOAD, t, finish, page)
+        if self._observing:
+            self._emit(EventKind.SIP_LOAD, t, finish, page)
         self._clock_hw = finish
         return finish
 

@@ -15,28 +15,131 @@ This module models the EPC as a fixed pool of frames plus, for every
   preload thread rather than by a demand fault, cleared when the
   service-thread scan credits the page as a correct preload.  This is
   the per-page state behind the paper's ``PreloadedPageList``.
+
+Storage layout: both bits live in one **status byte per page** of the
+registered address space (:attr:`Epc.status_table`), as a bit field:
+
+==============  =====  ===========================================
+constant        value  meaning
+==============  =====  ===========================================
+PAGE_ABSENT     0      not resident (the whole byte is zero)
+PAGE_RESIDENT   1      bit 0: the page occupies an EPC frame
+PAGE_ACCESSED   2      bit 1: the A bit is set
+PAGE_PRELOADED  4      bit 2: preloaded and not yet credited
+==============  =====  ===========================================
+
+so a clean resident page is ``1``, an accessed one ``3``, a pending
+preload ``5`` and an accessed pending preload ``7``.  The bit layout
+makes a page touch *idempotent* — ``code | PAGE_ACCESSED`` is correct
+whether or not the page was touched before — which is what makes the
+batched simulation engine fast: a whole window of trace pages is
+checked for residency with one C-level
+``bytes(map(table.__getitem__, window))`` sweep and a ``find``, and
+the run's accessed bits are retired with one C-level
+``map(table.__setitem__, window, flags.translate(...))`` scatter,
+with no Python-level work per event.
+
+:class:`EpcPageState` is a *view* over one page's status byte — reads
+and writes through its ``accessed``/``preloaded`` properties go
+straight to the table, so code holding a state object and code
+scanning the table can never disagree.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
 from typing import Dict, Iterator, Optional
 
 from repro.errors import EpcError
 
-__all__ = ["Epc", "EpcPageState"]
+__all__ = [
+    "Epc",
+    "EpcPageState",
+    "PAGE_ABSENT",
+    "PAGE_RESIDENT",
+    "PAGE_ACCESSED",
+    "PAGE_PRELOADED",
+]
+
+#: Status-byte bit flags (see the module docstring's table).
+PAGE_ABSENT = 0
+PAGE_RESIDENT = 1
+PAGE_ACCESSED = 2
+PAGE_PRELOADED = 4
 
 
-@dataclass
 class EpcPageState:
     """Per-resident-page metadata.
 
     ``accessed`` mirrors the page-table A bit; ``preloaded`` marks pages
     brought in speculatively and not yet credited by the scan thread.
+
+    Instances returned by :meth:`Epc.insert` / :meth:`Epc.lookup` /
+    :meth:`Epc.state_of` are live views over the EPC's status table:
+    mutations through the properties update the table, and table
+    updates are visible through the properties.  :meth:`Epc.evict`
+    returns a *detached* copy holding the page's final bits.
     """
 
-    accessed: bool = False
-    preloaded: bool = False
+    __slots__ = ("_table", "_index")
+
+    def __init__(self, accessed: bool = False, preloaded: bool = False) -> None:
+        code = (
+            PAGE_RESIDENT
+            | (PAGE_ACCESSED if accessed else 0)
+            | (PAGE_PRELOADED if preloaded else 0)
+        )
+        self._table = bytearray((code,))
+        self._index = 0
+
+    @classmethod
+    def _view(cls, table: bytearray, index: int) -> "EpcPageState":
+        """A live view of ``table[index]`` (internal to :class:`Epc`)."""
+        state = object.__new__(cls)
+        state._table = table
+        state._index = index
+        return state
+
+    @property
+    def accessed(self) -> bool:
+        return bool(self._table[self._index] & PAGE_ACCESSED)
+
+    @accessed.setter
+    def accessed(self, value: bool) -> None:
+        code = self._table[self._index]
+        if code == PAGE_ABSENT:
+            raise EpcError("stale page state: the page was evicted")
+        if value:
+            self._table[self._index] = code | PAGE_ACCESSED
+        else:
+            self._table[self._index] = code & ~PAGE_ACCESSED
+
+    @property
+    def preloaded(self) -> bool:
+        return bool(self._table[self._index] & PAGE_PRELOADED)
+
+    @preloaded.setter
+    def preloaded(self, value: bool) -> None:
+        code = self._table[self._index]
+        if code == PAGE_ABSENT:
+            raise EpcError("stale page state: the page was evicted")
+        if value:
+            self._table[self._index] = code | PAGE_PRELOADED
+        else:
+            self._table[self._index] = code & ~PAGE_PRELOADED
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, EpcPageState):
+            return (self.accessed, self.preloaded) == (
+                other.accessed,
+                other.preloaded,
+            )
+        return NotImplemented
+
+    def __repr__(self) -> str:
+        return (
+            f"EpcPageState(accessed={self.accessed}, "
+            f"preloaded={self.preloaded})"
+        )
 
 
 class Epc:
@@ -54,6 +157,10 @@ class Epc:
             raise EpcError(f"EPC capacity must be positive, got {capacity}")
         self._capacity = capacity
         self._resident: Dict[int, EpcPageState] = {}
+        # Source of truth for the per-page bits: one status byte per
+        # page of the covered address space (grown, never rebound, so
+        # bound references like ``table.__getitem__`` stay valid).
+        self._status = bytearray()
         # Lifetime counters, exposed for stats and invariant tests.
         self.total_inserts = 0
         self.total_evictions = 0
@@ -110,6 +217,45 @@ class Epc:
         """Iterate over the resident page numbers (scan-thread view)."""
         return iter(self._resident)
 
+    @property
+    def resident_map(self) -> Dict[int, EpcPageState]:
+        """The live page → :class:`EpcPageState` residency table.
+
+        Exposed for bulk membership checks (e.g. the driver's burst
+        filter): one bound lookup on this dict replaces a ``lookup``
+        call per page.  The dict object is stable for the EPC's
+        lifetime (it is mutated, never rebound).  Callers must treat
+        it as read-only — residency changes go through
+        :meth:`insert`/:meth:`evict` so the lifetime counters and the
+        evictor stay consistent.
+        """
+        return self._resident
+
+    @property
+    def status_table(self) -> bytearray:
+        """The per-page status byte table (see the module docstring).
+
+        ``status_table[page]`` is ``PAGE_ABSENT`` for every
+        non-resident page of the covered span, else one of the four
+        resident codes.  The object is grown in place and never
+        rebound, so hot paths may hold it (or a bound
+        ``__getitem__``) across residency changes.  Only the driver
+        and the simulation engines may write through it; everything
+        else mutates bits via :class:`EpcPageState` views or the
+        ``mark``/``clear`` helpers, which edit the same bytes.
+        """
+        return self._status
+
+    def ensure_page_span(self, span: int) -> None:
+        """Grow the status table to cover pages ``[0, span)``.
+
+        Called at enclave registration with the ELRANGE limit (and by
+        the batched engine with the trace's page bound) so that hot
+        paths can index the table without per-access bounds checks.
+        """
+        if span > len(self._status):
+            self._status.extend(bytes(span - len(self._status)))
+
     # ------------------------------------------------------------------
     # Mutations
     # ------------------------------------------------------------------
@@ -122,11 +268,18 @@ class Epc:
         a preload racing on the same page must be resolved by the
         caller — the channel model never double-loads).
         """
+        if page < 0:
+            raise EpcError(f"page numbers must be non-negative, got {page}")
         if page in self._resident:
             raise EpcError(f"page {page} is already resident")
         if self.is_full:
             raise EpcError("EPC is full; evict a page before inserting")
-        state = EpcPageState(accessed=False, preloaded=preloaded)
+        if page >= len(self._status):
+            self.ensure_page_span(page + 1)
+        self._status[page] = (
+            PAGE_RESIDENT | PAGE_PRELOADED if preloaded else PAGE_RESIDENT
+        )
+        state = EpcPageState._view(self._status, page)
         self._resident[page] = state
         self.total_inserts += 1
         return state
@@ -134,15 +287,21 @@ class Epc:
     def evict(self, page: int) -> EpcPageState:
         """Evict ``page`` to untrusted memory (the EWB effect).
 
-        Returns the final metadata of the evicted page so the caller
-        can account for evicted-before-use preloads.
+        Returns a detached snapshot of the evicted page's final
+        metadata so the caller can account for evicted-before-use
+        preloads after the table slot is cleared.
         """
         try:
-            state = self._resident.pop(page)
+            del self._resident[page]
         except KeyError:
             raise EpcError(f"cannot evict non-resident page {page}") from None
+        code = self._status[page]
+        self._status[page] = PAGE_ABSENT
         self.total_evictions += 1
-        return state
+        return EpcPageState(
+            accessed=bool(code & PAGE_ACCESSED),
+            preloaded=bool(code & PAGE_PRELOADED),
+        )
 
     def mark_accessed(self, page: int) -> EpcPageState:
         """Set the accessed bit of a resident page (hardware A-bit)."""

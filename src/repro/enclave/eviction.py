@@ -17,7 +17,7 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional
 
-from repro.enclave.epc import Epc
+from repro.enclave.epc import PAGE_ACCESSED, Epc
 from repro.errors import EpcError
 
 __all__ = ["ClockEvictor"]
@@ -39,6 +39,7 @@ class ClockEvictor:
 
     def __init__(self, epc: Epc) -> None:
         self._epc = epc
+        self._status = epc.status_table
         self._ring: List[Optional[int]] = [None] * epc.capacity
         self._slot_of: Dict[int, int] = {}
         self._hand = 0
@@ -83,14 +84,17 @@ class ClockEvictor:
         if not self._slot_of:
             raise EpcError("cannot select a victim from an empty EPC")
         capacity = len(self._ring)
+        status = self._status
         for _ in range(2 * capacity):
             page = self._ring[self._hand]
             self._hand = (self._hand + 1) % capacity
             if page is None:
                 continue
-            state = self._epc.state_of(page)
-            if state.accessed:
-                state.accessed = False
+            code = status[page]
+            if code & PAGE_ACCESSED:
+                # Second chance: clear the A bit, keep the preloaded
+                # bit, pass over the page.
+                status[page] = code ^ PAGE_ACCESSED
                 self.second_chances += 1
                 continue
             return page

@@ -27,10 +27,16 @@ registered enclave occupies the disjoint range
 
 from __future__ import annotations
 
+from bisect import bisect_right
 from typing import TYPE_CHECKING, List, Optional, Tuple
 
 from repro.core.config import SimConfig
-from repro.enclave.epc import Epc
+from repro.enclave.epc import (
+    PAGE_ACCESSED,
+    PAGE_PRELOADED,
+    PAGE_RESIDENT,
+    Epc,
+)
 from repro.enclave.eviction import ClockEvictor
 from repro.enclave.loader import LoadChannel, LoadKind
 from repro.errors import SimulationError
@@ -39,6 +45,18 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.enclave.driver import SgxDriver
 
 __all__ = ["SharedPlatform"]
+
+#: An accessed page with a pending preload credit: the byte the scan
+#: counts per owner range to credit correct preloads.
+_PAGE_CREDITED = PAGE_RESIDENT | PAGE_ACCESSED | PAGE_PRELOADED
+
+#: Scan-aging byte translation: one C-level pass over the status table
+#: clears every accessed bit, and for accessed+preloaded pages the
+#: preloaded bit too (the credit was just taken); absent, clean and
+#: untouched-preloaded pages pass through unchanged.
+_SCAN_AGING = bytes(
+    PAGE_RESIDENT if code & PAGE_ACCESSED else code for code in range(8)
+) + bytes(range(8, 256))
 
 
 class SharedPlatform:
@@ -53,8 +71,12 @@ class SharedPlatform:
             self._on_load,
             evict_cycles=config.cost.ewb_cycles,
         )
-        # (base, limit, driver), sorted by base.
+        # (base, limit, driver), sorted by base; ``_bases`` is the
+        # parallel sorted key array ``owner_of`` bisects over — the
+        # lookup runs on every cross-enclave eviction and every load
+        # completion, so it must not scan linearly over the fleet.
         self._owners: List[Tuple[int, int, "SgxDriver"]] = []
+        self._bases: List[int] = []
         self._next_scan = config.scan_period_cycles
         self._last_now = 0
 
@@ -75,10 +97,21 @@ class SharedPlatform:
                 )
         self._owners.append((base, limit, driver))
         self._owners.sort(key=lambda item: item[0])
+        self._bases = [lo for lo, _hi, _d in self._owners]
+        # Cover the enclave's page range in the status table up front
+        # so the per-access hot paths can index it unconditionally.
+        self.epc.ensure_page_span(limit)
 
     def owner_of(self, page: int) -> Optional["SgxDriver"]:
-        """The driver whose enclave owns ``page`` (None if unowned)."""
-        for lo, hi, driver in self._owners:
+        """The driver whose enclave owns ``page`` (None if unowned).
+
+        Ranges are disjoint and sorted, so the candidate is the last
+        range starting at or below ``page`` — one bisect, not a scan
+        over every registered enclave.
+        """
+        index = bisect_right(self._bases, page) - 1
+        if index >= 0:
+            lo, hi, driver = self._owners[index]
             if lo <= page < hi:
                 return driver
         return None
@@ -103,6 +136,35 @@ class SharedPlatform:
     # The service thread (one kernel thread, global schedule)
     # ------------------------------------------------------------------
 
+    def next_wakeup(self) -> int:
+        """Earliest future time at which background state can change.
+
+        The minimum of the next service-thread scan deadline and the
+        next load-channel completion: strictly before this horizon a
+        ``poll`` is a no-op — no page can land, no victim can be
+        evicted, no accessed bit can be cleared, no valve can fire.
+        The batched engine retires whole runs of resident accesses
+        whose times fall strictly inside the horizon without polling.
+
+        The batched engine calls this once per retired run, so the
+        channel's :meth:`~repro.enclave.loader.LoadChannel.next_completion`
+        logic is inlined here (same expression over the same state) —
+        an idle channel, the overwhelmingly common case under schemes
+        without preloading, costs two attribute reads instead of a
+        second method call.
+        """
+        horizon = self._next_scan
+        channel = self.channel
+        current = channel._current
+        if current is not None:
+            if current[2] < horizon:
+                return current[2]
+        elif channel._queue:
+            completion = channel._free_at + channel._load_cycles
+            if completion < horizon:
+                return completion
+        return horizon
+
     def poll(self, now: int) -> None:
         """Advance scans and the channel to ``now`` (global time)."""
         if now < self._last_now:
@@ -121,16 +183,24 @@ class SharedPlatform:
 
     def _scan(self, now: int) -> None:
         """One global scan: age access bits, credit preloads per owner,
-        then let each enclave's valve react."""
-        credited = {}
-        for page in self.epc.resident_pages():
-            state = self.epc.state_of(page)
-            if state.accessed:
-                if state.preloaded:
-                    owner = self.owner_of(page)
-                    if owner is not None:
-                        credited[owner] = credited.get(owner, 0) + 1
-                    state.preloaded = False
-                state.accessed = False
-        for _lo, _hi, driver in self._owners:
-            driver._after_scan(now, credited.get(driver, 0))
+        then let each enclave's valve react.
+
+        Runs at C speed over the status table: each owner's credit is
+        a byte count over its page range (an accessed+preloaded page is
+        exactly one ``RESIDENT|ACCESSED|PRELOADED`` byte), then a
+        single translation pass clears every accessed bit.  Ranges are
+        disjoint and non-resident bytes are ``PAGE_ABSENT``, so this
+        is equivalent to the per-resident-page walk it replaces.
+        """
+        status = self.epc.status_table
+        owners = self._owners
+        if len(owners) == 1:
+            credits = (status.count(_PAGE_CREDITED),)
+        else:
+            credits = tuple(
+                status.count(_PAGE_CREDITED, lo, hi)
+                for lo, hi, _driver in owners
+            )
+        status[:] = status.translate(_SCAN_AGING)
+        for (_lo, _hi, driver), credited in zip(owners, credits):
+            driver._after_scan(now, credited)

@@ -1,0 +1,17 @@
+"""RL011 fixture: the same shapes, silenced or out of scope."""
+
+__all__ = ["sanctioned_shim", "per_event_bookkeeping"]
+
+
+def sanctioned_shim(stats, count):
+    stats.accesses += count  # repro-lint: disable=RL011  test shim
+
+
+def per_event_bookkeeping(stats, total, count):
+    # Per-event increments, bare names and non-counter attributes are
+    # not bulk retirement.
+    stats.accesses += 1
+    stats.sip_checks += 1
+    total += count
+    stats.window_width = count
+    return total

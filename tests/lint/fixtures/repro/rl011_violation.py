@@ -1,0 +1,12 @@
+"""RL011 fixture: bulk RunStats retirement outside the engine."""
+
+__all__ = ["bulk_retire", "bulk_sip_credit"]
+
+
+def bulk_retire(stats, count):
+    stats.accesses += count
+    stats.epc_hits += count
+
+
+def bulk_sip_credit(stats, hits):
+    stats.preload_hits += hits

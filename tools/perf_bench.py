@@ -6,8 +6,13 @@ future PR has a perf trajectory to compare against:
 
 * ``engine`` — steady-state :func:`repro.sim.engine.simulate`
   throughput per scheme (runs/sec and accesses/sec) over a warm
-  materialized trace: the hot-loop number the driver fast path and
-  attribute hoisting move.
+  materialized trace, measured through *both* hot-loop engines: the
+  per-event scalar walk and the batched event-horizon engine.  The
+  harness asserts the two results equal per scheme, reports both
+  legs plus the batched speedup, and publishes the batched figures as
+  the scheme's headline numbers (what ``engine="auto"`` runs).  With
+  ``--profile-out PATH`` it additionally cProfiles the batched hot
+  loop and dumps the pstats data as a CI artifact.
 * ``trace_cache`` — one simulate comparison run twice, with the trace
   regenerated per run (pre-PR behaviour) and replayed from one
   materialized copy; reports both runs/sec figures and the gain.
@@ -75,7 +80,15 @@ ENGINE_SCHEMES = ("baseline", "dfp", "dfp-stop", "sip", "hybrid")
 
 
 def measure_engine(scale: int, repeats: int) -> dict:
-    """Steady-state simulate() throughput per scheme, warm trace."""
+    """Steady-state simulate() throughput per scheme, warm trace.
+
+    Each scheme is timed through both hot-loop engines over the same
+    materialized trace — ``engine="scalar"`` and ``engine="batched"``
+    — and the two results are asserted equal (the batched engine's
+    byte-identity contract) before either figure is reported.  The
+    scheme's headline ``runs_per_sec``/``accesses_per_sec`` are the
+    batched figures: that is what ``engine="auto"`` runs.
+    """
     config = SimConfig.scaled(scale)
     workload = WorkloadSpec(HOT_WORKLOAD, scale).build()
     trace = shared_trace_cache().get(workload, seed=0, input_set="ref")
@@ -83,20 +96,73 @@ def measure_engine(scale: int, repeats: int) -> dict:
     out = {}
     for scheme in ENGINE_SCHEMES:
         sip_plan = plan if scheme in SIP_SCHEMES else None
-        simulate(workload, config, scheme, seed=0, sip_plan=sip_plan, trace=trace)
-        t0 = time.perf_counter()
-        for _ in range(repeats):
-            result = simulate(
-                workload, config, scheme, seed=0, sip_plan=sip_plan, trace=trace
+        legs = {}
+        results = {}
+        for engine in ("scalar", "batched"):
+            simulate(
+                workload, config, scheme, seed=0, sip_plan=sip_plan,
+                trace=trace, engine=engine,
             )
-        elapsed = time.perf_counter() - t0
+            t0 = time.perf_counter()
+            for _ in range(repeats):
+                result = simulate(
+                    workload, config, scheme, seed=0, sip_plan=sip_plan,
+                    trace=trace, engine=engine,
+                )
+            elapsed = time.perf_counter() - t0
+            results[engine] = result
+            legs[engine] = {
+                "seconds": round(elapsed, 4),
+                "runs_per_sec": round(repeats / elapsed, 3),
+                "accesses_per_sec": round(
+                    repeats * result.stats.accesses / elapsed
+                ),
+            }
+        assert results["batched"] == results["scalar"], (
+            f"batched engine diverged from scalar on scheme {scheme!r}"
+        )
         out[scheme] = {
             "runs": repeats,
-            "seconds": round(elapsed, 4),
-            "runs_per_sec": round(repeats / elapsed, 3),
-            "accesses_per_sec": round(repeats * result.stats.accesses / elapsed),
+            "seconds": legs["batched"]["seconds"],
+            "runs_per_sec": legs["batched"]["runs_per_sec"],
+            "accesses_per_sec": legs["batched"]["accesses_per_sec"],
+            "scalar": legs["scalar"],
+            "batched": legs["batched"],
+            "batched_speedup": round(
+                legs["batched"]["runs_per_sec"] / legs["scalar"]["runs_per_sec"],
+                3,
+            ),
+            "results_equal": True,
         }
     return out
+
+
+def dump_engine_profile(path: str, scale: int, repeats: int) -> None:
+    """cProfile the batched hot loop; dump pstats data to ``path``.
+
+    The artifact answers "where do the remaining cycles go" after the
+    bulk path: load it with ``pstats.Stats(path)`` (or snakeviz) and
+    sort by cumulative time.
+    """
+    import cProfile
+    import pstats
+
+    config = SimConfig.scaled(scale)
+    workload = WorkloadSpec(HOT_WORKLOAD, scale).build()
+    trace = shared_trace_cache().get(workload, seed=0, input_set="ref")
+    simulate(workload, config, "dfp-stop", seed=0, trace=trace, engine="batched")
+    profiler = cProfile.Profile()
+    profiler.enable()
+    for _ in range(repeats):
+        simulate(
+            workload, config, "dfp-stop", seed=0, trace=trace, engine="batched"
+        )
+    profiler.disable()
+    profiler.dump_stats(path)
+    top = pstats.Stats(profiler)
+    top.sort_stats("cumulative")
+    print(f"wrote engine profile to {path} (top of the batched hot loop):")
+    top.print_stats(8)
 
 
 def measure_trace_cache(scale: int, repeats: int) -> dict:
@@ -267,6 +333,21 @@ def compare_reports(old: dict, new: dict, tolerance: float) -> list:
             old_engine[scheme].get("runs_per_sec"),
             new_engine[scheme].get("runs_per_sec"),
         )
+        # Snapshots predating the batched engine lack the per-engine
+        # legs; add() skips those rows until a new snapshot is
+        # committed, then they gate the bulk path staying fast *and*
+        # the scalar fallback not rotting.
+        for leg in ("scalar", "batched"):
+            add(
+                f"engine.{scheme}.{leg}.runs_per_sec",
+                old_engine[scheme].get(leg, {}).get("runs_per_sec"),
+                new_engine[scheme].get(leg, {}).get("runs_per_sec"),
+            )
+        add(
+            f"engine.{scheme}.batched_speedup",
+            old_engine[scheme].get("batched_speedup"),
+            new_engine[scheme].get("batched_speedup"),
+        )
 
     old_cache = old.get("trace_cache", {})
     new_cache = new.get("trace_cache", {})
@@ -343,6 +424,13 @@ def main(argv=None) -> int:
         help="allowed fractional drop before a figure counts as a "
         "regression (default: %(default)s)",
     )
+    parser.add_argument(
+        "--profile-out",
+        metavar="PATH",
+        default=None,
+        help="additionally cProfile the batched hot loop and dump "
+        "pstats data to PATH",
+    )
     args = parser.parse_args(argv)
     if args.jobs < 1:
         parser.error("--jobs must be at least 1")
@@ -383,6 +471,12 @@ def main(argv=None) -> int:
     cache = report["trace_cache"]
     profiling = report["profiling"]
     print(f"wrote {args.out}")
+    for scheme, row in report["engine"].items():
+        print(
+            f"engine.{scheme}: scalar {row['scalar']['accesses_per_sec']} -> "
+            f"batched {row['batched']['accesses_per_sec']} acc/sec "
+            f"({row['batched_speedup']}x, results equal)"
+        )
     print(
         f"sweep: {sweep['reference_serial_s']}s -> {sweep['optimized_s']}s "
         f"({sweep['speedup']}x, jobs={sweep['jobs']}, "
@@ -397,6 +491,9 @@ def main(argv=None) -> int:
         f"{profiling['profiled_runs_per_sec']} runs/sec "
         f"({profiling['overhead_x']}x ledger overhead)"
     )
+
+    if args.profile_out is not None:
+        dump_engine_profile(args.profile_out, scale, repeats)
 
     if previous is not None:
         rows = compare_reports(previous, report, args.compare_tolerance)
