@@ -15,7 +15,7 @@ lbm (streaming) and deepsjeng (irregular) on one shared EPC:
 """
 
 from repro.analysis.report import format_table
-from repro.sim.multi import simulate_shared
+from repro.sim.fleet import FleetScenario, TenantSpec, simulate_fleet
 
 from benchmarks.conftest import (
     bench_config,
@@ -29,6 +29,23 @@ from benchmarks.conftest import (
 PAIR = ("lbm", "deepsjeng")
 
 
+def run_shared(workloads, config, schemes, *, sip_plans=None):
+    """Shared-EPC run through the typed fleet API (no churn)."""
+    scenario = FleetScenario(
+        name="bench-shared",
+        tenants=tuple(
+            TenantSpec(
+                workload=w,
+                scheme=s,
+                sip_plan=sip_plans[i] if sip_plans is not None else None,
+            )
+            for i, (w, s) in enumerate(zip(workloads, schemes))
+        ),
+        config=config,
+    )
+    return simulate_fleet(scenario).results
+
+
 def test_contention_shared_epc(benchmark):
     config = bench_config()
 
@@ -36,10 +53,10 @@ def test_contention_shared_epc(benchmark):
         workloads = [get_workload(name) for name in PAIR]
         plans = [None, get_sip_plan("deepsjeng", config)]
         solo = {name: run(name, "baseline") for name in PAIR}
-        shared_base = simulate_shared(
+        shared_base = run_shared(
             workloads, config, ["baseline", "baseline"]
         )
-        shared_schemes = simulate_shared(
+        shared_schemes = run_shared(
             workloads, config, ["dfp-stop", "sip"], sip_plans=plans
         )
         return solo, shared_base, shared_schemes
@@ -99,7 +116,7 @@ def test_contention_shared_epc(benchmark):
     assert shared_schemes[1].stats.faults < 0.5 * shared_base[1].stats.faults
     # 3. Fairness: the streamer's preloads inflate the co-runner's
     #    channel wait relative to the no-preloading shared run.
-    lbm_dfp_only = simulate_shared(
+    lbm_dfp_only = run_shared(
         [get_workload("lbm"), get_workload("deepsjeng")],
         config,
         ["dfp-stop", "baseline"],

@@ -12,7 +12,7 @@ time to the neighbour through the exclusive page-load channel.
 Run:  python examples/contention_study.py
 """
 
-from repro import SimConfig, build_workload, simulate, simulate_shared
+from repro import FleetScenario, SimConfig, TenantSpec, build_workload, simulate, simulate_fleet
 from repro.analysis.report import format_table
 
 SCALE = 16
@@ -23,10 +23,21 @@ def main() -> None:
     config = SimConfig.scaled(SCALE)
     workloads = [build_workload(name, scale=SCALE) for name in PAIR]
 
+    def shared(schemes):
+        scenario = FleetScenario(
+            name="contention-study",
+            tenants=tuple(
+                TenantSpec(workload=w, scheme=s)
+                for w, s in zip(workloads, schemes)
+            ),
+            config=config,
+        )
+        return simulate_fleet(scenario).results
+
     solo = {wl.name: simulate(wl, config, "baseline") for wl in workloads}
-    shared_base = simulate_shared(workloads, config, ["baseline", "baseline"])
-    lbm_dfp = simulate_shared(workloads, config, ["dfp-stop", "baseline"])
-    both = simulate_shared(workloads, config, ["dfp-stop", "sip"])
+    shared_base = shared(["baseline", "baseline"])
+    lbm_dfp = shared(["dfp-stop", "baseline"])
+    both = shared(["dfp-stop", "sip"])
 
     def rows_for(label, results):
         rows = []

@@ -56,6 +56,14 @@ from repro.obs.metrics import MetricsRegistry
 from repro.robust import ExecutionPolicy, FaultPlan, RetryPolicy
 from repro.obs.trace import RingBufferSink, TraceSink
 from repro.sim.engine import prepare_sip_plan, simulate, simulate_native
+from repro.sim.fleet import (
+    EPC_POLICIES,
+    FleetResult,
+    FleetScenario,
+    TenantSpec,
+    build_scenario,
+    simulate_fleet,
+)
 from repro.sim.multi import simulate_shared
 from repro.sim.results import RunResult, improvement_pct, normalized_time
 from repro.sim.sweep import compare_schemes, sweep_config
@@ -84,6 +92,12 @@ __all__ = [
     "simulate",
     "simulate_native",
     "simulate_shared",
+    "simulate_fleet",
+    "build_scenario",
+    "TenantSpec",
+    "FleetScenario",
+    "FleetResult",
+    "EPC_POLICIES",
     "RunResult",
     "improvement_pct",
     "normalized_time",

@@ -8,6 +8,9 @@
 * :mod:`repro.analysis.profile_report` — renderings of
   ``repro.paging-profile/1`` blocks: effectiveness tables, phase
   tables, access heatmaps, and scheme-vs-scheme diffs.
+* :mod:`repro.analysis.fleet_report` — renderings of
+  ``repro.fleet-manifest/1`` blocks: per-tenant QoS tables and
+  EPC-policy comparisons.
 """
 
 from repro.analysis.patterns import (
@@ -21,6 +24,10 @@ from repro.analysis.metrics import (
     geomean_normalized,
     mean_improvement,
     summarize_results,
+)
+from repro.analysis.fleet_report import (
+    render_fleet_table,
+    render_policy_comparison,
 )
 from repro.analysis.profile_report import (
     diff_profiles,
@@ -48,4 +55,6 @@ __all__ = [
     "render_heatmap",
     "diff_profiles",
     "render_profile_diff",
+    "render_fleet_table",
+    "render_policy_comparison",
 ]

@@ -1,0 +1,154 @@
+"""Rendering of fleet-scenario results (``repro fleet`` / ``repro report``).
+
+Two renderers over the deterministic ``repro.fleet-manifest/1`` block
+(:meth:`repro.sim.fleet.FleetResult.fleet_block`):
+
+* :func:`render_fleet_table` — one scenario: the summary header plus a
+  per-tenant QoS table (p50/p99 demand-fault latency, channel wait,
+  request queueing lag);
+* :func:`render_policy_comparison` — the same scenario run under
+  several EPC frame policies, one row per (tenant, policy) QoS pair —
+  the table the fleet experiment exists to produce.
+
+Both operate on plain dicts so ``repro report`` can render a fleet
+block straight out of a saved manifest without re-simulating.
+"""
+
+from __future__ import annotations
+
+from typing import List, Mapping, Sequence
+
+from repro.analysis.report import format_table
+from repro.errors import ObsError
+
+__all__ = ["render_fleet_table", "render_policy_comparison"]
+
+
+def _cycles(value: object) -> str:
+    if value is None:
+        return "-"
+    return f"{int(value):,}"
+
+
+def _tenant_rows(block: Mapping[str, object]) -> List[List[str]]:
+    rows: List[List[str]] = []
+    for tenant in block["tenants"]:
+        if not tenant.get("admitted"):
+            rows.append(
+                [
+                    str(tenant["name"]),
+                    str(tenant["scheme"]),
+                    "never admitted",
+                    "-", "-", "-", "-", "-",
+                ]
+            )
+            continue
+        requests = tenant.get("requests")
+        lag = (
+            f"{requests['lag_p99']:,.0f}" if requests is not None else "-"
+        )
+        state = "done" if tenant.get("completed") else "truncated"
+        rows.append(
+            [
+                str(tenant["name"]),
+                str(tenant["scheme"]),
+                state,
+                _cycles(tenant.get("faults")),
+                f"{tenant['fault_latency_p50']:,.0f}",
+                f"{tenant['fault_latency_p99']:,.0f}",
+                f"{tenant['channel_wait_p99']:,.0f}",
+                lag,
+            ]
+        )
+    return rows
+
+
+def render_fleet_table(block: Mapping[str, object]) -> str:
+    """Per-tenant QoS table for one fleet scenario run."""
+    _check_block(block)
+    scenario = block["scenario"]
+    summary = block["summary"]
+    title = (
+        f"fleet scenario {scenario['name']!r} "
+        f"[policy={scenario['policy']}, seed={scenario['seed']}, "
+        f"epc={scenario['epc_pages']:,} pages]\n"
+        f"{summary['admitted']}/{scenario['tenants']} admitted, "
+        f"{summary['completed']} completed, "
+        f"{summary['truncated']} truncated, "
+        f"{summary['never_admitted']} never admitted; "
+        f"{summary['faults']:,} faults, "
+        f"{summary['requests_served']:,} requests, "
+        f"{summary['rebalances']:,} rebalances, "
+        f"end at {summary['end_cycles']:,} cycles"
+    )
+    return format_table(
+        [
+            "tenant", "scheme", "state", "faults",
+            "fault p50", "fault p99", "wait p99", "req lag p99",
+        ],
+        _tenant_rows(block),
+        title=title,
+    )
+
+
+def render_policy_comparison(blocks: Sequence[Mapping[str, object]]) -> str:
+    """Per-tenant QoS comparison across EPC frame policies.
+
+    ``blocks`` are fleet blocks of the *same* scenario and seed run
+    under different policies (the ``repro fleet --policies`` path).
+    """
+    if not blocks:
+        raise ObsError("policy comparison needs at least one fleet block")
+    for block in blocks:
+        _check_block(block)
+    first = blocks[0]["scenario"]
+    for block in blocks[1:]:
+        scenario = block["scenario"]
+        if (scenario["name"], scenario["seed"]) != (
+            first["name"],
+            first["seed"],
+        ):
+            raise ObsError(
+                "policy comparison mixes scenarios: "
+                f"{first['name']!r}/seed {first['seed']} vs "
+                f"{scenario['name']!r}/seed {scenario['seed']}"
+            )
+    rows: List[List[str]] = []
+    count = len(blocks[0]["tenants"])
+    for index in range(count):
+        for block in blocks:
+            tenant = block["tenants"][index]
+            policy = block["scenario"]["policy"]
+            if not tenant.get("admitted"):
+                rows.append(
+                    [str(tenant["name"]), policy, "never admitted", "-", "-", "-"]
+                )
+                continue
+            rows.append(
+                [
+                    str(tenant["name"]),
+                    policy,
+                    "done" if tenant.get("completed") else "truncated",
+                    _cycles(tenant.get("faults")),
+                    f"{tenant['fault_latency_p50']:,.0f}",
+                    f"{tenant['fault_latency_p99']:,.0f}",
+                ]
+            )
+    title = (
+        f"fleet scenario {first['name']!r} (seed {first['seed']}): "
+        f"per-tenant QoS under {len(blocks)} EPC policies"
+    )
+    return format_table(
+        ["tenant", "policy", "state", "faults", "fault p50", "fault p99"],
+        rows,
+        title=title,
+    )
+
+
+def _check_block(block: Mapping[str, object]) -> None:
+    schema = block.get("schema")
+    if schema != "repro.fleet-manifest/1":
+        raise ObsError(
+            f"not a fleet block: schema {schema!r} "
+            "(expected repro.fleet-manifest/1)"
+        )

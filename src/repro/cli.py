@@ -73,6 +73,7 @@ from repro.core.schemes import SCHEME_NAMES
 from repro.errors import ConfigError, ReproError
 from repro.robust import ExecutionPolicy, RetryPolicy
 from repro.sim.engine import ENGINE_CHOICES, simulate
+from repro.sim.fleet import EPC_POLICIES as FLEET_POLICIES
 from repro.sim.parallel import JobSpec, WorkloadSpec, run_jobs
 from repro.sim.sweep import compare_schemes, sweep_config
 from repro.workloads.registry import (
@@ -245,6 +246,37 @@ def build_parser() -> argparse.ArgumentParser:
     p_swp.add_argument("--values", required=True,
                        help="comma-separated parameter values")
     p_swp.add_argument("--scheme", choices=SCHEME_NAMES, default="dfp-stop")
+
+    p_fleet = sub.add_parser(
+        "fleet",
+        help="run a named multi-tenant fleet scenario",
+        description=(
+            "Run a named fleet scenario (tens of tenants with arrival/"
+            "departure churn, admission control, spin-up traffic and "
+            "open-loop request streams) against one shared EPC, and "
+            "render the per-tenant QoS table.  --policy overrides the "
+            "scenario's EPC frame policy; --policies runs the same "
+            "scenario+seed under several policies and renders the "
+            "side-by-side QoS comparison.  The run is deterministic: "
+            "the same scenario and seed produce a byte-identical "
+            "repro.fleet-manifest/1 block."
+        ),
+    )
+    p_fleet.add_argument("scenario", nargs="?", default=None,
+                         help="scenario name (see --list)")
+    p_fleet.add_argument("--list", action="store_true", dest="list_scenarios",
+                         help="list the named scenarios and exit")
+    p_fleet.add_argument("--seed", type=int, default=0)
+    p_fleet.add_argument("--policy", choices=FLEET_POLICIES, default=None,
+                         help="override the scenario's EPC frame policy")
+    p_fleet.add_argument("--policies", default=None, metavar="P1,P2",
+                         help="comma-separated EPC policies to compare "
+                              "(renders one QoS row per tenant+policy)")
+    p_fleet.add_argument("--manifest", default=None, metavar="FILE",
+                         help="write the aggregate run manifest (with the "
+                              "embedded fleet block) to FILE")
+    p_fleet.add_argument("--format", choices=("text", "json"),
+                         default="text", dest="output_format")
 
     p_lint = sub.add_parser(
         "lint",
@@ -647,6 +679,12 @@ def _report_single(manifest: dict, args: argparse.Namespace) -> int:
         print()
         print("paging profile")
         print(render_profile_summary(paging))
+    fleet_block = (manifest.get("extra") or {}).get("fleet")
+    if fleet_block is not None:
+        from repro.analysis.fleet_report import render_fleet_table
+
+        print()
+        print(render_fleet_table(fleet_block))
     return 0
 
 
@@ -964,6 +1002,62 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_fleet(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.analysis.fleet_report import (
+        render_fleet_table,
+        render_policy_comparison,
+    )
+    from repro.sim.fleet import SCENARIO_NAMES, build_scenario, simulate_fleet
+
+    if args.list_scenarios:
+        for name in SCENARIO_NAMES:
+            print(name)
+        return 0
+    if args.scenario is None:
+        raise ConfigError(
+            "a scenario name is required "
+            f"(choose from {', '.join(SCENARIO_NAMES)}, or use --list)"
+        )
+    if args.policies is not None:
+        if args.policy is not None:
+            raise ConfigError("--policy and --policies are mutually exclusive")
+        if args.manifest is not None:
+            raise ConfigError(
+                "--manifest applies to a single-policy run; pick one "
+                "policy with --policy"
+            )
+        policies = [p.strip() for p in args.policies.split(",") if p.strip()]
+        if not policies:
+            raise ConfigError("--policies needs at least one policy name")
+        blocks = []
+        for policy in policies:
+            scenario = build_scenario(
+                args.scenario, seed=args.seed, policy=policy
+            )
+            blocks.append(simulate_fleet(scenario).fleet_block())
+        if args.output_format == "json":
+            document = {"schema": "repro.fleet-comparison/1", "blocks": blocks}
+            print(json.dumps(document, indent=2, sort_keys=True))
+        else:
+            print(render_policy_comparison(blocks))
+        return 0
+    scenario = build_scenario(args.scenario, seed=args.seed, policy=args.policy)
+    result = simulate_fleet(scenario)
+    if args.output_format == "json":
+        print(json.dumps(result.manifest(), indent=2, sort_keys=True))
+    else:
+        print(render_fleet_table(result.fleet_block()))
+    if args.manifest is not None:
+        from repro.obs.manifest import write_manifest
+
+        target = write_manifest(args.manifest, result.manifest())
+        if args.output_format != "json":
+            print(f"\nmanifest written to {target}")
+    return 0
+
+
 def _cmd_lint(args: argparse.Namespace) -> int:
     from repro.lint import (
         deep_rule_catalog,
@@ -1033,6 +1127,7 @@ _COMMANDS = {
     "profile": _cmd_profile,
     "classify": _cmd_classify,
     "sweep": _cmd_sweep,
+    "fleet": _cmd_fleet,
     "lint": _cmd_lint,
 }
 

@@ -263,6 +263,37 @@ class SgxDriver:
                 if self._profiling:
                     self._profiler.ledger_redundant(page, finish)
             return evicted
+        frames = self._platform.frames
+        if frames is not None:
+            # Per-tenant frame policy (fleet scenarios): the manager
+            # decides when a frame must be freed and from whose
+            # partition the CLOCK victim comes.  A quota shrink can
+            # leave this tenant several pages over, so this loops until
+            # the insert is within policy, not just until a frame is
+            # free.
+            while frames.needs_victim(self):
+                victim = frames.select_victim(self)
+                state = epc.evict(victim)
+                frames.note_evict(victim)
+                evicted = True
+                victim_owner = self._platform.owner_of(victim) or self
+                victim_owner._note_eviction(state)
+            epc.insert(page, preloaded=(kind is LoadKind.PRELOAD))
+            frames.note_insert(self, page)
+            if self.sanitizer is not None:
+                self.sanitizer.check_load(page, kind, finish)
+            if kind is LoadKind.PRELOAD:
+                self.stats.preloads_completed += 1
+                if self._dfp is not None:
+                    self._dfp.note_preload_completed()
+                if self._observing:
+                    self._emit(
+                        EventKind.PRELOAD,
+                        finish - self.channel.load_cycles,
+                        finish,
+                        page,
+                    )
+            return evicted
         if epc.is_full:
             evictor = self.evictor
             chances_before = evictor.second_chances
@@ -624,6 +655,25 @@ class SgxDriver:
             self._emit(EventKind.SIP_LOAD, t, finish, page)
         self._clock_hw = finish
         return finish
+
+    def account_idle(self, cycles: int, now: int) -> None:
+        """Charge application-thread idle time ending at ``now``.
+
+        A fleet tenant spends real virtual time outside the enclave —
+        waiting for the next open-loop request, for an admission slot,
+        or for enclave spin-up.  The fleet loop charges those cycles
+        here so the ``time.total == clock`` identity the sanitizer and
+        the end-of-run accounting check enforce keeps holding with no
+        special cases.  ``now`` is the clock after the idle interval;
+        the sanitizer's notion of hardware time advances with it even
+        when ``cycles`` is zero (e.g. a tenant that departs without
+        ever touching a page).
+        """
+        if cycles < 0:
+            raise SimulationError(f"idle interval cannot be negative: {cycles}")
+        if cycles:
+            self.stats.time.idle += cycles
+        self._clock_hw = now
 
     def finish(self, now: int) -> None:
         """Drain background work at the end of a run."""

@@ -35,15 +35,24 @@ class ClockEvictor:
     The evictor must be told about every insert and evict so its ring
     stays consistent with the EPC; the driver is the single caller of
     both, which keeps that contract easy to honour.
+
+    ``capacity`` overrides the ring size (default: the whole EPC).  A
+    partitioned frame policy (:mod:`repro.enclave.platform`) runs one
+    CLOCK hand *per tenant* over that tenant's pages only, so its rings
+    are sized to the tenant's ELRANGE — the upper bound on how many of
+    its pages can ever be resident — rather than to the shared EPC.
     """
 
-    def __init__(self, epc: Epc) -> None:
+    def __init__(self, epc: Epc, *, capacity: Optional[int] = None) -> None:
+        ring_size = epc.capacity if capacity is None else capacity
+        if ring_size <= 0:
+            raise EpcError(f"evictor ring capacity must be positive, got {ring_size}")
         self._epc = epc
         self._status = epc.status_table
-        self._ring: List[Optional[int]] = [None] * epc.capacity
+        self._ring: List[Optional[int]] = [None] * ring_size
         self._slot_of: Dict[int, int] = {}
         self._hand = 0
-        self._free_slots: List[int] = list(range(epc.capacity - 1, -1, -1))
+        self._free_slots: List[int] = list(range(ring_size - 1, -1, -1))
         #: Lifetime count of second chances granted (stats/tests).
         self.second_chances = 0
 

@@ -30,7 +30,12 @@ class TimeBreakdown:
       let finish first);
     * ``sip_check`` — BIT_MAP_CHECK executions;
     * ``sip_wait`` — synchronous SIP page_loadin waits, including the
-      notification round trip.
+      notification round trip;
+    * ``idle`` — cycles the application thread spent outside the
+      enclave entirely: open-loop request gaps, admission wait and
+      enclave spin-up in a fleet scenario (:mod:`repro.sim.fleet`).
+      Always zero for solo runs and for the legacy shared path, so the
+      bucket identity ``total == clock`` is unchanged there.
     """
 
     compute: int = 0
@@ -39,6 +44,7 @@ class TimeBreakdown:
     fault_wait: int = 0
     sip_check: int = 0
     sip_wait: int = 0
+    idle: int = 0
 
     @property
     def total(self) -> int:
@@ -50,12 +56,17 @@ class TimeBreakdown:
             + self.fault_wait
             + self.sip_check
             + self.sip_wait
+            + self.idle
         )
 
     @property
     def overhead(self) -> int:
-        """Every non-compute cycle: what preloading tries to shrink."""
-        return self.total - self.compute
+        """Every paging-attributable cycle: what preloading shrinks.
+
+        Idle cycles are excluded — a tenant waiting for its next
+        open-loop request is not paying paging overhead.
+        """
+        return self.total - self.compute - self.idle
 
     def as_dict(self) -> Dict[str, int]:
         """JSON-ready breakdown, including the derived totals."""

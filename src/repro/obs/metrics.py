@@ -43,6 +43,7 @@ __all__ = [
     "MetricsRegistry",
     "NULL_REGISTRY",
     "DEFAULT_CYCLE_BUCKETS",
+    "histogram_quantile",
 ]
 
 #: Default histogram bucket upper bounds, in virtual cycles.  A 1-2-5
@@ -185,6 +186,13 @@ class Histogram(Metric):
         else:
             self.counts[index] += 1
 
+    def quantile(self, q: float) -> float:
+        """Deterministic q-quantile estimate from the bucket counts.
+
+        See :func:`histogram_quantile` for the estimation rules.
+        """
+        return histogram_quantile(self.dump(), q)
+
     def dump(self) -> Dict[str, object]:
         return {
             "type": "histogram",
@@ -196,6 +204,44 @@ class Histogram(Metric):
             ],
             "overflow": self.overflow,
         }
+
+
+def histogram_quantile(dump: Dict[str, object], q: float) -> float:
+    """Estimate the ``q``-quantile of a histogram dump, deterministically.
+
+    ``dump`` is the :meth:`Histogram.dump` shape (``count``, ``buckets``
+    as ``[{"le": bound, "count": n}, ...]``, ``overflow``).  The
+    estimate assumes observations are uniformly spread inside each
+    bucket and linearly interpolates between the previous and current
+    bucket bound; the first bucket interpolates from zero.  Quantiles
+    falling in the overflow bucket are clamped to the last bound (the
+    histogram records no upper limit there).  All arithmetic is plain
+    integer/float math over the recorded counts, so the same dump
+    always yields the same value — fleet QoS tables built from it are
+    reproducible byte for byte.
+
+    An empty histogram yields ``0.0``.
+    """
+    if not 0.0 <= q <= 1.0:
+        raise ObsError(f"quantile must be in [0, 1], got {q}")
+    total = int(dump.get("count", 0))
+    if total <= 0:
+        return 0.0
+    buckets = dump.get("buckets", [])
+    target = q * total
+    cumulative = 0
+    lower = 0
+    for bucket in buckets:  # type: ignore[union-attr]
+        bound = bucket["le"]
+        count = bucket["count"]
+        if count:
+            if cumulative + count >= target:
+                inside = max(target - cumulative, 0.0)
+                return lower + (bound - lower) * (inside / count)
+            cumulative += count
+        lower = bound
+    # Target falls in the overflow bucket: clamp to the last bound.
+    return float(lower)
 
 
 class _NullCounter(Counter):

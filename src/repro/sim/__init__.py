@@ -2,6 +2,11 @@
 
 * :mod:`repro.sim.engine` — runs one workload under one scheme on the
   enclave substrate, producing a :class:`~repro.sim.results.RunResult`.
+* :mod:`repro.sim.fleet` — fleet-scale multi-tenant EPC simulation:
+  typed :class:`TenantSpec`/:class:`FleetScenario` specs, admission
+  control, churn, open-loop requests, pluggable EPC frame policies.
+* :mod:`repro.sim.multi` — the deprecated ``simulate_shared`` shim
+  over the fleet API.
 * :mod:`repro.sim.results` — run results and comparisons.
 * :mod:`repro.sim.sweep` — parameter sweeps and scheme comparisons,
   the building blocks of every figure in the evaluation.
@@ -14,6 +19,15 @@
 
 from repro.robust import ExecutionPolicy, FaultPlan, RetryPolicy
 from repro.sim.engine import simulate, simulate_native, prepare_sip_plan
+from repro.sim.fleet import (
+    EPC_POLICIES,
+    FleetResult,
+    FleetScenario,
+    SCENARIO_NAMES,
+    TenantSpec,
+    build_scenario,
+    simulate_fleet,
+)
 from repro.sim.multi import simulate_shared
 from repro.sim.parallel import JobSpec, WorkloadSpec, run_jobs
 from repro.sim.results import RunResult, improvement_pct, normalized_time
@@ -24,6 +38,13 @@ __all__ = [
     "simulate",
     "simulate_native",
     "simulate_shared",
+    "simulate_fleet",
+    "build_scenario",
+    "TenantSpec",
+    "FleetScenario",
+    "FleetResult",
+    "EPC_POLICIES",
+    "SCENARIO_NAMES",
     "prepare_sip_plan",
     "RunResult",
     "improvement_pct",

@@ -1,74 +1,32 @@
-"""Multi-enclave simulation: several applications sharing one EPC.
+"""Legacy multi-enclave entry point (deprecated shim).
 
-Section 5.6 of the paper: EPC sharing among processes/VMs keeps the
-total EPC size fixed, so "each enclave will receive a smaller portion"
-and contention becomes the issue — analogous to sharing a last-level
-cache.  The preloading schemes still apply because each enclave
-handles its own fault stream independently.
+:func:`simulate_shared` was the original §5.6 shared-EPC driver: N
+workloads started together on one :class:`~repro.enclave.platform.
+SharedPlatform`, one global CLOCK over the shared frames, no churn.
+The fleet simulator (:mod:`repro.sim.fleet`) subsumes it — a shared
+run is exactly a :class:`~repro.sim.fleet.FleetScenario` whose tenants
+all arrive at cycle zero under the ``"shared-clock"`` policy, with no
+admission cap, no spin-up traffic, and closed-loop traces.
 
-:func:`simulate_shared` runs N workloads concurrently against one
-:class:`~repro.enclave.platform.SharedPlatform`:
-
-* each enclave gets a disjoint range of the global page space and its
-  own driver, scheme machinery (per-process DFP engine, SIP plan), and
-  virtual clock — they model programs on separate cores;
-* the EPC frames, the CLOCK hand, the exclusive load channel, and the
-  service-thread schedule are shared, which is where the contention
-  (cross-enclave eviction, channel waits behind another enclave's
-  loads and preload bursts) comes from;
-* events are processed globally in start-time order, so the shared
-  hardware observes one monotone timeline.
+This module keeps the old signature as a thin shim over the typed
+:class:`~repro.sim.fleet.TenantSpec` API and emits a
+:class:`DeprecationWarning`; results are byte-identical to what the
+old loop produced.  New code should build a
+:class:`~repro.sim.fleet.FleetScenario` directly.
 """
 
 from __future__ import annotations
 
-import heapq
-from typing import Iterator, List, Optional, Sequence, Tuple
+import warnings
+from typing import List, Optional, Sequence
 
 from repro.core.config import SimConfig
 from repro.core.instrumentation import SipPlan
-from repro.core.schemes import Scheme, make_scheme
-from repro.enclave.driver import SgxDriver
-from repro.enclave.enclave import Enclave
-from repro.enclave.platform import SharedPlatform
 from repro.errors import SimulationError
-from repro.sim.engine import prepare_sip_plan
 from repro.sim.results import RunResult
 from repro.workloads.base import Workload
 
 __all__ = ["simulate_shared"]
-
-
-class _App:
-    """One enclave's execution state inside a shared run."""
-
-    def __init__(
-        self,
-        index: int,
-        workload: Workload,
-        driver: SgxDriver,
-        scheme: Scheme,
-        trace: Iterator,
-        base_page: int,
-    ) -> None:
-        self.index = index
-        self.workload = workload
-        self.driver = driver
-        self.scheme = scheme
-        self.trace = trace
-        self.base_page = base_page
-        self.now = 0
-        sip = scheme.build_sip()
-        self.instrumented = sip.instrumented if sip is not None else None
-        self.done = False
-
-    def next_event(self) -> Optional[Tuple[int, int, int]]:
-        """Pull the next trace event, or None at end of trace."""
-        try:
-            return next(self.trace)
-        except StopIteration:
-            self.done = True
-            return None
 
 
 def simulate_shared(
@@ -82,10 +40,22 @@ def simulate_shared(
 ) -> List[RunResult]:
     """Run several workloads concurrently on one shared EPC.
 
-    ``schemes`` gives one scheme name per workload.  Returns one
-    :class:`RunResult` per workload, in input order; each result's
-    ``total_cycles`` is that application's own finishing time.
+    .. deprecated::
+        Build a :class:`~repro.sim.fleet.FleetScenario` and call
+        :func:`~repro.sim.fleet.simulate_fleet` instead.  This shim
+        maps the old arguments onto the typed API (every workload
+        becomes a :class:`~repro.sim.fleet.TenantSpec` arriving at
+        cycle zero under the ``"shared-clock"`` policy) and returns
+        the same per-workload results the old loop produced.
     """
+    from repro.sim.fleet import FleetScenario, TenantSpec, simulate_fleet
+
+    warnings.warn(
+        "simulate_shared is deprecated; build a FleetScenario of "
+        "TenantSpec entries and call repro.sim.fleet.simulate_fleet",
+        DeprecationWarning,
+        stacklevel=2,
+    )
     if not workloads:
         raise SimulationError("simulate_shared needs at least one workload")
     if len(schemes) != len(workloads):
@@ -96,82 +66,20 @@ def simulate_shared(
         raise SimulationError(
             f"{len(workloads)} workloads but {len(sip_plans)} SIP plans"
         )
-
-    platform = SharedPlatform(config)
-    apps: List[_App] = []
-    base = 0
-    for index, (workload, scheme_name) in enumerate(zip(workloads, schemes)):
-        plan = sip_plans[index] if sip_plans is not None else None
-        if scheme_name in ("sip", "hybrid") and plan is None:
-            plan = prepare_sip_plan(workload, config, seed=seed)
-        scheme = make_scheme(scheme_name, config, sip_plan=plan)
-        enclave = Enclave(
-            name=workload.name,
-            elrange_pages=workload.elrange_pages,
-            pid=index,
-            instrumentation_points=(
-                plan.instrumentation_points if plan is not None else 0
-            ),
-            base_page=base,
+    tenants = tuple(
+        TenantSpec(
+            workload=workload,
+            scheme=scheme,
+            sip_plan=sip_plans[index] if sip_plans is not None else None,
         )
-        driver = SgxDriver(config, enclave, dfp=scheme.build_dfp(), platform=platform)
-        apps.append(
-            _App(
-                index,
-                workload,
-                driver,
-                scheme,
-                iter(workload.trace(seed=seed, input_set=input_set)),
-                base,
-            )
-        )
-        base += workload.elrange_pages
-
-    # Global event loop: a heap of (start_time, app_index) where
-    # start_time = the app's clock after its next compute interval.
-    heap: List[Tuple[int, int, Tuple[int, int, int]]] = []
-    for app in apps:
-        event = app.next_event()
-        if event is not None:
-            instr, page, cycles = event
-            heapq.heappush(heap, (app.now + cycles, app.index, event))
-
-    while heap:
-        start, index, (instr, page, cycles) = heapq.heappop(heap)
-        app = apps[index]
-        app.driver.stats.time.compute += cycles
-        app.now = start
-        global_page = page + app.base_page
-        if app.instrumented is not None and instr in app.instrumented:
-            app.now = app.driver.sip_prefetch(global_page, app.now)
-        app.now = app.driver.access(global_page, app.now)
-        event = app.next_event()
-        if event is not None:
-            _i, _p, next_cycles = event
-            heapq.heappush(heap, (app.now + next_cycles, app.index, event))
-
-    results: List[RunResult] = []
-    end = max(app.now for app in apps)
-    for app in apps:
-        app.driver.finish(end)
-        stats = app.driver.stats
-        if stats.time.total != app.now:
-            raise SimulationError(
-                f"time accounting mismatch for {app.workload.name}: "
-                f"buckets sum to {stats.time.total}, clock reads {app.now}"
-            )
-        if app.driver.sanitizer is not None:
-            app.driver.sanitizer.check_final(stats, app.now)
-        results.append(
-            RunResult(
-                workload=app.workload.name,
-                scheme=app.scheme.name,
-                input_set=input_set,
-                seed=seed,
-                total_cycles=app.now,
-                stats=stats,
-                config=config,
-                sip_points=app.driver.enclave.instrumentation_points,
-            )
-        )
-    return results
+        for index, (workload, scheme) in enumerate(zip(workloads, schemes))
+    )
+    scenario = FleetScenario(
+        name="legacy-shared",
+        tenants=tenants,
+        policy="shared-clock",
+        seed=seed,
+        input_set=input_set,
+        config=config,
+    )
+    return simulate_fleet(scenario).results

@@ -19,6 +19,12 @@ SIP pass.
 """
 
 from repro.workloads.base import Access, Workload, SyntheticWorkload
+from repro.workloads.requests import (
+    RequestProfile,
+    memcached_profile,
+    nginx_profile,
+    request_gaps,
+)
 from repro.workloads.registry import (
     WORKLOAD_NAMES,
     LARGE_REGULAR,
@@ -38,4 +44,8 @@ __all__ = [
     "SMALL_WORKING_SET",
     "CPP_BENCHMARKS",
     "build_workload",
+    "RequestProfile",
+    "memcached_profile",
+    "nginx_profile",
+    "request_gaps",
 ]

@@ -20,7 +20,7 @@ from repro.enclave.epc import Epc
 from repro.enclave.eviction import ClockEvictor
 from repro.errors import SanitizerError
 from repro.sim.engine import simulate
-from repro.sim.multi import simulate_shared
+from repro.sim.fleet import FleetScenario, TenantSpec, simulate_fleet
 from repro.workloads.base import SyntheticWorkload
 from repro.workloads.synthetic import sequential, uniform_random
 
@@ -89,14 +89,21 @@ class TestTransparency:
         assert checked.stats == plain.stats
 
     def test_sanitized_shared_platform_run_is_bit_identical(self, config):
-        workloads = [seq_workload(), noisy_workload()]
         schemes = ["dfp", "dfp-stop"]
-        plain = simulate_shared(workloads, config, schemes)
-        checked = simulate_shared(
-            [seq_workload(), noisy_workload()],
-            config.replace(sanitize=True),
-            schemes,
-        )
+
+        def run(cfg):
+            scenario = FleetScenario(
+                name="sanitized-shared",
+                tenants=tuple(
+                    TenantSpec(workload=w, scheme=s)
+                    for w, s in zip([seq_workload(), noisy_workload()], schemes)
+                ),
+                config=cfg,
+            )
+            return simulate_fleet(scenario).results
+
+        plain = run(config)
+        checked = run(config.replace(sanitize=True))
         for before, after in zip(plain, checked):
             assert after.total_cycles == before.total_cycles
             assert after.stats == before.stats

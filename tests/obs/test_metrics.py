@@ -10,6 +10,7 @@ from repro.obs.metrics import (
     Gauge,
     Histogram,
     MetricsRegistry,
+    histogram_quantile,
 )
 
 
@@ -87,6 +88,57 @@ class TestHistogram:
             Histogram("wait", buckets=(10, 10))
         with pytest.raises(ObsError):
             Histogram("wait", buckets=(20, 10))
+
+
+class TestHistogramQuantile:
+    """Deterministic percentile estimation over histogram dumps — the
+    basis of the fleet QoS tables."""
+
+    def _hist(self, values, buckets=(10, 100, 1000)):
+        h = Histogram("wait", buckets=buckets)
+        for value in values:
+            h.observe(value)
+        return h
+
+    def test_quantile_outside_unit_interval_rejected(self):
+        dump = self._hist([5]).dump()
+        with pytest.raises(ObsError):
+            histogram_quantile(dump, -0.01)
+        with pytest.raises(ObsError):
+            histogram_quantile(dump, 1.01)
+
+    def test_empty_histogram_yields_zero(self):
+        dump = self._hist([]).dump()
+        for q in (0.0, 0.5, 0.99, 1.0):
+            assert histogram_quantile(dump, q) == 0.0
+
+    def test_linear_interpolation_within_a_bucket(self):
+        # Four observations, all in the (10, 100] bucket: the median
+        # sits halfway through the bucket's uniform spread.
+        dump = self._hist([20, 30, 40, 50]).dump()
+        assert histogram_quantile(dump, 0.5) == pytest.approx(
+            10 + (100 - 10) * (2 / 4)
+        )
+        # q=1.0 reaches the bucket's upper bound exactly.
+        assert histogram_quantile(dump, 1.0) == pytest.approx(100.0)
+
+    def test_first_bucket_interpolates_from_zero(self):
+        dump = self._hist([1, 2]).dump()
+        assert histogram_quantile(dump, 0.5) == pytest.approx(10 * 0.5)
+
+    def test_overflow_clamps_to_last_bound(self):
+        dump = self._hist([5, 5000, 6000]).dump()
+        # p99 lands in the unbounded overflow bucket: clamp to 1000.
+        assert histogram_quantile(dump, 0.99) == 1000.0
+
+    def test_quantiles_are_monotone(self):
+        dump = self._hist([3, 15, 40, 250, 800, 2500]).dump()
+        values = [histogram_quantile(dump, q / 20) for q in range(21)]
+        assert values == sorted(values)
+
+    def test_method_delegates_to_free_function(self):
+        h = self._hist([20, 30, 40, 50])
+        assert h.quantile(0.9) == histogram_quantile(h.dump(), 0.9)
 
 
 class TestRegistry:

@@ -4,7 +4,7 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.core.config import SimConfig
-from repro.sim.multi import simulate_shared
+from repro.sim.fleet import FleetScenario, TenantSpec, simulate_fleet
 
 from tests.conftest import ScriptedWorkload
 
@@ -47,11 +47,23 @@ def config():
     return SimConfig(epc_pages=EPC, scan_period_cycles=400_000, valve_slack=8)
 
 
+def run_shared(workloads, cfg, schemes):
+    scenario = FleetScenario(
+        name="property-shared",
+        tenants=tuple(
+            TenantSpec(workload=w, scheme=s)
+            for w, s in zip(workloads, schemes)
+        ),
+        config=cfg,
+    )
+    return simulate_fleet(scenario).results
+
+
 @given(events, events, scheme_pairs)
 @settings(max_examples=80, deadline=None)
 def test_per_enclave_accounting_exact(events_a, events_b, schemes):
     a, b = make_pair(events_a, events_b)
-    results = simulate_shared([a, b], config(), list(schemes))
+    results = run_shared([a, b], config(), list(schemes))
     for result in results:
         assert result.stats.time.total == result.total_cycles
         assert (
@@ -64,9 +76,9 @@ def test_per_enclave_accounting_exact(events_a, events_b, schemes):
 @settings(max_examples=80, deadline=None)
 def test_shared_runs_deterministic(events_a, events_b, schemes):
     a, b = make_pair(events_a, events_b)
-    first = simulate_shared([a, b], config(), list(schemes))
+    first = run_shared([a, b], config(), list(schemes))
     a2, b2 = make_pair(events_a, events_b)
-    second = simulate_shared([a2, b2], config(), list(schemes))
+    second = run_shared([a2, b2], config(), list(schemes))
     assert [r.total_cycles for r in first] == [r.total_cycles for r in second]
 
 
@@ -80,5 +92,5 @@ def test_contention_never_speeds_anyone_up(events_a, events_b):
     a, b = make_pair(events_a, events_b)
     solo_a = simulate(a, config(), "baseline")
     a2, b2 = make_pair(events_a, events_b)
-    shared = simulate_shared([a2, b2], config(), ["baseline", "baseline"])
+    shared = run_shared([a2, b2], config(), ["baseline", "baseline"])
     assert shared[0].total_cycles >= solo_a.total_cycles

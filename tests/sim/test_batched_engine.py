@@ -15,7 +15,7 @@ from repro.core.config import SimConfig
 from repro.errors import ConfigError, SimulationError
 from repro.obs.manifest import build_manifest, manifest_digest
 from repro.sim.engine import ENGINE_CHOICES, prepare_sip_plan, simulate
-from repro.sim.multi import simulate_shared
+from repro.sim.fleet import FleetScenario, TenantSpec, simulate_fleet
 from repro.sim.results import RunResult
 from repro.sim.tracecache import materialize
 from repro.workloads.base import SyntheticWorkload
@@ -321,14 +321,21 @@ class TestSharedPlatform:
             ),
         ]
 
+    def _run(self, config, schemes):
+        scenario = FleetScenario(
+            name="batched-shared",
+            tenants=tuple(
+                TenantSpec(workload=w, scheme=s)
+                for w, s in zip(self._workloads(), schemes)
+            ),
+            config=config,
+        )
+        return simulate_fleet(scenario).results
+
     def test_shared_run_is_deterministic(self):
         config = make_config(epc_pages=96)
-        first = simulate_shared(
-            self._workloads(), config, ["dfp", "baseline", "dfp-stop"]
-        )
-        second = simulate_shared(
-            self._workloads(), config, ["dfp", "baseline", "dfp-stop"]
-        )
+        first = self._run(config, ["dfp", "baseline", "dfp-stop"])
+        second = self._run(config, ["dfp", "baseline", "dfp-stop"])
         assert [r.total_cycles for r in first] == [
             r.total_cycles for r in second
         ]
@@ -338,9 +345,7 @@ class TestSharedPlatform:
 
     def test_cross_enclave_pressure_keeps_invariants(self):
         config = make_config(epc_pages=96)
-        results = simulate_shared(
-            self._workloads(), config, ["dfp", "dfp", "dfp"]
-        )
+        results = self._run(config, ["dfp", "dfp", "dfp"])
         assert sum(r.stats.evictions for r in results) > 0
         for result in results:
             assert result.stats.epc_hits + result.stats.faults == (

@@ -1,10 +1,17 @@
-"""Multi-enclave simulation tests (Section 5.6 contention)."""
+"""Multi-enclave simulation tests (Section 5.6 contention).
+
+The shared-EPC runs are expressed through the typed fleet API
+(:class:`TenantSpec` / :class:`FleetScenario`); the deprecated
+``simulate_shared`` shim keeps the old signature and is covered by
+:class:`TestLegacyShim`.
+"""
 
 import pytest
 
 from repro.core.config import SimConfig
-from repro.errors import SimulationError
+from repro.errors import ConfigError, SimulationError
 from repro.sim.engine import simulate
+from repro.sim.fleet import FleetScenario, TenantSpec, simulate_fleet
 from repro.sim.multi import simulate_shared
 from repro.workloads.base import SyntheticWorkload
 from repro.workloads.synthetic import sequential, uniform_random
@@ -30,19 +37,41 @@ def rand_workload(name="rand-b"):
     )
 
 
+def run_shared(workloads, config, schemes, *, seed=0):
+    """Shared-EPC run through the typed fleet API (no churn)."""
+    scenario = FleetScenario(
+        name="test-shared",
+        tenants=tuple(
+            TenantSpec(workload=w, scheme=s) for w, s in zip(workloads, schemes)
+        ),
+        config=config,
+        seed=seed,
+    )
+    return simulate_fleet(scenario).results
+
+
 class TestValidation:
     def test_empty_rejected(self, config):
-        with pytest.raises(SimulationError):
-            simulate_shared([], config, [])
+        with pytest.raises(ConfigError):
+            FleetScenario(name="empty", tenants=(), config=config)
 
-    def test_scheme_count_mismatch_rejected(self, config):
-        with pytest.raises(SimulationError):
-            simulate_shared([seq_workload()], config, ["baseline", "dfp"])
+    def test_unknown_scheme_rejected(self):
+        with pytest.raises(ConfigError):
+            TenantSpec(workload=seq_workload(), scheme="warp-drive")
+
+    def test_unknown_policy_rejected(self, config):
+        with pytest.raises(ConfigError):
+            FleetScenario(
+                name="bad",
+                tenants=(TenantSpec(workload=seq_workload()),),
+                policy="round-robin",
+                config=config,
+            )
 
 
 class TestAccounting:
     def test_one_result_per_workload_in_order(self, config):
-        results = simulate_shared(
+        results = run_shared(
             [seq_workload("a"), rand_workload("b")],
             config,
             ["baseline", "baseline"],
@@ -50,7 +79,7 @@ class TestAccounting:
         assert [r.workload for r in results] == ["a", "b"]
 
     def test_time_accounting_exact_per_enclave(self, config):
-        results = simulate_shared(
+        results = run_shared(
             [seq_workload(), rand_workload()],
             config,
             ["dfp-stop", "baseline"],
@@ -63,22 +92,22 @@ class TestAccounting:
         single-enclave engine exactly."""
         wl = seq_workload()
         solo = simulate(wl, config, "baseline")
-        shared = simulate_shared([wl], config, ["baseline"])[0]
+        shared = run_shared([wl], config, ["baseline"])[0]
         assert shared.total_cycles == solo.total_cycles
         assert shared.stats.faults == solo.stats.faults
 
     def test_deterministic(self, config):
         workloads = [seq_workload(), rand_workload()]
-        a = simulate_shared(workloads, config, ["dfp-stop", "baseline"])
-        b = simulate_shared(workloads, config, ["dfp-stop", "baseline"])
+        a = run_shared(workloads, config, ["dfp-stop", "baseline"])
+        b = run_shared(workloads, config, ["dfp-stop", "baseline"])
         assert [r.total_cycles for r in a] == [r.total_cycles for r in b]
 
     def test_deterministic_down_to_per_enclave_stats(self, config):
         """Two identical shared runs agree on *every* counter of every
         enclave, not just the headline cycle totals."""
         schemes = ["dfp-stop", "sip"]
-        a = simulate_shared([seq_workload(), rand_workload()], config, schemes)
-        b = simulate_shared([seq_workload(), rand_workload()], config, schemes)
+        a = run_shared([seq_workload(), rand_workload()], config, schemes)
+        b = run_shared([seq_workload(), rand_workload()], config, schemes)
         for first, second in zip(a, b):
             assert first.stats.as_dict() == second.stats.as_dict()
             assert first == second
@@ -87,10 +116,8 @@ class TestAccounting:
         """The runtime sanitizer is passive for the multi-enclave path
         too: same workloads, same schemes, same per-enclave stats."""
         schemes = ["dfp-stop", "baseline"]
-        plain = simulate_shared(
-            [seq_workload(), rand_workload()], config, schemes
-        )
-        sanitized = simulate_shared(
+        plain = run_shared([seq_workload(), rand_workload()], config, schemes)
+        sanitized = run_shared(
             [seq_workload(), rand_workload()],
             config.replace(sanitize=True),
             schemes,
@@ -111,15 +138,15 @@ class TestContention:
             "b", 96, {0: "x"}, [sequential(0, 0, 96, compute=5_000, passes=6)]
         )
         solo = simulate(a, config, "baseline")
-        shared = simulate_shared([a, b], config, ["baseline", "baseline"])
+        shared = run_shared([a, b], config, ["baseline", "baseline"])
         assert shared[0].total_cycles > solo.total_cycles
         assert shared[0].stats.faults > solo.stats.faults
 
     def test_dfp_still_helps_its_own_enclave(self, config):
         """Per-enclave preloading keeps working under sharing."""
         workloads = [seq_workload(), rand_workload()]
-        base = simulate_shared(workloads, config, ["baseline", "baseline"])
-        dfp = simulate_shared(workloads, config, ["dfp-stop", "baseline"])
+        base = run_shared(workloads, config, ["baseline", "baseline"])
+        dfp = run_shared(workloads, config, ["dfp-stop", "baseline"])
         assert dfp[0].total_cycles < base[0].total_cycles
         assert dfp[0].stats.preloads_completed > 0
 
@@ -127,15 +154,37 @@ class TestContention:
         """The streaming enclave's bursts occupy the exclusive channel;
         the co-runner's demand faults wait behind them."""
         workloads = [seq_workload(), rand_workload()]
-        base = simulate_shared(workloads, config, ["baseline", "baseline"])
-        dfp = simulate_shared(workloads, config, ["dfp-stop", "baseline"])
+        base = run_shared(workloads, config, ["baseline", "baseline"])
+        dfp = run_shared(workloads, config, ["dfp-stop", "baseline"])
         assert (
             dfp[1].stats.time.fault_wait > base[1].stats.time.fault_wait
         )
 
     def test_sip_plans_isolated_per_enclave(self, config):
         workloads = [seq_workload(), rand_workload()]
-        results = simulate_shared(workloads, config, ["sip", "sip"])
+        results = run_shared(workloads, config, ["sip", "sip"])
         # The pure stream gets no instrumentation; the scatter does.
         assert results[0].sip_points == 0
         assert results[1].sip_points > 0
+
+
+class TestLegacyShim:
+    """``simulate_shared`` still works, warns, and matches the fleet."""
+
+    def test_warns_and_matches_typed_api(self, config):
+        workloads = [seq_workload(), rand_workload()]
+        schemes = ["dfp-stop", "baseline"]
+        with pytest.deprecated_call():
+            legacy = simulate_shared(workloads, config, schemes)
+        typed = run_shared(workloads, config, schemes)
+        for old, new in zip(legacy, typed):
+            assert old.stats.as_dict() == new.stats.as_dict()
+            assert old == new
+
+    def test_legacy_validation_preserved(self, config):
+        with pytest.deprecated_call():
+            with pytest.raises(SimulationError):
+                simulate_shared([], config, [])
+        with pytest.deprecated_call():
+            with pytest.raises(SimulationError):
+                simulate_shared([seq_workload()], config, ["baseline", "dfp"])

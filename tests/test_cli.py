@@ -447,3 +447,80 @@ class TestFleetObservation:
         assert (tmp_path / "a.json").read_bytes() == (
             tmp_path / "b.json"
         ).read_bytes()
+
+
+class TestFleet:
+    def test_list_scenarios(self, capsys):
+        assert main(["fleet", "--list"]) == 0
+        out = capsys.readouterr().out
+        for name in ("smoke", "steady-8", "churn-50"):
+            assert name in out
+
+    def test_smoke_scenario_renders_qos_table(self, capsys):
+        assert main(["fleet", "smoke", "--seed", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "fleet scenario 'smoke'" in out
+        assert "fault p99" in out
+        assert "admitted" in out
+
+    def test_policy_comparison_table(self, capsys):
+        assert main(
+            ["fleet", "smoke",
+             "--policies", "shared-clock,static-partition,adaptive-quota"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "under 3 EPC policies" in out
+        for policy in ("shared-clock", "static-partition", "adaptive-quota"):
+            assert policy in out
+
+    def test_manifest_roundtrips_through_report(self, tmp_path, capsys):
+        manifest = tmp_path / "fleet.json"
+        assert main(
+            ["fleet", "smoke", "--manifest", str(manifest)]
+        ) == 0
+        capsys.readouterr()
+        assert main(["report", str(manifest)]) == 0
+        out = capsys.readouterr().out
+        assert "fleet scenario 'smoke'" in out
+
+    def test_json_format_emits_the_manifest(self, capsys):
+        import json
+
+        assert main(["fleet", "smoke", "--format", "json"]) == 0
+        manifest = json.loads(capsys.readouterr().out)
+        fleet = manifest["extra"]["fleet"]
+        assert fleet["schema"] == "repro.fleet-manifest/1"
+        assert fleet["scenario"]["name"] == "smoke"
+
+    def test_fleet_runs_are_byte_identical(self, tmp_path, capsys):
+        for name in ("a.json", "b.json"):
+            assert main(
+                ["fleet", "smoke", "--seed", "9",
+                 "--manifest", str(tmp_path / name)]
+            ) == 0
+        capsys.readouterr()
+        assert (tmp_path / "a.json").read_bytes() == (
+            tmp_path / "b.json"
+        ).read_bytes()
+
+    def test_scenario_name_required(self, capsys):
+        assert main(["fleet"]) == 2
+        assert "scenario" in capsys.readouterr().err
+
+    def test_unknown_scenario_rejected(self, capsys):
+        assert main(["fleet", "warehouse-9000"]) == 2
+        assert "warehouse-9000" in capsys.readouterr().err
+
+    def test_policy_and_policies_conflict(self, capsys):
+        assert main(
+            ["fleet", "smoke", "--policy", "shared-clock",
+             "--policies", "shared-clock,adaptive-quota"]
+        ) == 2
+        assert "mutually exclusive" in capsys.readouterr().err
+
+    def test_policies_with_manifest_rejected(self, capsys):
+        assert main(
+            ["fleet", "smoke", "--policies", "shared-clock,adaptive-quota",
+             "--manifest", "out.json"]
+        ) == 2
+        assert "--manifest" in capsys.readouterr().err
