@@ -197,6 +197,10 @@ class FleetScenario:
                 "rebalance_period_cycles must be positive, got "
                 f"{self.rebalance_period_cycles}"
             )
+        if self.policy == "adaptive-quota" and self.rebalance_period_cycles is None:
+            raise ConfigError(
+                "policy 'adaptive-quota' requires rebalance_period_cycles"
+            )
 
 
 @dataclass
@@ -547,9 +551,13 @@ def simulate_fleet(scenario: FleetScenario) -> FleetResult:
         end = max(end, truncated_at)
     for tenant in admitted:
         if not tenant.done:
-            # Duration cutoff: the tenant was still running.  Its
-            # accounting is consistent up to its last completed event.
+            # Duration cutoff: the tenant was still running.  Flush the
+            # idle it had accrued toward its never-run next event
+            # (admission wait, spin-up, or an open-loop gap) so the
+            # time-accounting identity below holds, mirroring depart().
             tenant.record.departed_at = None
+            tenant.driver.account_idle(tenant.pending_idle, tenant.now)
+            tenant.pending_idle = 0
         tenant.driver.finish(end)
         stats = tenant.driver.stats
         if stats.time.total != tenant.now:

@@ -272,6 +272,50 @@ class TestChurn:
         assert fleet.results[1].stats.accesses == 0
         assert fleet.fleet_block()["summary"]["never_admitted"] == 1
 
+    def test_duration_cutoff_flushes_truncated_tenants_idle(self):
+        """Regression: a tenant admitted just before the cutoff — whose
+        first event therefore never runs — carries unflushed pending
+        idle into finalization.  It must be reported as truncated, not
+        crash the time-accounting identity check."""
+        scenario = FleetScenario(
+            name="cutoff-midwait",
+            tenants=(
+                TenantSpec(workload=stream("s0", passes=1)),
+                TenantSpec(workload=stream("s1", passes=1), arrival=49_999_000),
+            ),
+            config=small_config(),
+            duration=50_000_000,
+        )
+        fleet = simulate_fleet(scenario)
+        record = fleet.tenants[1]
+        assert record.admitted and not record.completed
+        assert record.departed_at is None
+        result = fleet.results[1]
+        assert result.stats.time.total == result.total_cycles
+        assert result.stats.time.idle >= 49_999_000
+
+    def test_duration_cutoff_flushes_open_loop_request_wait(self):
+        """Regression: an open-loop tenant idling toward its next
+        request arrival at the cutoff has accrued gap idle that was
+        never charged; truncation must flush it."""
+        scenario = FleetScenario(
+            name="cutoff-openloop",
+            tenants=(
+                TenantSpec(
+                    workload=scatter("r0"),
+                    requests=RequestProfile(
+                        kind="poisson", mean_gap_cycles=400_000,
+                        events_per_request=4,
+                    ),
+                ),
+            ),
+            config=small_config(),
+            duration=2_000_000,
+        )
+        fleet = simulate_fleet(scenario)
+        result = fleet.results[0]
+        assert result.stats.time.total == result.total_cycles
+
     def test_empty_trace_tenant_departs_cleanly(self):
         """A tenant with zero trace events is admitted, departs on the
         spot, and its pre-start time is all idle."""
@@ -332,6 +376,17 @@ class TestPolicies:
             partitioned.results[0].stats.faults
             <= shared.results[0].stats.faults
         )
+
+    def test_adaptive_quota_requires_rebalance_period(self):
+        """adaptive-quota without a rebalance period would silently be
+        a static partition; the scenario must refuse to build."""
+        with pytest.raises(ConfigError, match="rebalance_period_cycles"):
+            FleetScenario(
+                name="bad-adaptive",
+                tenants=(TenantSpec(workload=stream("s0")),),
+                policy="adaptive-quota",
+                config=small_config(),
+            )
 
     def test_adaptive_rebalances_and_reports_quotas(self):
         fleet = simulate_fleet(
