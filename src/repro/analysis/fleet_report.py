@@ -1,6 +1,6 @@
 """Rendering of fleet-scenario results (``repro fleet`` / ``repro report``).
 
-Two renderers over the deterministic ``repro.fleet-manifest/1`` block
+Renderers over the deterministic ``repro.fleet-manifest/1`` block
 (:meth:`repro.sim.fleet.FleetResult.fleet_block`):
 
 * :func:`render_fleet_table` — one scenario: the summary header plus a
@@ -10,8 +10,20 @@ Two renderers over the deterministic ``repro.fleet-manifest/1`` block
   several EPC frame policies, one row per (tenant, policy) QoS pair —
   the table the fleet experiment exists to produce.
 
-Both operate on plain dicts so ``repro report`` can render a fleet
-block straight out of a saved manifest without re-simulating.
+And over the windowed ``repro.fleet-timeseries/1`` block
+(:mod:`repro.obs.fleet_telemetry`):
+
+* :func:`render_timeseries` — ASCII sparkline time-series of the
+  fleet-wide signals (faults, preloads, occupancy, queue depth,
+  channel utilization), one glyph per window;
+* :func:`render_slo_report` — the breach table of a
+  ``repro.fleet-slo/1`` evaluation (tenant, cycle interval, violated
+  objectives, worst observed values);
+* :func:`render_thrash_table` — merged thrash intervals from
+  :func:`repro.obs.fleet_telemetry.detect_thrash`.
+
+All operate on plain dicts so ``repro report`` can render the blocks
+straight out of a saved manifest without re-simulating.
 """
 
 from __future__ import annotations
@@ -21,7 +33,14 @@ from typing import List, Mapping, Sequence
 from repro.analysis.report import format_table
 from repro.errors import ObsError
 
-__all__ = ["render_fleet_table", "render_policy_comparison"]
+__all__ = [
+    "render_fleet_table",
+    "render_policy_comparison",
+    "render_timeseries",
+    "render_slo_report",
+    "render_thrash_table",
+    "sparkline",
+]
 
 
 def _cycles(value: object) -> str:
@@ -134,9 +153,14 @@ def render_policy_comparison(blocks: Sequence[Mapping[str, object]]) -> str:
                     f"{tenant['fault_latency_p99']:,.0f}",
                 ]
             )
+    truncated = ", ".join(
+        f"{block['scenario']['policy']}={block['summary']['truncated']}"
+        for block in blocks
+    )
     title = (
         f"fleet scenario {first['name']!r} (seed {first['seed']}): "
-        f"per-tenant QoS under {len(blocks)} EPC policies"
+        f"per-tenant QoS under {len(blocks)} EPC policies\n"
+        f"truncated tenants: {truncated}"
     )
     return format_table(
         ["tenant", "policy", "state", "faults", "fault p50", "fault p99"],
@@ -152,3 +176,168 @@ def _check_block(block: Mapping[str, object]) -> None:
             f"not a fleet block: schema {schema!r} "
             "(expected repro.fleet-manifest/1)"
         )
+
+
+#: Sparkline glyphs, lowest to highest.
+_SPARK_LEVELS = "▁▂▃▄▅▆▇█"
+
+
+def sparkline(values: Sequence[float], *, width: int = 64) -> str:
+    """Render ``values`` as one sparkline row, downsampled to ``width``.
+
+    Downsampling takes the max of each chunk — spikes are the signal
+    here, and averaging a thrash window away would defeat the point.
+    Levels are scaled to the series' own min..max; a flat series
+    renders as all-minimum glyphs.
+    """
+    if not values:
+        return ""
+    if width < 1:
+        raise ObsError(f"sparkline width must be >= 1, got {width}")
+    series = [float(v) for v in values]
+    if len(series) > width:
+        chunks: List[float] = []
+        for k in range(width):
+            lo = k * len(series) // width
+            hi = max(lo + 1, (k + 1) * len(series) // width)
+            chunks.append(max(series[lo:hi]))
+        series = chunks
+    low = min(series)
+    span = max(series) - low
+    if span <= 0:
+        return _SPARK_LEVELS[0] * len(series)
+    top = len(_SPARK_LEVELS) - 1
+    return "".join(
+        _SPARK_LEVELS[round((v - low) / span * top)] for v in series
+    )
+
+
+#: Fleet-wide series rendered by :func:`render_timeseries`, in order:
+#: (series key, display label, render as float).
+_TIMESERIES_ROWS = (
+    ("faults", "faults/window", False),
+    ("preloads_completed", "preloads/window", False),
+    ("epc_resident", "EPC resident", False),
+    ("queue_depth", "queue depth", False),
+    ("active_tenants", "active tenants", False),
+    ("channel_utilization", "channel util", True),
+    ("fault_wait_p99", "fault-wait p99", False),
+)
+
+
+def _check_timeseries(block: Mapping[str, object]) -> None:
+    schema = block.get("schema")
+    if schema != "repro.fleet-timeseries/1":
+        raise ObsError(
+            f"not a fleet timeseries block: schema {schema!r} "
+            "(expected repro.fleet-timeseries/1)"
+        )
+
+
+def render_timeseries(block: Mapping[str, object], *, width: int = 64) -> str:
+    """ASCII sparkline view of a ``repro.fleet-timeseries/1`` block.
+
+    One row per fleet-wide signal: label, sparkline (one glyph per
+    window, max-downsampled past ``width``), then the series'
+    min/max/last so the glyphs have a scale.
+    """
+    _check_timeseries(block)
+    ends = block["window_end"]
+    fleet = block["fleet"]
+    lines = [
+        f"fleet timeseries: {len(ends)} windows × "
+        f"{int(block['window_cycles']):,} cycles, "
+        f"end at {int(block['end_cycles']):,} cycles"
+        + (
+            f" (coarsened ×{2 ** int(block['coarsen_passes'])})"
+            if block.get("coarsen_passes")
+            else ""
+        )
+    ]
+    label_width = max(len(label) for _, label, _ in _TIMESERIES_ROWS)
+    for key, label, as_float in _TIMESERIES_ROWS:
+        series = fleet[key]
+        if as_float:
+            lo, hi, last = min(series), max(series), series[-1]
+            scale = f"min {lo:.2f}  max {hi:.2f}  last {last:.2f}"
+        else:
+            lo, hi, last = min(series), max(series), series[-1]
+            scale = f"min {int(lo):,}  max {int(hi):,}  last {int(last):,}"
+        lines.append(
+            f"{label:<{label_width}}  {sparkline(series, width=width)}  {scale}"
+        )
+    rebalances = block.get("rebalances") or []
+    if rebalances:
+        lines.append(f"rebalance decisions: {len(rebalances)}")
+    return "\n".join(lines)
+
+
+def render_slo_report(slo_doc: Mapping[str, object]) -> str:
+    """Breach table of one ``repro.fleet-slo/1`` evaluation."""
+    schema = slo_doc.get("schema")
+    if schema != "repro.fleet-slo/1":
+        raise ObsError(
+            f"not an SLO document: schema {schema!r} "
+            "(expected repro.fleet-slo/1)"
+        )
+    spec = slo_doc["spec"]
+    objectives = ", ".join(
+        f"{key}={value}" for key, value in sorted(spec.items())
+        if value is not None
+    )
+    breaches = slo_doc["breaches"]
+    header = (
+        f"SLO [{objectives}] over {slo_doc['windows_evaluated']} windows, "
+        f"{slo_doc['tenants']} tenants: {len(breaches)} breach interval(s)"
+    )
+    if not breaches:
+        return header + " — all objectives met"
+    rows = []
+    for breach in breaches:
+        worst = breach["worst"]
+        rows.append(
+            [
+                str(breach["tenant"]),
+                f"[{int(breach['start_cycle']):,}, "
+                f"{int(breach['end_cycle']):,})",
+                str(breach["windows"]),
+                ", ".join(breach["violated"]),
+                ", ".join(
+                    f"{key}={worst[key]:,}" for key in sorted(worst)
+                ),
+            ]
+        )
+    return format_table(
+        ["tenant", "cycles", "windows", "violated", "worst"],
+        rows,
+        title=header,
+    )
+
+
+def render_thrash_table(
+    intervals: Sequence[Mapping[str, object]],
+    *,
+    factor: float = 2.0,
+) -> str:
+    """Table of merged thrash intervals from ``detect_thrash``."""
+    header = (
+        f"thrash windows (fault rate > {factor:g}× tenant mean): "
+        f"{len(intervals)} interval(s)"
+    )
+    if not intervals:
+        return header
+    rows = [
+        [
+            str(iv["tenant"]),
+            f"[{int(iv['start_cycle']):,}, {int(iv['end_cycle']):,})",
+            str(iv["windows"]),
+            f"{int(iv['faults']):,}",
+            f"{iv['peak_rate_vs_mean']:.2f}×",
+        ]
+        for iv in intervals
+    ]
+    return format_table(
+        ["tenant", "cycles", "windows", "faults", "peak vs mean"],
+        rows,
+        title=header,
+    )

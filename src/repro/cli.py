@@ -23,7 +23,7 @@ Thin, scriptable access to the library's main flows:
 * ``sweep`` — a one-parameter sweep (e.g. LOADLENGTH, Figure 7 style),
   with ``--progress`` ETA + fleet-health ticks on stderr;
 * ``lint`` — the repo-specific static-analysis pass: per-file rules
-  RL001–RL010, plus (with ``--deep``) the whole-program rules
+  RL001–RL012, plus (with ``--deep``) the whole-program rules
   RL101–RL104 over a shared AST cache; ``--sarif`` exports SARIF
   2.1.0, ``--baseline`` absorbs known findings, ``--changed`` reports
   only files touched vs. a git ref (see :mod:`repro.lint`).
@@ -259,7 +259,14 @@ def build_parser() -> argparse.ArgumentParser:
             "scenario+seed under several policies and renders the "
             "side-by-side QoS comparison.  The run is deterministic: "
             "the same scenario and seed produce a byte-identical "
-            "repro.fleet-manifest/1 block."
+            "repro.fleet-manifest/1 block.  --timeseries attaches the "
+            "passive windowed sampler (repro.fleet-timeseries/1: "
+            "per-tenant and fleet-wide series, rebalance decisions) "
+            "and renders sparkline time-series; --slo evaluates "
+            "breach intervals over it; --trace/--openmetrics export "
+            "the series as a Chrome trace / OpenMetrics exposition.  "
+            "Observation is passive: the manifest block stays "
+            "byte-identical to a blind run."
         ),
     )
     p_fleet.add_argument("scenario", nargs="?", default=None,
@@ -275,14 +282,31 @@ def build_parser() -> argparse.ArgumentParser:
     p_fleet.add_argument("--manifest", default=None, metavar="FILE",
                          help="write the aggregate run manifest (with the "
                               "embedded fleet block) to FILE")
+    p_fleet.add_argument("--timeseries", action="store_true",
+                         help="attach the windowed sampler and render "
+                              "sparkline time-series")
+    p_fleet.add_argument("--window-cycles", type=int, default=None,
+                         metavar="N",
+                         help="sampling window width in cycles (default: "
+                              "the scenario's scan period)")
+    p_fleet.add_argument("--slo", default=None, metavar="SPEC",
+                         help="evaluate SLO breaches, e.g. "
+                              "wait_p99=80000,fault_rate=0.2,residency=0.5 "
+                              "(implies --timeseries)")
+    p_fleet.add_argument("--trace", default=None, metavar="FILE",
+                         help="write Chrome counter/lifecycle tracks to "
+                              "FILE (implies --timeseries)")
+    p_fleet.add_argument("--openmetrics", default=None, metavar="FILE",
+                         help="write labeled OpenMetrics series to FILE "
+                              "(implies --timeseries)")
     p_fleet.add_argument("--format", choices=("text", "json"),
                          default="text", dest="output_format")
 
     p_lint = sub.add_parser(
         "lint",
-        help="repo-specific static analysis (RL001-RL010, deep RL101-RL104)",
+        help="repo-specific static analysis (RL001-RL012, deep RL101-RL104)",
         description=(
-            "Repo-specific static analysis.  Per-file rules RL001-RL010 "
+            "Repo-specific static analysis.  Per-file rules RL001-RL012 "
             "run by default; --deep adds the whole-program rules "
             "RL101-RL104 (cross-module seed provenance, pickle-safety of "
             "values shipped to workers, wall-clock taint into manifests, "
@@ -685,6 +709,18 @@ def _report_single(manifest: dict, args: argparse.Namespace) -> int:
 
         print()
         print(render_fleet_table(fleet_block))
+    timeseries = manifest.get("fleet_timeseries")
+    if timeseries is not None:
+        from repro.analysis.fleet_report import (
+            render_thrash_table,
+            render_timeseries,
+        )
+        from repro.obs.fleet_telemetry import detect_thrash
+
+        print()
+        print(render_timeseries(timeseries))
+        print()
+        print(render_thrash_table(detect_thrash(timeseries)))
     return 0
 
 
@@ -1020,6 +1056,18 @@ def _cmd_fleet(args: argparse.Namespace) -> int:
             "a scenario name is required "
             f"(choose from {', '.join(SCENARIO_NAMES)}, or use --list)"
         )
+    slo = None
+    if args.slo is not None:
+        from repro.obs.fleet_telemetry import SloSpec
+
+        slo = SloSpec.parse(args.slo)
+    observed = bool(
+        args.timeseries
+        or slo is not None
+        or args.trace is not None
+        or args.openmetrics is not None
+        or args.window_cycles is not None
+    )
     if args.policies is not None:
         if args.policy is not None:
             raise ConfigError("--policy and --policies are mutually exclusive")
@@ -1027,6 +1075,11 @@ def _cmd_fleet(args: argparse.Namespace) -> int:
             raise ConfigError(
                 "--manifest applies to a single-policy run; pick one "
                 "policy with --policy"
+            )
+        if observed:
+            raise ConfigError(
+                "--timeseries/--slo/--trace/--openmetrics apply to a "
+                "single-policy run; pick one policy with --policy"
             )
         policies = [p.strip() for p in args.policies.split(",") if p.strip()]
         if not policies:
@@ -1044,17 +1097,57 @@ def _cmd_fleet(args: argparse.Namespace) -> int:
             print(render_policy_comparison(blocks))
         return 0
     scenario = build_scenario(args.scenario, seed=args.seed, policy=args.policy)
-    result = simulate_fleet(scenario)
+    telemetry = None
+    if observed:
+        from repro.obs.fleet_telemetry import FleetTelemetry
+
+        telemetry = FleetTelemetry(window_cycles=args.window_cycles)
+    result = simulate_fleet(scenario, telemetry=telemetry)
     if args.output_format == "json":
         print(json.dumps(result.manifest(), indent=2, sort_keys=True))
     else:
         print(render_fleet_table(result.fleet_block()))
+        if result.timeseries is not None:
+            from repro.analysis.fleet_report import (
+                render_thrash_table,
+                render_timeseries,
+            )
+            from repro.obs.fleet_telemetry import detect_thrash
+
+            print()
+            print(render_timeseries(result.timeseries))
+            print()
+            print(render_thrash_table(detect_thrash(result.timeseries)))
+            if slo is not None:
+                from repro.analysis.fleet_report import render_slo_report
+                from repro.obs.fleet_telemetry import evaluate_slo
+
+                print()
+                print(render_slo_report(evaluate_slo(result.timeseries, slo)))
+    artifacts = []
+    if args.trace is not None:
+        from repro.obs.chrome import write_fleet_chrome_trace
+
+        count = write_fleet_chrome_trace(args.trace, result.timeseries)
+        artifacts.append(f"chrome trace ({count} records) to {args.trace}")
+    if args.openmetrics is not None:
+        from pathlib import Path
+
+        from repro.obs.openmetrics import render_fleet_openmetrics
+
+        Path(args.openmetrics).write_text(
+            render_fleet_openmetrics(result.timeseries), encoding="utf-8"
+        )
+        artifacts.append(f"openmetrics to {args.openmetrics}")
     if args.manifest is not None:
         from repro.obs.manifest import write_manifest
 
         target = write_manifest(args.manifest, result.manifest())
-        if args.output_format != "json":
-            print(f"\nmanifest written to {target}")
+        artifacts.append(f"manifest to {target}")
+    if artifacts and args.output_format != "json":
+        print()
+        for line in artifacts:
+            print(f"wrote {line}")
     return 0
 
 

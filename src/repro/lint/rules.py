@@ -1,4 +1,4 @@
-"""The repo-specific lint rules, RL001–RL011.
+"""The repo-specific lint rules, RL001–RL012.
 
 Each rule mechanizes one invariant the reproduction depends on:
 
@@ -58,6 +58,15 @@ Each rule mechanizes one invariant the reproduction depends on:
   mutation in any other module silently bypasses the per-event hooks
   and breaks the byte-identity contract between the scalar and
   batched engines.
+* **RL012** — fleet time-series emission stays in the fleet event
+  loop.  The ``series_*`` hooks of
+  :class:`repro.obs.fleet_telemetry.FleetTelemetry` are fed
+  exclusively by ``simulate_fleet`` (the sampler is passive — it
+  observes the loop, never drives it); a call from any other library
+  module would inject windows, lifecycle edges or rebalance records
+  the fleet never produced, breaking the exact reconciliation of the
+  ``repro.fleet-timeseries/1`` block against the fleet manifest's QoS
+  aggregates that ``validate_fleet_timeseries`` enforces.
 """
 
 from __future__ import annotations
@@ -81,6 +90,7 @@ __all__ = [
     "AdHocExecSpan",
     "StrayLedgerEmission",
     "StrayBulkRetirement",
+    "StraySeriesEmission",
 ]
 
 #: Byte values that re-encode the platform's EPC geometry.
@@ -722,5 +732,50 @@ class StrayBulkRetirement(LintRule):
                 "repro.enclave.driver — run counters may only be "
                 "retired in bulk under the batched engine's horizon "
                 "invariant; per-event code increments by 1",
+            )
+        self.generic_visit(node)
+
+
+@register_rule
+class StraySeriesEmission(LintRule):
+    """RL012: fleet-telemetry series writes outside the sanctioned emitters."""
+
+    code = "RL012"
+    name = "stray-series-emission"
+    description = (
+        "series_* call outside repro.sim.fleet / "
+        "repro.obs.fleet_telemetry — the fleet time-series sampler is "
+        "fed exclusively by simulate_fleet's event loop; any other "
+        "caller injects windows the fleet never ran and breaks the "
+        "block's reconciliation against the QoS aggregates"
+    )
+
+    @classmethod
+    def applies_to(cls, path: Path) -> bool:
+        # Only library code is policed; tests exercising the hooks
+        # directly are fine.  The sampler itself and the fleet event
+        # loop are the two sanctioned homes of series traffic.
+        parts = path.parts
+        if "repro" not in parts:
+            return False
+        if path.name == "fleet.py" and len(parts) >= 2 and parts[-2] == "sim":
+            return False
+        if (
+            path.name == "fleet_telemetry.py"
+            and len(parts) >= 2
+            and parts[-2] == "obs"
+        ):
+            return False
+        return True
+
+    def visit_Call(self, node: ast.Call) -> None:
+        func = node.func
+        if isinstance(func, ast.Attribute) and func.attr.startswith("series_"):
+            self.report(
+                node,
+                f"{func.attr}() outside simulate_fleet — fleet "
+                "time-series emission is confined to repro.sim.fleet "
+                "so the block's windows reconcile with the fleet's "
+                "QoS aggregates",
             )
         self.generic_visit(node)

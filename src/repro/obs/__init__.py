@@ -31,14 +31,24 @@ bit-identical with observability on or off):
   manifest block and per-page Chrome residency tracks;
 * **OpenMetrics export** (:mod:`repro.obs.openmetrics`) — renders any
   metric dump in the Prometheus/OpenMetrics text exposition format so
-  fleet runs can be scraped.
+  fleet runs can be scraped;
+* **fleet time-series telemetry** (:mod:`repro.obs.fleet_telemetry`)
+  — the passive, cycle-windowed sampler behind ``repro fleet
+  --timeseries``: per-tenant and fleet-wide series (occupancy vs
+  quota, fault/preload rates, channel utilization, queue depth),
+  every adaptive-quota rebalance decision, SLO breach evaluation and
+  thrash detection, exported as the ``repro.fleet-timeseries/1``
+  manifest block, Chrome counter/lifecycle tracks, and labeled
+  OpenMetrics series.
 """
 
 from repro.obs.chrome import (
     THREAD_NAMES,
     chrome_trace,
+    fleet_chrome_trace,
     validate_chrome_trace,
     write_chrome_trace,
+    write_fleet_chrome_trace,
 )
 from repro.obs.diff import diff_manifests, render_diff
 from repro.obs.exec_telemetry import (
@@ -71,7 +81,16 @@ from repro.obs.metrics import (
     Metric,
     MetricsRegistry,
 )
-from repro.obs.openmetrics import render_openmetrics
+from repro.obs.fleet_telemetry import (
+    FLEET_SLO_SCHEMA,
+    FLEET_TIMESERIES_SCHEMA,
+    FleetTelemetry,
+    SloSpec,
+    detect_thrash,
+    evaluate_slo,
+    validate_fleet_timeseries,
+)
+from repro.obs.openmetrics import render_fleet_openmetrics, render_openmetrics
 from repro.obs.paging import (
     PAGING_PROFILE_SCHEMA,
     PagingProfiler,
@@ -135,4 +154,14 @@ __all__ = [
     "write_paging_profile",
     "load_paging_profile",
     "render_openmetrics",
+    "render_fleet_openmetrics",
+    "FLEET_TIMESERIES_SCHEMA",
+    "FLEET_SLO_SCHEMA",
+    "FleetTelemetry",
+    "SloSpec",
+    "evaluate_slo",
+    "detect_thrash",
+    "validate_fleet_timeseries",
+    "fleet_chrome_trace",
+    "write_fleet_chrome_trace",
 ]

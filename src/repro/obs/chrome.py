@@ -34,6 +34,15 @@ Paging-profile residency tracks (PR 7): given a
 page's residency intervals — named by load kind and touch outcome, so
 a wasted preload is visible as an untouched ``preload`` bar ending at
 the CLOCK decision that evicted it (recorded in ``args``).
+
+Fleet time-series tracks (PR 10): :func:`fleet_chrome_trace` renders
+a ``repro.fleet-timeseries/1`` block as counter tracks (``ph: "C"``
+— Perfetto draws them as stacked area charts) for the fleet-wide
+series (faults/preloads per window, EPC occupancy, queue depth,
+active tenants, channel utilization), one instant per adaptive-quota
+rebalance with its before/after quotas, and one lifecycle track per
+tenant (tid 200 + index): ``queued`` → ``spinup`` → ``run`` complete
+events with a ``truncated`` instant when the duration cutoff hit.
 """
 
 from __future__ import annotations
@@ -48,7 +57,9 @@ from repro.errors import ObsError
 __all__ = [
     "THREAD_NAMES",
     "chrome_trace",
+    "fleet_chrome_trace",
     "write_chrome_trace",
+    "write_fleet_chrome_trace",
     "validate_chrome_trace",
 ]
 
@@ -86,6 +97,11 @@ _EXEC_WORKER_TID0 = 11
 #: exported hot page, capped so the track list stays readable.
 _RESIDENCY_TID0 = 100
 _MAX_RESIDENCY_TRACKS = 16
+
+#: Fleet tracks: rebalance instants on one control track, then one
+#: lifecycle track per tenant above it.
+_FLEET_REBALANCE_TID = 199
+_FLEET_TENANT_TID0 = 200
 
 #: Keys every emitted trace event must carry (spec minimum).
 _REQUIRED_KEYS = ("name", "ph", "pid", "tid", "ts")
@@ -305,6 +321,191 @@ def chrome_trace(
     }
 
 
+#: Fleet-wide counter tracks: (trace counter name, fleet series key).
+_FLEET_COUNTERS = (
+    ("fleet-faults", "faults"),
+    ("fleet-preloads", "preloads_completed"),
+    ("epc-resident", "epc_resident"),
+    ("queue-depth", "queue_depth"),
+    ("active-tenants", "active_tenants"),
+    ("channel-utilization", "channel_utilization"),
+)
+
+
+def fleet_chrome_trace(
+    timeseries: Dict[str, object],
+    *,
+    pid: int = 1,
+    ghz: float = 3.5,
+    process_name: str = "repro-fleet",
+) -> Dict[str, object]:
+    """Render a ``repro.fleet-timeseries/1`` block as a Chrome trace.
+
+    Counter events (``ph: "C"``) carry each fleet-wide series, one
+    sample per window close; the adaptive-quota policy's rebalance
+    decisions land as instants on a ``rebalance`` track with their
+    before/after quotas in ``args``; and every tenant gets a
+    lifecycle track whose complete events span its queued, spin-up
+    and run phases (a ``truncated`` instant marks the duration
+    cutoff).  Virtual cycles convert to microseconds at ``ghz``, with
+    raw cycle stamps preserved in ``args``.
+    """
+    from repro.obs.fleet_telemetry import FLEET_TIMESERIES_SCHEMA
+
+    if ghz <= 0:
+        raise ObsError(f"clock rate must be positive, got {ghz}")
+    schema = timeseries.get("schema") if isinstance(timeseries, dict) else None
+    if schema != FLEET_TIMESERIES_SCHEMA:
+        raise ObsError(
+            f"not a fleet timeseries block: schema {schema!r} "
+            f"(expected {FLEET_TIMESERIES_SCHEMA})"
+        )
+    ends = timeseries["window_end"]
+    fleet = timeseries["fleet"]
+    end_cycles = int(timeseries["end_cycles"])
+    records: List[Dict[str, object]] = [
+        {
+            "name": "process_name",
+            "ph": "M",
+            "pid": pid,
+            "tid": 0,
+            "ts": 0,
+            "args": {"name": process_name},
+        }
+    ]
+    for name, key in _FLEET_COUNTERS:
+        series = fleet[key]
+        for i, end in enumerate(ends):
+            records.append(
+                {
+                    "name": name,
+                    "cat": "fleet",
+                    "ph": "C",
+                    "pid": pid,
+                    "tid": 0,
+                    "ts": _cycles_to_us(int(end), ghz),
+                    "args": {key: series[i]},
+                }
+            )
+    rebalances = timeseries.get("rebalances", [])
+    if rebalances:
+        records.append(
+            {
+                "name": "thread_name",
+                "ph": "M",
+                "pid": pid,
+                "tid": _FLEET_REBALANCE_TID,
+                "ts": 0,
+                "args": {"name": "rebalance"},
+            }
+        )
+        for decision in rebalances:
+            records.append(
+                {
+                    "name": "rebalance",
+                    "cat": "fleet",
+                    "ph": "i",
+                    "s": "t",
+                    "pid": pid,
+                    "tid": _FLEET_REBALANCE_TID,
+                    "ts": _cycles_to_us(int(decision["cycle"]), ghz),
+                    "args": {
+                        "cycle": decision["cycle"],
+                        "quotas_before": decision["quotas_before"],
+                        "quotas_after": decision["quotas_after"],
+                    },
+                }
+            )
+    for tenant in timeseries["tenants"]:
+        tid = _FLEET_TENANT_TID0 + int(tenant["index"])
+        records.append(
+            {
+                "name": "thread_name",
+                "ph": "M",
+                "pid": pid,
+                "tid": tid,
+                "ts": 0,
+                "args": {"name": f"tenant-{tenant['name']}"},
+            }
+        )
+        spans = []
+        queued_at = tenant.get("queued_at")
+        admitted_at = tenant.get("admitted_at")
+        started_at = tenant.get("started_at")
+        departed_at = tenant.get("departed_at")
+        if queued_at is not None:
+            queue_end = admitted_at if admitted_at is not None else end_cycles
+            spans.append(("queued", queued_at, queue_end))
+        if admitted_at is not None and started_at is not None:
+            if started_at > admitted_at:
+                spans.append(("spinup", admitted_at, started_at))
+            run_end = departed_at if departed_at is not None else end_cycles
+            spans.append(("run", started_at, run_end))
+        for name, start, end in spans:
+            start = int(start)
+            end = int(end)
+            args = {
+                "tenant": tenant["name"],
+                "scheme": tenant["scheme"],
+                "start_cycles": start,
+                "end_cycles": end,
+            }
+            record: Dict[str, object] = {
+                "name": name,
+                "cat": "lifecycle",
+                "pid": pid,
+                "tid": tid,
+                "ts": _cycles_to_us(start, ghz),
+                "args": args,
+            }
+            if end > start:
+                record["ph"] = "X"
+                record["dur"] = _cycles_to_us(end - start, ghz)
+            else:
+                record["ph"] = "i"
+                record["s"] = "t"
+            records.append(record)
+        if tenant.get("truncated"):
+            records.append(
+                {
+                    "name": "truncated",
+                    "cat": "lifecycle",
+                    "ph": "i",
+                    "s": "t",
+                    "pid": pid,
+                    "tid": tid,
+                    "ts": _cycles_to_us(end_cycles, ghz),
+                    "args": {"tenant": tenant["name"]},
+                }
+            )
+    return {
+        "traceEvents": records,
+        "displayTimeUnit": "ms",
+        "otherData": {
+            "clock_ghz": ghz,
+            "format": "repro.chrome-trace/1",
+            "source": FLEET_TIMESERIES_SCHEMA,
+        },
+    }
+
+
+def write_fleet_chrome_trace(
+    path: Union[str, Path],
+    timeseries: Dict[str, object],
+    *,
+    pid: int = 1,
+    ghz: float = 3.5,
+) -> int:
+    """Write the fleet-timeseries Chrome trace to ``path``.
+
+    Returns the number of trace records written.
+    """
+    document = fleet_chrome_trace(timeseries, pid=pid, ghz=ghz)
+    payload = json.dumps(document, sort_keys=True, indent=1)
+    Path(path).write_text(payload + "\n", encoding="utf-8")
+    return len(document["traceEvents"])  # type: ignore[arg-type]
+
+
 def write_chrome_trace(
     path: Union[str, Path],
     events: Iterable[TimelineEvent],
@@ -338,14 +539,22 @@ def validate_chrome_trace(document: object) -> Dict[str, int]:
 
     Raises :class:`~repro.errors.ObsError` on the first violation.
     Returns summary counts (``events``, ``tracks``, ``complete``,
-    ``instant``, ``metadata``) so callers can assert on them.
+    ``instant``, ``counter``, ``metadata``) so callers can assert on
+    them.
     """
     if not isinstance(document, dict):
         raise ObsError("chrome trace must be a JSON object")
     events = document.get("traceEvents")
     if not isinstance(events, list):
         raise ObsError("chrome trace lacks a traceEvents array")
-    counts = {"events": 0, "tracks": 0, "complete": 0, "instant": 0, "metadata": 0}
+    counts = {
+        "events": 0,
+        "tracks": 0,
+        "complete": 0,
+        "instant": 0,
+        "counter": 0,
+        "metadata": 0,
+    }
     seen_tids = set()
     for record in events:
         if not isinstance(record, dict):
@@ -365,6 +574,12 @@ def validate_chrome_trace(document: object) -> Dict[str, int]:
                 raise ObsError(f"complete event without valid dur: {record!r}")
         elif phase == "i":
             counts["instant"] += 1
+        elif phase == "C":
+            counts["counter"] += 1
+            if not isinstance(record.get("args"), dict) or not record["args"]:
+                raise ObsError(
+                    f"counter event without sample args: {record!r}"
+                )
         else:
             raise ObsError(f"unexpected event phase {phase!r}")
     counts["tracks"] = len(seen_tids)

@@ -138,11 +138,16 @@ def write_manifest(path: Union[str, Path], manifest: Dict[str, object]) -> Path:
 #: pool breaks legitimately vary the tallies across machines), never
 #: what it computed.  The paging profile is derived observation of the
 #: same run — attaching it must keep a profiled manifest's digest
-#: equal to the blind run's (same bar as the telemetry block).
+#: equal to the blind run's (same bar as the telemetry block).  The
+#: fleet time-series block is held to the same standard: windowed
+#: sampling observes a fleet run without becoming part of its
+#: identity, so a ``--timeseries`` manifest digests identically to a
+#: blind one.
 _DIGEST_EXCLUDE: Tuple[str, ...] = (
     "generator",
     "exec_telemetry",
     "paging_profile",
+    "fleet_timeseries",
 )
 
 
@@ -257,4 +262,11 @@ def load_manifest(path: Union[str, Path]) -> Dict[str, object]:
         from repro.obs.paging import validate_paging_profile
 
         validate_paging_profile(document["paging_profile"])
+    if "fleet_timeseries" in document:
+        from repro.obs.fleet_telemetry import validate_fleet_timeseries
+
+        fleet_block = (document.get("extra") or {}).get("fleet")
+        validate_fleet_timeseries(
+            document["fleet_timeseries"], fleet_block=fleet_block
+        )
     return document

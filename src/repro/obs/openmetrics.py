@@ -24,14 +24,20 @@ Mapping rules, chosen for fidelity over cleverness:
   representation and the manifest already carries them;
 * output ends with the mandatory ``# EOF`` terminator and is sorted
   by metric name, so the same dump always renders the same bytes.
+
+Fleet time-series blocks (PR 10) get their own renderer:
+:func:`render_fleet_openmetrics` turns a ``repro.fleet-timeseries/1``
+block into labeled series — fleet-wide samples labeled by window end
+cycle, per-tenant samples additionally labeled ``tenant="..."`` — so
+one scrape carries the whole windowed history of a multi-tenant run.
 """
 
 from __future__ import annotations
 
 import re
-from typing import List, Mapping
+from typing import Dict, List, Mapping
 
-__all__ = ["render_openmetrics"]
+__all__ = ["render_openmetrics", "render_fleet_openmetrics"]
 
 _NAME_OK = re.compile(r"[^a-zA-Z0-9_:]")
 
@@ -86,5 +92,110 @@ def render_openmetrics(dump: Mapping[str, object], *, prefix: str = "repro_") ->
             lines.append(f"{metric} {_format_value(value)}")
         # Anything else (strings, nested objects) has no OpenMetrics
         # representation; the manifest carries it instead.
+    lines.append("# EOF")
+    return "\n".join(lines) + "\n"
+
+
+_LABEL_ESCAPE = {"\\": "\\\\", '"': '\\"', "\n": "\\n"}
+
+#: Fleet-wide series exported per window: (series key, metric name).
+_FLEET_SERIES = (
+    ("accesses", "fleet_accesses"),
+    ("faults", "fleet_faults"),
+    ("preloads_completed", "fleet_preloads_completed"),
+    ("channel_wait_cycles", "fleet_channel_wait_cycles"),
+    ("fault_wait_p99", "fleet_fault_wait_p99_cycles"),
+    ("channel_loads", "fleet_channel_loads"),
+    ("channel_busy_cycles", "fleet_channel_busy_cycles"),
+    ("channel_utilization", "fleet_channel_utilization"),
+    ("epc_resident", "fleet_epc_resident_frames"),
+    ("queue_depth", "fleet_queue_depth"),
+    ("active_tenants", "fleet_active_tenants"),
+    ("truncated_tenants", "fleet_truncated_tenants"),
+)
+
+#: Per-tenant series exported per window (resident/quota only appear
+#: under a partitioned frame policy and are included when present).
+_TENANT_SERIES = (
+    ("accesses", "tenant_accesses"),
+    ("faults", "tenant_faults"),
+    ("preloads_completed", "tenant_preloads_completed"),
+    ("wait_cycles", "tenant_channel_wait_cycles"),
+    ("fault_wait_p99", "tenant_fault_wait_p99_cycles"),
+    ("resident", "tenant_epc_resident_frames"),
+    ("quota", "tenant_epc_quota_frames"),
+)
+
+
+def _escape_label(value: str) -> str:
+    """Escape one label value per the OpenMetrics text format."""
+    return "".join(_LABEL_ESCAPE.get(ch, ch) for ch in value)
+
+
+def render_fleet_openmetrics(
+    block: Mapping[str, object], *, prefix: str = "repro_"
+) -> str:
+    """Render a ``repro.fleet-timeseries/1`` block as labeled series.
+
+    Every sample carries a ``window`` label holding the window's end
+    cycle (windows are half-open, so the label names the exclusive
+    upper bound); per-tenant samples add a ``tenant`` label.  Output
+    is deterministic — metric-name-major, window-minor, tenants in
+    registration order within a window — and ends with ``# EOF``.
+    """
+    from repro.obs.fleet_telemetry import FLEET_TIMESERIES_SCHEMA
+
+    schema = block.get("schema")
+    if schema != FLEET_TIMESERIES_SCHEMA:
+        raise ValueError(
+            f"not a fleet timeseries block: schema {schema!r} "
+            f"(expected {FLEET_TIMESERIES_SCHEMA})"
+        )
+    ends = [int(v) for v in block["window_end"]]  # type: ignore[index]
+    fleet: Mapping[str, object] = block["fleet"]  # type: ignore[assignment]
+    tenants = block["tenants"]  # type: ignore[index]
+    lines: List[str] = []
+
+    lines.append(f"# TYPE {prefix}fleet_window_cycles gauge")
+    lines.append(f"{prefix}fleet_window_cycles {int(block['window_cycles'])}")
+    for key, name in _FLEET_SERIES:
+        series = fleet[key]
+        metric = prefix + name
+        lines.append(f"# TYPE {metric} gauge")
+        for i, end in enumerate(ends):
+            lines.append(
+                f'{metric}{{window="{end}"}} {_format_value(series[i])}'
+            )
+    for key, name in _TENANT_SERIES:
+        metric = prefix + name
+        header_done = False
+        for tenant in tenants:  # type: ignore[union-attr]
+            series = tenant.get(key)
+            if series is None:
+                continue
+            if not header_done:
+                lines.append(f"# TYPE {metric} gauge")
+                header_done = True
+            label = _escape_label(str(tenant["name"]))
+            for i, end in enumerate(ends):
+                lines.append(
+                    f'{metric}{{tenant="{label}",window="{end}"}} '
+                    f"{_format_value(series[i])}"
+                )
+    rebalances = block.get("rebalances") or []
+    lines.append(f"# TYPE {prefix}fleet_rebalances_total gauge")
+    lines.append(f"{prefix}fleet_rebalances_total {len(rebalances)}")
+    quota_last: Dict[str, object] = {}
+    for decision in rebalances:  # latest decision wins per tenant
+        quota_last.update(decision["quotas_after"])
+    if quota_last:
+        metric = prefix + "tenant_epc_quota_last_frames"
+        lines.append(f"# TYPE {metric} gauge")
+        for name in sorted(quota_last):
+            label = _escape_label(name)
+            lines.append(
+                f'{metric}{{tenant="{label}"}} '
+                f"{_format_value(quota_last[name])}"
+            )
     lines.append("# EOF")
     return "\n".join(lines) + "\n"

@@ -62,6 +62,7 @@ from repro.enclave.platform import (
     StaticPartitionFrames,
 )
 from repro.errors import ConfigError, SimulationError
+from repro.obs.fleet_telemetry import FleetTelemetry
 from repro.obs.metrics import (
     Histogram,
     MetricsRegistry,
@@ -231,6 +232,10 @@ class FleetResult:
     tenants: List[TenantRecord]
     end_cycles: int
     rebalances: int = 0
+    #: The ``repro.fleet-timeseries/1`` block of an observed run
+    #: (``None`` for blind runs).  Embedded digest-excluded in the
+    #: manifest, so attaching it never changes the run's identity.
+    timeseries: Optional[Dict[str, object]] = None
 
     def fleet_block(self) -> Dict[str, object]:
         """The deterministic ``repro.fleet-manifest/1`` block."""
@@ -266,14 +271,23 @@ class FleetResult:
         }
 
     def manifest(self) -> Dict[str, object]:
-        """Aggregate run manifest with the fleet block under ``extra``."""
+        """Aggregate run manifest with the fleet block under ``extra``.
+
+        An observed run additionally embeds the time-series block as
+        the top-level ``fleet_timeseries`` section, which the manifest
+        digest excludes — so the digest (and every digest-included
+        byte) of an observed manifest equals the blind run's.
+        """
         from repro.obs.exec_telemetry import build_fleet_manifest
 
-        return build_fleet_manifest(
+        manifest = build_fleet_manifest(
             self.results,
             labels=[t.name for t in self.tenants],
             extra={"fleet": self.fleet_block()},
         )
+        if self.timeseries is not None:
+            manifest["fleet_timeseries"] = dict(self.timeseries)
+        return manifest
 
 
 class _Tenant:
@@ -376,7 +390,9 @@ def _make_frames(
     return AdaptiveQuotaFrames(platform, min_quota=scenario.min_quota_pages)
 
 
-def simulate_fleet(scenario: FleetScenario) -> FleetResult:
+def simulate_fleet(
+    scenario: FleetScenario, *, telemetry: Optional[FleetTelemetry] = None
+) -> FleetResult:
     """Run a fleet scenario; returns one result per tenant, in order.
 
     The loop is a single global event heap keyed ``(time, rank,
@@ -384,6 +400,13 @@ def simulate_fleet(scenario: FleetScenario) -> FleetResult:
     admission cap), departures hand their slot to the queue head, and
     trace events run the admitted tenants' accesses against the shared
     platform exactly as :mod:`repro.sim.multi` always has.
+
+    ``telemetry`` attaches a :class:`~repro.obs.fleet_telemetry.
+    FleetTelemetry` sampler.  This function is the *sole sanctioned
+    emitter* of its ``series_*`` hooks (lint rule RL012): every hook
+    is a passive read of driver counters and platform state, so an
+    observed run's results — and its fleet-manifest bytes — are
+    identical to a blind run's.
     """
     config = scenario.config if scenario.config is not None else SimConfig()
     if scenario.epc_pages is not None:
@@ -395,6 +418,8 @@ def simulate_fleet(scenario: FleetScenario) -> FleetResult:
     frames = _make_frames(scenario, platform)
     platform.frames = frames
     channel = platform.channel
+    if telemetry is not None:
+        telemetry.series_begin(config, platform, frames)
 
     tenants: List[_Tenant] = []
     base = 0
@@ -414,6 +439,10 @@ def simulate_fleet(scenario: FleetScenario) -> FleetResult:
             tenant.sip_plan = spec.sip_plan
         tenants.append(tenant)
         base += workload.elrange_pages
+        if telemetry is not None:
+            telemetry.series_tenant(
+                index, tenant.name, spec.scheme, workload.name, spec.arrival
+            )
 
     heap: List[Tuple[int, int, int]] = []
     queue: List[int] = []  # FIFO admission queue of tenant indices
@@ -457,6 +486,8 @@ def simulate_fleet(scenario: FleetScenario) -> FleetResult:
         record = tenant.record
         record.admitted = True
         record.admitted_at = t
+        if telemetry is not None:
+            telemetry.series_admit(tenant.index, t, driver, registry)
         start = t
         spinup = min(scenario.spinup_pages, enclave.elrange_pages)
         if spinup:
@@ -469,6 +500,8 @@ def simulate_fleet(scenario: FleetScenario) -> FleetResult:
                     tenant.base_page + offset, LoadKind.DEMAND, start
                 )
         record.started_at = start
+        if telemetry is not None:
+            telemetry.series_started(tenant.index, start)
         tenant.now = start
         # Everything before the first trace event — pre-arrival time,
         # admission wait, spin-up — is outside-the-enclave idle time.
@@ -487,6 +520,10 @@ def simulate_fleet(scenario: FleetScenario) -> FleetResult:
         tenant.done = True
         tenant.record.completed = not truncated
         tenant.record.departed_at = tenant.now
+        if telemetry is not None:
+            telemetry.series_depart(
+                tenant.index, tenant.now, truncated=truncated
+            )
         # Flush residual idle (a tenant can depart without ever running
         # an event) and pin the driver's hardware clock to now.
         tenant.driver.account_idle(tenant.pending_idle, tenant.now)
@@ -517,9 +554,30 @@ def simulate_fleet(scenario: FleetScenario) -> FleetResult:
         if scenario.duration is not None and time > scenario.duration:
             truncated_at = scenario.duration
             break
+        if telemetry is not None:
+            telemetry.series_tick(time)
         if rank == _RANK_CONTROL:
             if index == _REBALANCE:
-                frames.rebalance(time)
+                if telemetry is not None:
+                    passes = frames.rebalances
+                    before = {
+                        t.name: frames.quota_of(t.driver)
+                        for t in tenants
+                        if t.driver is not None
+                    }
+                    frames.rebalance(time)
+                    # A tick with no active tenants re-apportions
+                    # nothing and is not counted by the policy; record
+                    # only decisions that actually ran.
+                    if frames.rebalances != passes:
+                        after = {
+                            t.name: frames.quota_of(t.driver)
+                            for t in tenants
+                            if t.driver is not None
+                        }
+                        telemetry.series_rebalance(time, before, after)
+                else:
+                    frames.rebalance(time)
                 if live > 0:
                     heapq.heappush(
                         heap, (time + rebalance_period, _RANK_CONTROL, _REBALANCE)
@@ -528,6 +586,8 @@ def simulate_fleet(scenario: FleetScenario) -> FleetResult:
             tenant = tenants[index]
             if scenario.max_admitted is not None and active >= scenario.max_admitted:
                 queue.append(index)
+                if telemetry is not None:
+                    telemetry.series_queued(index, time)
             else:
                 admit(tenant, time)
             continue
@@ -568,6 +628,12 @@ def simulate_fleet(scenario: FleetScenario) -> FleetResult:
         if tenant.driver.sanitizer is not None:
             tenant.driver.sanitizer.check_final(stats, tenant.now)
 
+    if telemetry is not None:
+        for tenant in admitted:
+            if not tenant.done:
+                telemetry.series_truncated(tenant.index)
+        telemetry.series_finish(end)
+
     results: List[RunResult] = []
     for tenant in tenants:
         driver = tenant.driver
@@ -596,6 +662,7 @@ def simulate_fleet(scenario: FleetScenario) -> FleetResult:
         tenants=[t.record for t in tenants],
         end_cycles=end,
         rebalances=rebalances,
+        timeseries=telemetry.block() if telemetry is not None else None,
     )
 
 

@@ -1,0 +1,113 @@
+"""Fleet report renderers: sparklines, SLO/thrash tables, comparisons."""
+
+import pytest
+
+from repro.analysis.fleet_report import (
+    render_fleet_table,
+    render_policy_comparison,
+    render_slo_report,
+    render_thrash_table,
+    render_timeseries,
+    sparkline,
+)
+from repro.errors import ObsError
+from repro.obs.fleet_telemetry import SloSpec, detect_thrash, evaluate_slo
+from repro.sim.fleet import build_scenario, simulate_fleet
+
+from tests.obs.test_fleet_telemetry import observed_run, synthetic_block
+
+
+class TestSparkline:
+    def test_maps_min_to_low_and_max_to_high_glyph(self):
+        line = sparkline([0, 1, 2, 3])
+        assert line[0] == "▁"
+        assert line[-1] == "█"
+        assert len(line) == 4
+
+    def test_flat_series_renders_all_minimum(self):
+        assert sparkline([5, 5, 5]) == "▁▁▁"
+
+    def test_downsampling_keeps_spikes(self):
+        values = [0] * 100
+        values[50] = 10
+        line = sparkline(values, width=10)
+        assert len(line) == 10
+        assert "█" in line
+
+    def test_empty_and_bad_width(self):
+        assert sparkline([]) == ""
+        with pytest.raises(ObsError):
+            sparkline([1], width=0)
+
+
+class TestRenderTimeseries:
+    def test_renders_one_row_per_signal(self):
+        text = render_timeseries(observed_run().timeseries)
+        assert "fleet timeseries:" in text
+        for label in ("faults/window", "EPC resident", "queue depth",
+                      "channel util", "fault-wait p99"):
+            assert label in text
+
+    def test_rejects_wrong_schema(self):
+        with pytest.raises(ObsError, match="schema"):
+            render_timeseries({"schema": "bogus"})
+
+    def test_rebalance_line_appears_under_adaptive_quota(self):
+        text = render_timeseries(observed_run(policy="adaptive-quota").timeseries)
+        assert "rebalance decisions:" in text
+
+
+class TestRenderSlo:
+    def test_breach_table_lists_tenant_and_objectives(self):
+        block = synthetic_block(faults=((10, 10), (0, 0)))
+        doc = evaluate_slo(block, SloSpec(max_fault_rate=0.25))
+        text = render_slo_report(doc)
+        assert "alpha" in text
+        assert "fault_rate" in text
+        assert "breach interval" in text
+
+    def test_clean_run_reports_objectives_met(self):
+        block = synthetic_block(faults=((0, 0), (0, 0)),
+                                wait_p99=((0.0, 0.0), (0.0, 0.0)))
+        doc = evaluate_slo(block, SloSpec(max_fault_rate=0.9))
+        assert "all objectives met" in render_slo_report(doc)
+
+    def test_rejects_wrong_schema(self):
+        with pytest.raises(ObsError, match="schema"):
+            render_slo_report({"schema": "bogus"})
+
+
+class TestRenderThrash:
+    def test_interval_table(self):
+        block = synthetic_block(
+            faults=((1, 1, 1, 40), (1, 1, 1, 1)),
+            accesses=((20, 20, 20, 60), (20, 20, 20, 20)),
+            wait_p99=((0.0,) * 4, (0.0,) * 4),
+            quota=((8,) * 4, (8,) * 4),
+            resident=((8,) * 4, (8,) * 4),
+        )
+        intervals = detect_thrash(block, factor=2.0, min_faults=8)
+        text = render_thrash_table(intervals)
+        assert "alpha" in text
+        assert "peak vs mean" in text
+
+    def test_no_intervals_is_one_line(self):
+        assert render_thrash_table([]).endswith("0 interval(s)")
+
+
+class TestComparisonHeader:
+    def test_policy_comparison_shows_truncated_counts_per_policy(self):
+        blocks = [
+            simulate_fleet(build_scenario("smoke", seed=0, policy=p)).fleet_block()
+            for p in ("shared-clock", "static-partition")
+        ]
+        text = render_policy_comparison(blocks)
+        assert "truncated tenants:" in text
+        assert "shared-clock=" in text
+        assert "static-partition=" in text
+
+    def test_fleet_table_header_still_counts_truncated(self):
+        text = render_fleet_table(
+            simulate_fleet(build_scenario("smoke", seed=0)).fleet_block()
+        )
+        assert "truncated" in text

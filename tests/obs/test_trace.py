@@ -204,6 +204,7 @@ class TestChromeTrace:
             "tracks": 3,
             "complete": 4,
             "instant": 2,
+            "counter": 0,
             "metadata": 4,
         }
 

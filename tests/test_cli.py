@@ -524,3 +524,79 @@ class TestFleet:
              "--manifest", "out.json"]
         ) == 2
         assert "--manifest" in capsys.readouterr().err
+
+    def test_timeseries_renders_sparklines_and_thrash(self, capsys):
+        assert main(["fleet", "smoke", "--timeseries"]) == 0
+        out = capsys.readouterr().out
+        assert "fleet timeseries:" in out
+        assert "faults/window" in out
+        assert "thrash windows" in out
+
+    def test_slo_implies_timeseries_and_renders_breaches(self, capsys):
+        assert main(
+            ["fleet", "smoke", "--slo", "fault_rate=0.01,wait_p99=1000"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "fleet timeseries:" in out
+        assert "SLO [" in out
+
+    def test_bad_slo_spec_rejected(self, capsys):
+        assert main(["fleet", "smoke", "--slo", "bogus=1"]) == 2
+        assert "SLO" in capsys.readouterr().err
+
+    def test_trace_and_openmetrics_artifacts(self, tmp_path, capsys):
+        import json
+
+        trace = tmp_path / "fleet.trace.json"
+        metrics = tmp_path / "fleet.om"
+        assert main(
+            ["fleet", "smoke", "--trace", str(trace),
+             "--openmetrics", str(metrics)]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "wrote chrome trace" in out
+        assert "wrote openmetrics" in out
+        document = json.loads(trace.read_text())
+        assert any(e["ph"] == "C" for e in document["traceEvents"])
+        text = metrics.read_text()
+        assert text.endswith("# EOF\n")
+        assert "repro_tenant_faults{" in text
+
+    def test_timeseries_manifest_matches_blind_manifest(self, tmp_path, capsys):
+        import json
+
+        blind = tmp_path / "blind.json"
+        observed = tmp_path / "observed.json"
+        assert main(["fleet", "smoke", "--manifest", str(blind)]) == 0
+        assert main(
+            ["fleet", "smoke", "--timeseries", "--manifest", str(observed)]
+        ) == 0
+        capsys.readouterr()
+        a = json.loads(blind.read_text())
+        b = json.loads(observed.read_text())
+        block = b.pop("fleet_timeseries")
+        assert block["schema"] == "repro.fleet-timeseries/1"
+        assert json.dumps(a, sort_keys=True) == json.dumps(b, sort_keys=True)
+
+    def test_report_renders_embedded_timeseries(self, tmp_path, capsys):
+        manifest = tmp_path / "fleet.json"
+        assert main(
+            ["fleet", "smoke", "--timeseries", "--manifest", str(manifest)]
+        ) == 0
+        capsys.readouterr()
+        assert main(["report", str(manifest)]) == 0
+        out = capsys.readouterr().out
+        assert "fleet timeseries:" in out
+        assert "thrash windows" in out
+
+    def test_observation_flags_conflict_with_policies(self, capsys):
+        assert main(
+            ["fleet", "smoke", "--policies", "shared-clock,adaptive-quota",
+             "--timeseries"]
+        ) == 2
+        assert "--timeseries" in capsys.readouterr().err
+
+    def test_window_cycles_implies_timeseries(self, capsys):
+        assert main(["fleet", "smoke", "--window-cycles", "1000000"]) == 0
+        out = capsys.readouterr().out
+        assert "fleet timeseries:" in out
